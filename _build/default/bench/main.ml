@@ -1,0 +1,119 @@
+(* Benchmark harness entry point.
+
+   Running `dune exec bench/main.exe` regenerates every table and figure of
+   the paper's evaluation section (printed as text tables with the paper's
+   reference numbers alongside), then runs a Bechamel micro-benchmark suite
+   with one Test per experiment measuring the cost of the BlockMaestro
+   machinery that experiment exercises (launch-time analysis, graph
+   construction, encoding, simulation).  Pass --no-bechamel to skip the
+   micro-benchmarks, --only SECTION to print a single experiment. *)
+
+open Blockmaestro
+open Bechamel
+open Toolkit
+
+let sections =
+  [
+    ("table1", Experiments.table1);
+    ("table2", Experiments.table2);
+    ("fig9", Experiments.fig9);
+    ("fig10", Experiments.fig10);
+    ("fig11", Experiments.fig11);
+    ("fig12", Experiments.fig12);
+    ("fig13", Experiments.fig13);
+    ("table3", Experiments.table3);
+    ("fig14", Experiments.fig14);
+    ("area", Experiments.area);
+    ("ablations", Experiments.ablations);
+  ]
+
+(* One Bechamel test per table/figure: a representative slice of the
+   machinery behind that experiment, small enough to iterate. *)
+let bechamel_tests =
+  let small_app () = Microbench.vector_add ~tbs:64 in
+  let stencil_app () = Wavefront.make ~name:"bench" ~work:40 ~halo:1 () in
+  let cfg = Config.titan_x_pascal in
+  let graph_1to1 =
+    Bipartite.Graph (Bipartite.of_edges ~n_parents:256 ~n_children:256 (List.init 256 (fun i -> (i, i))))
+  in
+  [
+    Test.make ~name:"table1:pattern-classify+encode"
+      (Staged.stage (fun () -> Sys.opaque_identity (Encode.measure graph_1to1)));
+    Test.make ~name:"table2:kernel-launch-time-analysis"
+      (let k = Templates.stencil1d ~name:"bench_stencil" ~halo:2 ~work:50 in
+       Staged.stage (fun () -> Sys.opaque_identity (Symeval.analyze k)));
+    Test.make ~name:"fig9:prepare+simulate-small-app"
+      (Staged.stage (fun () ->
+           let app = small_app () in
+           Sys.opaque_identity (Runner.simulate Mode.Producer_priority app)));
+    Test.make ~name:"fig10:simulate-baseline"
+      (Staged.stage (fun () ->
+           let app = small_app () in
+           Sys.opaque_identity (Runner.simulate Mode.Baseline app)));
+    Test.make ~name:"fig11:stall-quartiles"
+      (let stats = Runner.simulate Mode.Baseline (stencil_app ()) in
+       Staged.stage (fun () ->
+           Sys.opaque_identity (Report.quartiles (Stats.stall_fractions stats))));
+    Test.make ~name:"fig12:relation-injection"
+      (let prep = Prep.prepare cfg (small_app ()) in
+       Staged.stage (fun () ->
+           let rel = Microbench.n_group_relation ~tbs:64 ~degree:8 in
+           Sys.opaque_identity (Sim.run cfg (Mode.Consumer_priority 2) (Prep.with_relation prep ~seq:1 rel))));
+    Test.make ~name:"fig13:dep-traffic-model"
+      (Staged.stage (fun () ->
+           Sys.opaque_identity (Hardware.dep_mem_requests cfg ~n_parents:256 ~n_children:256 graph_1to1)));
+    Test.make ~name:"table3:footprints-per-tb"
+      (let k = Templates.matvec ~name:"bench_mv" ~work:1 in
+       let launch =
+         { Footprint.grid = Ptx.dim3 8; block = Ptx.dim3 256;
+           args = [ ("n", 2048); ("kdim", 64); ("A", 1 lsl 20); ("X", 1 lsl 22); ("Y", 1 lsl 24) ] }
+       in
+       Staged.stage (fun () -> Sys.opaque_identity (Footprint.analyze k launch)));
+    Test.make ~name:"fig14:wavefront-sim"
+      (Staged.stage (fun () ->
+           Sys.opaque_identity (Runner.simulate (Mode.Consumer_priority 4) (stencil_app ()))));
+  ]
+
+let run_bechamel () =
+  print_endline "\n== Bechamel micro-benchmarks (one per experiment) ==";
+  let instances = Instance.[ monotonic_clock ] in
+  let benchmark_cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:None () in
+  let raw =
+    Benchmark.all benchmark_cfg instances (Test.make_grouped ~name:"blockmaestro" bechamel_tests)
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols (Instance.monotonic_clock) raw in
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] -> Printf.printf "  %-45s %12.1f ns/run\n" name est
+      | Some _ | None -> Printf.printf "  %-45s (no estimate)\n" name)
+    results
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let only = ref None in
+  let bechamel_enabled = ref true in
+  let rec parse = function
+    | [] -> ()
+    | "--no-bechamel" :: rest ->
+      bechamel_enabled := false;
+      parse rest
+    | "--only" :: s :: rest ->
+      only := Some s;
+      parse rest
+    | _ :: rest -> parse rest
+  in
+  parse (List.tl args);
+  (match !only with
+  | Some s -> (
+    match List.assoc_opt s sections with
+    | Some f -> f ()
+    | None ->
+      Printf.eprintf "unknown section %s; available: %s\n" s
+        (String.concat ", " (List.map fst sections));
+      exit 1)
+  | None -> List.iter (fun (_, f) -> f ()) sections);
+  if !bechamel_enabled && !only = None then run_bechamel ()

@@ -1,0 +1,167 @@
+(* bmctl: command-line driver for the BlockMaestro simulator.
+
+   Subcommands:
+     list                    enumerate benchmarks
+     run APP [-m MODE]       simulate one application under one mode
+     speedup APP             all Fig. 9 modes for one application
+     analyze APP             per-kernel-pair dependency analysis
+     ptx APP                 dump the PTX of the application's kernels *)
+
+open Blockmaestro
+open Cmdliner
+
+let app_names = List.map fst Suite.all
+
+let app_conv =
+  let parse s =
+    match List.assoc_opt s Suite.all with
+    | Some gen -> Ok (s, gen)
+    | None ->
+      Error (`Msg (Printf.sprintf "unknown application %S (try: %s)" s (String.concat ", " app_names)))
+  in
+  Arg.conv (parse, fun ppf (name, _) -> Format.pp_print_string ppf name)
+
+let mode_conv =
+  let table =
+    [
+      ("baseline", Mode.Baseline);
+      ("ideal", Mode.Ideal);
+      ("prelaunch", Mode.Prelaunch_only);
+      ("producer", Mode.Producer_priority);
+      ("consumer2", Mode.Consumer_priority 2);
+      ("consumer3", Mode.Consumer_priority 3);
+      ("consumer4", Mode.Consumer_priority 4);
+    ]
+  in
+  let parse s =
+    match List.assoc_opt s table with
+    | Some m -> Ok m
+    | None ->
+      Error (`Msg (Printf.sprintf "unknown mode %S (try: %s)" s (String.concat ", " (List.map fst table))))
+  in
+  Arg.conv (parse, fun ppf m -> Format.pp_print_string ppf (Mode.name m))
+
+let app_arg =
+  Arg.(required & pos 0 (some app_conv) None & info [] ~docv:"APP" ~doc:"Benchmark name (see list).")
+
+let list_cmd =
+  let doc = "List the available benchmark applications." in
+  let run () =
+    List.iter
+      (fun (name, gen) ->
+        let app = gen () in
+        let kernels = List.length (Command.launches app) in
+        Printf.printf "%-10s %4d kernel launches, %3d commands\n" name kernels
+          (List.length app.Command.commands))
+      Suite.all
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let print_stats name mode (s : Stats.t) =
+  Printf.printf "%s under %s:\n" name (Mode.name mode);
+  Printf.printf "  total time        : %10.2f us\n" s.Stats.total_us;
+  Printf.printf "  avg TB concurrency: %10.2f\n" s.Stats.avg_concurrency;
+  Printf.printf "  data mem requests : %10.0f\n" s.Stats.base_mem_requests;
+  Printf.printf "  dep. mem requests : %10.0f (%.2f%%)\n" s.Stats.dep_mem_requests
+    (Stats.mem_overhead_pct s);
+  let stalls = Stats.stall_fractions s in
+  if Array.length stalls > 0 then begin
+    let q1, med, q3 = Report.quartiles stalls in
+    Printf.printf "  TB stall (q1/med/q3, normalized to exec): %.2f / %.2f / %.2f\n" q1 med q3
+  end
+
+let run_cmd =
+  let doc = "Simulate one application under one execution mode." in
+  let mode =
+    Arg.(value & opt mode_conv Mode.Producer_priority & info [ "m"; "mode" ] ~docv:"MODE" ~doc:"Execution mode.")
+  in
+  let run (name, gen) mode =
+    let app = gen () in
+    print_stats name mode (Runner.simulate mode app)
+  in
+  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ app_arg $ mode)
+
+let speedup_cmd =
+  let doc = "Report speedups over the baseline for every Fig. 9 mode." in
+  let run (name, gen) =
+    let app = gen () in
+    let t = Report.table ~title:(name ^ " speedups") ~columns:[ "mode"; "speedup"; "vs baseline" ] in
+    List.iter
+      (fun (mode, s) -> Report.row t [ Mode.name mode; Report.f2 s; Report.pct s ])
+      (Runner.speedups app);
+    Report.print t
+  in
+  Cmd.v (Cmd.info "speedup" ~doc) Term.(const run $ app_arg)
+
+let analyze_cmd =
+  let doc = "Show the extracted inter-kernel TB dependency structure." in
+  let run (name, gen) =
+    let app = gen () in
+    let prep = Runner.prepare Mode.Producer_priority app in
+    let t =
+      Report.table ~title:(name ^ " kernel-pair analysis")
+        ~columns:[ "seq"; "kernel"; "TBs"; "pattern"; "edges"; "plain B"; "encoded B" ]
+    in
+    Array.iter
+      (fun (li : Prep.launch_info) ->
+        let parents =
+          match li.Prep.li_prev with
+          | Some p -> prep.Prep.p_launches.(p).Prep.li_tbs
+          | None -> 0
+        in
+        Report.row t
+          [
+            string_of_int li.Prep.li_seq;
+            li.Prep.li_spec.Command.kernel.Ptx.kname;
+            string_of_int li.Prep.li_tbs;
+            Pattern.name li.Prep.li_pattern;
+            string_of_int (Bipartite.edge_count li.Prep.li_relation ~n_parents:parents ~n_children:li.Prep.li_tbs);
+            string_of_int li.Prep.li_sizes.Encode.plain_bytes;
+            string_of_int li.Prep.li_sizes.Encode.encoded_bytes;
+          ])
+      prep.Prep.p_launches;
+    Report.print t
+  in
+  Cmd.v (Cmd.info "analyze" ~doc) Term.(const run $ app_arg)
+
+let timeline_cmd =
+  let doc = "Render a Gantt-style execution timeline for one mode." in
+  let mode =
+    Arg.(value & opt mode_conv Mode.Producer_priority & info [ "m"; "mode" ] ~docv:"MODE" ~doc:"Execution mode.")
+  in
+  let csv = Arg.(value & flag & info [ "csv" ] ~doc:"Emit per-TB records as CSV instead.") in
+  let run (name, gen) mode csv =
+    let app = gen () in
+    let stats = Runner.simulate mode app in
+    if csv then print_string (Timeline.csv stats)
+    else begin
+      Printf.printf "%s under %s
+" name (Mode.name mode);
+      print_string (Timeline.ascii stats)
+    end
+  in
+  Cmd.v (Cmd.info "timeline" ~doc) Term.(const run $ app_arg $ mode $ csv)
+
+let ptx_cmd =
+  let doc = "Print the PTX of the application's distinct kernels." in
+  let run (_, gen) =
+    let app = gen () in
+    let seen = Hashtbl.create 8 in
+    List.iter
+      (fun (spec : Command.launch_spec) ->
+        let kname = spec.Command.kernel.Ptx.kname in
+        if not (Hashtbl.mem seen kname) then begin
+          Hashtbl.add seen kname ();
+          print_string (Printer.kernel_to_string spec.Command.kernel);
+          print_newline ()
+        end)
+      (Command.launches app)
+  in
+  Cmd.v (Cmd.info "ptx" ~doc) Term.(const run $ app_arg)
+
+let main =
+  let doc = "BlockMaestro: programmer-transparent task-based GPU execution (simulator)" in
+  Cmd.group (Cmd.info "bmctl" ~doc ~version:"1.0.0")
+    [ list_cmd; run_cmd; speedup_cmd; analyze_cmd; timeline_cmd; ptx_cmd ]
+
+let () = exit (Cmd.eval main)

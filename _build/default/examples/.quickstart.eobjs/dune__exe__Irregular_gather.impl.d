@@ -1,0 +1,1 @@
+examples/irregular_gather.ml: Array Bipartite Blockmaestro Builder Command Config Dsl Dynamic Format Interp List Mode Pattern Prep Printf Report Runner Sim Slice Stats Templates

@@ -1,0 +1,1 @@
+examples/ml_inference.ml: Array Blockmaestro Command Dsl Format List Mode Pattern Prep Printf Ptx Runner Stats Templates

@@ -1,0 +1,1 @@
+examples/multi_stream.ml: Array Blockmaestro Command Microbench Mode Pattern Prep Printf Report Runner Stats Timeline

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Blockmaestro Builder Command Dsl List Mode Pattern Prep Printer Printf Ptx Report Runner Slice Stats Templates

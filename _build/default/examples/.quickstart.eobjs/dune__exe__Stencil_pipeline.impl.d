@@ -1,0 +1,1 @@
+examples/stencil_pipeline.ml: Array Bipartite Blockmaestro Command Dsl Mode Pattern Prep Printf Report Runner Stats String Templates

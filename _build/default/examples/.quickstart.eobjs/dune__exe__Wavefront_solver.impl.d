@@ -1,0 +1,1 @@
+examples/wavefront_solver.ml: Array Blockmaestro Cdp Config List Mode Pattern Prep Printf Runner Stats String Wavefront Wireframe

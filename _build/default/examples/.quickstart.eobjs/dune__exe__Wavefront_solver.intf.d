@@ -1,0 +1,1 @@
+examples/wavefront_solver.mli:

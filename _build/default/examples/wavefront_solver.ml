@@ -1,0 +1,48 @@
+(* Wavefront solver — comparing BlockMaestro against the task-based
+   execution models of the paper's Fig. 14 on a dynamic-programming
+   anti-diagonal sweep (Smith-Waterman-like).
+
+   Shows that BlockMaestro extracts and exploits the same task graph that
+   CDP and Wireframe require the programmer to express, without any
+   task-model code: consumer-priority scheduling lets diagonal d+1..d+3
+   run ahead as their fine-grain dependencies resolve.
+
+   Run with: dune exec examples/wavefront_solver.exe *)
+
+open Blockmaestro
+
+let () =
+  let cfg = { Config.titan_x_pascal with Config.jitter_frac = 0.35 } in
+  let app = Wavefront.make ~name:"sw_demo" ~work:3400 ~halo:2 () in
+
+  Printf.printf "wavefront: %d diagonals, %d tasks (TBs), diamond widths: %s...\n"
+    (List.length Wavefront.widths) Wavefront.task_count
+    (String.concat ", " (List.map string_of_int (List.filteri (fun i _ -> i < 7) Wavefront.widths)));
+
+  let prep = Runner.prepare ~cfg Mode.Producer_priority app in
+  print_endline "\n=== Extracted diagonal-to-diagonal dependencies ===";
+  Array.iteri
+    (fun i (li : Prep.launch_info) ->
+      if i > 0 && i <= 6 then
+        Printf.printf "diag %2d: %4d TBs, pattern %s\n" i li.Prep.li_tbs
+          (Pattern.name li.Prep.li_pattern))
+    prep.Prep.p_launches;
+
+  print_endline "\n=== Task-based execution models (normalized to CDP) ===";
+  let cdp = Cdp.simulate ~cfg app in
+  let rows =
+    [
+      ("CDP (tasks as kernels)", cdp);
+      ("Wireframe (tasks as TBs)", Wireframe.simulate ~cfg app);
+      ("BlockMaestro producer", Runner.simulate ~cfg Mode.Producer_priority app);
+      ("BlockMaestro consumer", Runner.simulate ~cfg (Mode.Consumer_priority 4) app);
+    ]
+  in
+  List.iter
+    (fun (name, stats) ->
+      Printf.printf "%-26s %8.2f us  (%.2fx vs CDP)  avg concurrency %6.1f\n" name
+        stats.Stats.total_us (Stats.speedup ~baseline:cdp stats) stats.Stats.avg_concurrency)
+    rows;
+
+  print_endline
+    "\nNo code was ported to a task model: the same PTX + launch sequence ran under every scheme."

@@ -1,0 +1,1 @@
+lib/analysis/dynamic.ml: Array Bm_ptx Footprint List Sinterval

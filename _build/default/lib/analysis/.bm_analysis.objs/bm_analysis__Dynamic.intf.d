@@ -1,0 +1,1 @@
+lib/analysis/dynamic.mli: Bm_ptx Footprint Sinterval

@@ -1,0 +1,1 @@
+lib/analysis/footprint.ml: Array Bm_ptx List Sinterval Sym Symeval

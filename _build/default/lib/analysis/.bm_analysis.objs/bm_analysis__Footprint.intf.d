@@ -1,0 +1,1 @@
+lib/analysis/footprint.mli: Bm_ptx Sinterval Symeval

@@ -1,0 +1,1 @@
+lib/analysis/sinterval.mli: Format

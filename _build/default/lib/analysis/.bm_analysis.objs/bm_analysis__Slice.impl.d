@@ -1,0 +1,1 @@
+lib/analysis/slice.ml: Array Bm_ptx List Set String

@@ -1,0 +1,1 @@
+lib/analysis/slice.mli: Bm_ptx

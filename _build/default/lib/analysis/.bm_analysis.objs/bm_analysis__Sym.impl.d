@@ -1,0 +1,1 @@
+lib/analysis/sym.ml: Bm_ptx Format List

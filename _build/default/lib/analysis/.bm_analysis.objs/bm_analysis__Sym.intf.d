@@ -1,0 +1,1 @@
+lib/analysis/sym.mli: Bm_ptx Format

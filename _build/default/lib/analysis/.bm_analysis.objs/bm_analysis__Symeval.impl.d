@@ -1,0 +1,1 @@
+lib/analysis/symeval.ml: Array Bm_ptx Hashtbl List Sym

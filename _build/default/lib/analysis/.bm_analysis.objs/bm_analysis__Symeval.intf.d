@@ -1,0 +1,1 @@
+lib/analysis/symeval.mli: Bm_ptx Sym

@@ -1,0 +1,71 @@
+open Bm_ptx.Types
+module Interp = Bm_ptx.Interp
+
+(* Compress sorted addresses into maximal constant-stride runs; if that
+   yields too many intervals, fall back to a single bounding interval with
+   the gcd stride. *)
+let max_intervals = 16
+
+let compress addrs =
+  match List.sort_uniq compare addrs with
+  | [] -> []
+  | first :: rest ->
+    let runs = ref [] in
+    let run_start = ref first and run_prev = ref first and run_stride = ref 0 in
+    let flush () =
+      runs := Sinterval.make ~lo:!run_start ~hi:!run_prev ~stride:!run_stride :: !runs
+    in
+    List.iter
+      (fun a ->
+        let d = a - !run_prev in
+        if !run_stride = 0 then begin
+          run_stride := d;
+          run_prev := a
+        end
+        else if d = !run_stride then run_prev := a
+        else begin
+          flush ();
+          run_start := a;
+          run_prev := a;
+          run_stride := 0
+        end)
+      rest;
+    flush ();
+    let runs = List.rev !runs in
+    if List.length runs <= max_intervals then runs
+    else begin
+      (* Too fragmented: one bounding strided interval. *)
+      let lo = first in
+      let hi = List.fold_left (fun acc (i : Sinterval.t) -> max acc i.Sinterval.hi) lo runs in
+      let rec gcd a b = if b = 0 then a else gcd b (a mod b) in
+      let stride =
+        List.fold_left
+          (fun acc a -> if a = lo then acc else gcd acc (a - lo))
+          0 (first :: rest)
+      in
+      [ Sinterval.make ~lo ~hi ~stride:(if lo = hi then 0 else max 1 stride) ]
+    end
+
+let footprints ?fuel kernel (launch : Footprint.launch) mem =
+  let n = Footprint.tb_count launch in
+  let gx = launch.Footprint.grid.dx and gy = launch.Footprint.grid.dy in
+  let per_tb =
+    Array.init n (fun tb ->
+        let cta = { dx = tb mod gx; dy = tb / gx mod gy; dz = tb / (gx * gy) } in
+        let traces =
+          Interp.run_block ?fuel kernel ~grid:launch.Footprint.grid ~block:launch.Footprint.block
+            ~cta ~args:launch.Footprint.args mem
+        in
+        let reads = ref [] and writes = ref [] in
+        List.iter
+          (fun (tr : Interp.trace) ->
+            List.iter
+              (fun (a : Interp.access) ->
+                match a.Interp.ia_kind with
+                | `Read -> reads := a.Interp.ia_addr :: !reads
+                | `Write -> writes := a.Interp.ia_addr :: !writes)
+              tr.Interp.t_accesses)
+          traces;
+        { Footprint.freads = compress !reads; fwrites = compress !writes })
+  in
+  Footprint.Per_tb per_tb

@@ -1,0 +1,33 @@
+(** Runtime dependency analysis — the paper's future work (§II-B, §III-B):
+
+    "we cannot process global accesses that derive from another memory value
+    (such as A[B[i]]) ... Such instances are only known at runtime and would
+    require runtime analysis, which is out of scope of this paper."
+
+    This module implements that runtime analysis: when Algorithm 1 flags a
+    kernel non-static, the kernel is executed functionally (against the
+    actual device-memory contents) by {!Bm_ptx.Interp}, and exact per-TB
+    read/write footprints are collected from the recorded accesses and
+    compressed into strided intervals.  The result plugs into the same
+    {!Bm_depgraph.Bipartite.relate} / [Prep.with_relation] machinery,
+    upgrading a conservative fully-connected barrier into a fine-grain
+    graph.
+
+    The cost is proportional to the kernel's dynamic instruction count —
+    which is why the paper leaves it off the default path; here it is an
+    opt-in tool demonstrated in examples/irregular_gather.ml. *)
+
+val footprints :
+  ?fuel:int ->
+  Bm_ptx.Types.kernel ->
+  Footprint.launch ->
+  Bm_ptx.Interp.memory ->
+  Footprint.kernel_footprints
+(** Execute every thread of every TB and return exact per-TB footprints.
+    Unlike the static analysis the result is input-dependent: it is valid
+    only for the given memory contents.  Always returns [Per_tb]. *)
+
+val compress : int list -> Sinterval.t list
+(** Compress a set of byte addresses into a small list of strided intervals
+    covering them (exact, not an over-approximation, though each interval
+    may be coarser than the raw address set).  Exposed for tests. *)

@@ -1,0 +1,61 @@
+(** Value-range analysis: per-thread-block read/write footprints.
+
+    Given the symbolic access expressions of {!Symeval} and the concrete
+    kernel-launch parameters (grid/block dimensions and argument values —
+    all known only at launch time, which is exactly why the paper performs
+    this during JIT compilation), compute for every thread block the strided
+    intervals of byte addresses it may read and write.  Intersecting a
+    child kernel's read set with its parent's write set (Algorithm 1
+    line 23) yields the TB-level RAW dependency graph. *)
+
+type launch = {
+  grid : Bm_ptx.Types.dim3;
+  block : Bm_ptx.Types.dim3;
+  args : (string * int) list;
+      (** parameter name -> concrete value; pointer parameters map to the
+          base address assigned by the allocator *)
+}
+
+type t = {
+  freads : Sinterval.t list;
+  fwrites : Sinterval.t list;
+}
+(** The footprint of one thread block: one interval per (executed) static
+    global access. *)
+
+type kernel_footprints =
+  | Per_tb of t array  (** indexed by linear thread-block id *)
+  | Conservative of string
+      (** the kernel has a data-dependent access; BlockMaestro falls back to
+          whole-kernel (fully-connected) dependency *)
+
+val of_result : Symeval.result -> launch -> kernel_footprints
+
+val analyze : Bm_ptx.Types.kernel -> launch -> kernel_footprints
+(** [Symeval.analyze] followed by {!of_result}. *)
+
+val tb_count : launch -> int
+
+val overlaps : writes:t -> reads:t -> bool
+(** RAW test: does any write interval of the parent TB intersect any read
+    interval of the child TB? *)
+
+val whole : t array -> t
+(** Join footprints across all TBs, per access (used for command-level
+    dependency tests during queue reordering). *)
+
+val footprints_intersect : t -> t -> bool
+(** Any RAW/WAR/WAW hazard between two whole-kernel footprints (used for
+    command reordering legality, which must preserve all hazards). *)
+
+val raw_intersect : writes:t -> reads:t -> bool
+(** Alias of {!overlaps} at whole-kernel granularity. *)
+
+val per_tb_insts : Symeval.result -> launch -> tb:int -> float
+(** Estimated dynamic instructions executed by one thread of the given TB
+    (loop trip counts resolved through the range analysis); the GPU cost
+    model turns this into TB execution time. *)
+
+val per_tb_mem_insts : Symeval.result -> launch -> tb:int -> float
+(** Estimated dynamic global-memory instructions per thread of the given TB
+    (each access counted with its enclosing loops' trip counts). *)

@@ -1,0 +1,135 @@
+type t = { lo : int; hi : int; stride : int }
+
+let rec gcd a b = if b = 0 then abs a else gcd b (a mod b)
+
+let make ~lo ~hi ~stride =
+  if lo > hi then invalid_arg "Sinterval.make: lo > hi";
+  if stride < 0 then invalid_arg "Sinterval.make: negative stride";
+  if lo = hi || stride = 0 then { lo; hi = lo; stride = 0 }
+  else
+    let span = hi - lo in
+    { lo; hi = lo + (span / stride * stride); stride }
+
+let singleton n = { lo = n; hi = n; stride = 0 }
+
+let range lo hi = make ~lo ~hi ~stride:1
+
+let mem n t =
+  n >= t.lo && n <= t.hi && (t.stride = 0 || (n - t.lo) mod t.stride = 0)
+
+let count t = if t.stride = 0 then 1 else ((t.hi - t.lo) / t.stride) + 1
+
+let add a b =
+  let stride =
+    if a.stride = 0 then b.stride else if b.stride = 0 then a.stride else gcd a.stride b.stride
+  in
+  make ~lo:(a.lo + b.lo) ~hi:(a.hi + b.hi) ~stride
+
+let neg a =
+  make ~lo:(-a.hi) ~hi:(-a.lo) ~stride:a.stride
+
+let sub a b = add a (neg b)
+
+let mul_const a c =
+  if c = 0 then singleton 0
+  else if c > 0 then make ~lo:(a.lo * c) ~hi:(a.hi * c) ~stride:(a.stride * c)
+  else make ~lo:(a.hi * c) ~hi:(a.lo * c) ~stride:(a.stride * abs c)
+
+let mul a b =
+  if a.stride = 0 then mul_const b a.lo
+  else if b.stride = 0 then mul_const a b.lo
+  else begin
+    (* Both proper ranges: take the corner extrema, collapse stride to the
+       gcd of the cross terms (sound but coarse). *)
+    let p1 = a.lo * b.lo and p2 = a.lo * b.hi and p3 = a.hi * b.lo and p4 = a.hi * b.hi in
+    let lo = min (min p1 p2) (min p3 p4) and hi = max (max p1 p2) (max p3 p4) in
+    let stride = gcd (gcd (a.stride * b.lo) (a.stride * b.stride)) (b.stride * a.lo) in
+    let stride = if stride = 0 then 1 else abs stride in
+    make ~lo ~hi ~stride
+  end
+
+let floor_div x y = if x >= 0 then x / y else -(((-x) + y - 1) / y)
+
+let div_const a c =
+  if c = 0 then invalid_arg "Sinterval.div_const: zero";
+  let c' = abs c in
+  let lo = floor_div a.lo c' and hi = floor_div a.hi c' in
+  let stride = if a.stride mod c' = 0 && a.lo mod c' = 0 then a.stride / c' else 1 in
+  let stride = if lo = hi then 0 else max stride 1 in
+  let i = make ~lo ~hi ~stride:(if lo = hi then 0 else stride) in
+  if c > 0 then i else neg i
+
+let rem_const a c =
+  if c = 0 then invalid_arg "Sinterval.rem_const: zero";
+  let c' = abs c in
+  if a.lo >= 0 && a.hi < c' then a
+  else if a.lo >= 0 then make ~lo:0 ~hi:(c' - 1) ~stride:(let g = gcd a.stride c' in if g = 0 then 1 else g)
+  else make ~lo:(-(c' - 1)) ~hi:(c' - 1) ~stride:1
+
+let shl a k = mul_const a (1 lsl k)
+
+let shr a k =
+  if a.lo >= 0 then div_const a (1 lsl k)
+  else make ~lo:(floor_div a.lo (1 lsl k)) ~hi:(floor_div a.hi (1 lsl k)) ~stride:1
+
+let join a b =
+  if a.lo = b.lo && a.hi = b.hi && a.stride = b.stride then a
+  else
+    let lo = min a.lo b.lo and hi = max a.hi b.hi in
+    let stride = gcd (gcd a.stride b.stride) (abs (a.lo - b.lo)) in
+    let stride = if lo = hi then 0 else if stride = 0 then 1 else stride in
+    make ~lo ~hi ~stride
+
+let min_ a b =
+  make ~lo:(min a.lo b.lo) ~hi:(min a.hi b.hi)
+    ~stride:(if min a.lo b.lo = min a.hi b.hi then 0 else 1)
+
+let max_ a b =
+  make ~lo:(max a.lo b.lo) ~hi:(max a.hi b.hi)
+    ~stride:(if max a.lo b.lo = max a.hi b.hi then 0 else 1)
+
+(* Extended gcd: returns (g, x, y) with a*x + b*y = g. *)
+let rec egcd a b = if b = 0 then (a, 1, 0) else
+  let g, x, y = egcd b (a mod b) in
+  (g, y, x - (a / b) * y)
+
+let intersects a b =
+  let lo = max a.lo b.lo and hi = min a.hi b.hi in
+  if lo > hi then false
+  else if a.stride = 0 then mem a.lo b
+  else if b.stride = 0 then mem b.lo a
+  else begin
+    (* Solve x ≡ a.lo (mod a.stride), x ≡ b.lo (mod b.stride), lo <= x <= hi. *)
+    let s1 = a.stride and s2 = b.stride in
+    let g, p, _ = egcd s1 s2 in
+    let diff = b.lo - a.lo in
+    if diff mod g <> 0 then false
+    else begin
+      let l = s1 / g * s2 in
+      (* x0 = a.lo + s1 * ((diff/g * p) mod (s2/g)) is a solution. *)
+      let m = s2 / g in
+      let k = (diff / g * p) mod m in
+      let k = if k < 0 then k + m else k in
+      let x0 = a.lo + (s1 * k) in
+      (* Smallest solution >= lo. *)
+      let delta = lo - x0 in
+      let steps = if delta <= 0 then 0 else (delta + l - 1) / l in
+      let x = x0 + (steps * l) in
+      (* x might still be below lo if x0 > hi already handled by range. *)
+      x >= lo && x <= hi && mem x a && mem x b
+    end
+  end
+
+let subset a b =
+  if a.lo < b.lo || a.hi > b.hi then false
+  else if a.stride = 0 then mem a.lo b
+  else if b.stride = 0 then a.lo = b.lo && a.hi = b.hi
+  else mem a.lo b && a.stride mod b.stride = 0
+
+let pp ppf t =
+  if t.stride = 0 then Format.fprintf ppf "{%d}" t.lo
+  else Format.fprintf ppf "[%d..%d /%d]" t.lo t.hi t.stride
+
+let to_string t = Format.asprintf "%a" pp t
+
+let equal a b = a.lo = b.lo && a.hi = b.hi && a.stride = b.stride

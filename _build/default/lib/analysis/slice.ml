@@ -1,0 +1,63 @@
+open Bm_ptx.Types
+
+type verdict =
+  | Static
+  | Non_static of { at_instr : int; reason : string }
+
+let global_accesses k =
+  let acc = ref [] in
+  Array.iteri (fun i instr -> if is_global_access instr then acc := i :: !acc) k.kbody;
+  List.rev !acc
+
+(* Registers feeding the *address* of the access at index [i]. *)
+let address_regs k i =
+  match k.kbody.(i) with
+  | I { op = Ld Global; srcs = [ Reg r ]; _ } -> [ r ]
+  | I { op = St Global; srcs = Reg r :: _; _ } -> [ r ]
+  | I { op = Atom (Global, _); srcs = Reg r :: _; _ } -> [ r ]
+  | Label _ | I _ -> invalid_arg "Slice.classify_access: not a global access"
+
+module S = Set.Make (String)
+
+let classify_access k i =
+  let s = ref (S.of_list (address_regs k i)) in
+  let verdict = ref Static in
+  let j = ref (i - 1) in
+  (* Lines 4-18 of Algorithm 1: walk to the previous instruction while the
+     working set S is non-empty. *)
+  while !verdict = Static && (not (S.is_empty !s)) && !j >= 0 do
+    (match k.kbody.(!j) with
+    | Label _ -> ()
+    | I { op; srcs; _ } as instr -> (
+      match defined_reg instr with
+      | Some d when S.mem d !s -> (
+        match op with
+        | Ld Global | Atom (Global, _) ->
+          (* The address depends on data read from global memory: a
+             possible non-static dependency.  Terminate conservatively. *)
+          verdict := Non_static { at_instr = !j; reason = "address derives from a global load" }
+        | Ld Shared | Ld Local ->
+          verdict := Non_static { at_instr = !j; reason = "address derives from on-chip memory" }
+        | Ld Param_space | Mov | Add | Sub | Mul_lo | Mul_wide | Mad_lo | Mad_wide | Div | Rem
+        | Shl | Shr | And_ | Or_ | Xor | Not_ | Neg | Min | Max | Cvt _ | Cvta _ | Setp _ | Selp
+        | St _ | Atom _ | Bra _ | Bar | Ret | Fma | Funary _ ->
+          (* Replace the destination by the source registers it was
+             computed from (lines 10-13). *)
+          s := S.remove d !s;
+          List.iter
+            (fun operand -> match operand with Reg r -> s := S.add r !s | Imm _ | Fimm _ | Sreg _ | Sym _ -> ())
+            srcs)
+      | Some _ | None -> ()));
+    decr j
+  done;
+  !verdict
+
+let classify_kernel k =
+  let rec go = function
+    | [] -> Static
+    | i :: rest -> (
+      match classify_access k i with
+      | Static -> go rest
+      | Non_static _ as v -> v)
+  in
+  go (global_accesses k)

@@ -1,0 +1,23 @@
+(** Algorithm 1's backward pass (paper §III-B.2).
+
+    For each global load/store, the source operands of the address are
+    tracked backwards through the kernel.  If any operand originates from
+    the result of another global load (an indirect access such as
+    [A[B[i]]]), the access is *non-static* and BlockMaestro conservatively
+    assumes the whole kernel depends on its predecessor (lines 7-9).
+    Otherwise every address derives from kernel-launch-time-known values
+    and value-range analysis applies. *)
+
+type verdict =
+  | Static
+  | Non_static of { at_instr : int; reason : string }
+
+val classify_access : Bm_ptx.Types.kernel -> int -> verdict
+(** [classify_access k i] classifies the global access at instruction
+    index [i].  @raise Invalid_argument if [i] is not a global access. *)
+
+val classify_kernel : Bm_ptx.Types.kernel -> verdict
+(** [Static] iff every global access in the kernel is static. *)
+
+val global_accesses : Bm_ptx.Types.kernel -> int list
+(** Instruction indices of all global loads/stores/atomics. *)

@@ -1,0 +1,93 @@
+type t =
+  | Const of int
+  | Param of string
+  | Special of Bm_ptx.Types.special
+  | Counter of int
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Div of t * t
+  | Rem of t * t
+  | Shr of t * t
+  | Min of t * t
+  | Max of t * t
+  | Unknown of string
+
+let add a b =
+  match (a, b) with
+  | Const x, Const y -> Const (x + y)
+  | Const 0, e | e, Const 0 -> e
+  | a, b -> Add (a, b)
+
+let sub a b =
+  match (a, b) with
+  | Const x, Const y -> Const (x - y)
+  | e, Const 0 -> e
+  | a, b -> Sub (a, b)
+
+let mul a b =
+  match (a, b) with
+  | Const x, Const y -> Const (x * y)
+  | Const 0, _ | _, Const 0 -> Const 0
+  | Const 1, e | e, Const 1 -> e
+  | a, b -> Mul (a, b)
+
+let div a b =
+  match (a, b) with
+  | Const x, Const y when y <> 0 -> Const (x / y)
+  | e, Const 1 -> e
+  | a, b -> Div (a, b)
+
+let rem a b =
+  match (a, b) with
+  | Const x, Const y when y <> 0 -> Const (x mod y)
+  | a, b -> Rem (a, b)
+
+let shl a b =
+  match b with
+  | Const k when k >= 0 && k < 62 -> mul a (Const (1 lsl k))
+  | _ -> Unknown "shl by non-constant"
+
+let shr a b =
+  match (a, b) with
+  | Const x, Const k when k >= 0 -> Const (x asr k)
+  | a, b -> Shr (a, b)
+
+let min_ a b = match (a, b) with Const x, Const y -> Const (min x y) | a, b -> Min (a, b)
+let max_ a b = match (a, b) with Const x, Const y -> Const (max x y) | a, b -> Max (a, b)
+
+let rec first_unknown = function
+  | Const _ | Param _ | Special _ | Counter _ -> None
+  | Unknown r -> Some r
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) | Rem (a, b) | Shr (a, b) | Min (a, b)
+  | Max (a, b) -> (
+    match first_unknown a with Some r -> Some r | None -> first_unknown b)
+
+let is_static e = first_unknown e = None
+
+let params e =
+  let rec go acc = function
+    | Param p -> if List.mem p acc then acc else p :: acc
+    | Const _ | Special _ | Counter _ | Unknown _ -> acc
+    | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) | Rem (a, b) | Shr (a, b) | Min (a, b)
+    | Max (a, b) ->
+      go (go acc a) b
+  in
+  List.rev (go [] e)
+
+let rec pp ppf = function
+  | Const n -> Format.pp_print_int ppf n
+  | Param p -> Format.pp_print_string ppf p
+  | Special s -> Format.pp_print_string ppf (Bm_ptx.Types.special_name s)
+  | Counter i -> Format.fprintf ppf "i%d" i
+  | Add (a, b) -> Format.fprintf ppf "(%a + %a)" pp a pp b
+  | Sub (a, b) -> Format.fprintf ppf "(%a - %a)" pp a pp b
+  | Mul (a, b) -> Format.fprintf ppf "(%a * %a)" pp a pp b
+  | Div (a, b) -> Format.fprintf ppf "(%a / %a)" pp a pp b
+  | Rem (a, b) -> Format.fprintf ppf "(%a %% %a)" pp a pp b
+  | Shr (a, b) -> Format.fprintf ppf "(%a >> %a)" pp a pp b
+  | Min (a, b) -> Format.fprintf ppf "min(%a, %a)" pp a pp b
+  | Max (a, b) -> Format.fprintf ppf "max(%a, %a)" pp a pp b
+  | Unknown r -> Format.fprintf ppf "?(%s)" r
+
+let to_string e = Format.asprintf "%a" pp e

@@ -1,0 +1,47 @@
+(** Symbolic expressions over kernel-launch-time quantities.
+
+    The forward abstract interpreter ({!Symeval}) maps every register to one
+    of these expressions.  An address is *static* (analyzable per Algorithm 1)
+    exactly when its expression contains no {!constructor-Unknown} leaf: all
+    leaves are immediates, kernel parameters, special registers
+    ([tid]/[ntid]/[ctaid]/[nctaid]) or recognized loop counters — all of
+    which have known value ranges at kernel-launch time. *)
+
+type t =
+  | Const of int
+  | Param of string     (** kernel parameter, by name *)
+  | Special of Bm_ptx.Types.special
+  | Counter of int      (** recognized loop induction variable, by id *)
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Div of t * t
+  | Rem of t * t
+  | Shr of t * t
+  | Min of t * t
+  | Max of t * t
+  | Unknown of string   (** data-dependent or unmodeled; payload is the reason *)
+
+(** Smart constructors perform constant folding and algebraic
+    normalization so expressions stay small. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val rem : t -> t -> t
+val shl : t -> t -> t
+val shr : t -> t -> t
+val min_ : t -> t -> t
+val max_ : t -> t -> t
+
+val is_static : t -> bool
+(** No [Unknown] leaf. *)
+
+val first_unknown : t -> string option
+
+val params : t -> string list
+(** Parameter names mentioned, without duplicates. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

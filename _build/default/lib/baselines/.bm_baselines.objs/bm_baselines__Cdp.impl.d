@@ -1,0 +1,1 @@
+lib/baselines/cdp.ml: Bm_gpu Bm_maestro

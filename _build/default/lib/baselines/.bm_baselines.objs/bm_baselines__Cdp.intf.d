@@ -1,0 +1,1 @@
+lib/baselines/cdp.mli: Bm_gpu

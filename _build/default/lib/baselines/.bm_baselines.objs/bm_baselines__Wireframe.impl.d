@@ -1,0 +1,1 @@
+lib/baselines/wireframe.ml: Bm_gpu Bm_maestro

@@ -1,0 +1,1 @@
+lib/baselines/wireframe.mli: Bm_gpu

@@ -1,0 +1,7 @@
+module Config = Bm_gpu.Config
+module Mode = Bm_maestro.Mode
+module Runner = Bm_maestro.Runner
+
+let simulate ?(cfg = Config.titan_x_pascal) app =
+  let cfg = { cfg with Config.kernel_launch_us = cfg.Config.cdp_launch_us } in
+  Runner.simulate ~cfg Mode.Baseline app

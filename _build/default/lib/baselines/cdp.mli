@@ -1,0 +1,11 @@
+(** CUDA Dynamic Parallelism model ("Tasks as Kernels", Fig. 14).
+
+    CDP launches dependent kernels from the device, avoiding the host-side
+    API portion of the launch overhead.  Following the paper's §IV-D
+    modelling, the device-side launch latency is 3 µs (the 5 µs host-side
+    launch minus the 2 µs API-call overhead).  Dependency granularity stays
+    at kernel level, and a child grid is launched by the parent's threads,
+    so each level's launch latency sits on the critical path after the
+    parent level completes. *)
+
+val simulate : ?cfg:Bm_gpu.Config.t -> Bm_gpu.Command.app -> Bm_gpu.Stats.t

@@ -1,0 +1,16 @@
+module Config = Bm_gpu.Config
+module Mode = Bm_maestro.Mode
+module Runner = Bm_maestro.Runner
+
+let pending_update_slots = 128
+
+let simulate ?(cfg = Config.titan_x_pascal) app =
+  let cfg =
+    {
+      cfg with
+      Config.kernel_launch_us = 0.0;
+      (* Constrain the in-flight TB pool to the pending-update buffers. *)
+      max_tbs_per_sm = max 1 (pending_update_slots / cfg.Config.num_sms);
+    }
+  in
+  Runner.simulate ~cfg (Mode.Consumer_priority 4) app

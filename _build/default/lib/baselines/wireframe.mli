@@ -1,0 +1,17 @@
+(** Wireframe model ("Tasks as TBs", Abdolrashidi et al., MICRO'17;
+    compared against in Fig. 14).
+
+    Wireframe runs the whole task graph inside a single mega-kernel —
+    no per-kernel launch overhead — with hardware dependency-graph buffers
+    resolving TB dependencies and letting tasks run ahead up to three
+    dependency waves.  Its size-constrained pending-update buffers limit
+    how many tasks can be in flight at once; the paper found this caps
+    utilization below BlockMaestro's (whose state lives in global memory).
+    We model this as: zero launch overhead, fine-grain resolution with a
+    4-deep kernel window (3 waves of run-ahead), and an in-flight TB pool
+    limited by the pending-update-buffer capacity. *)
+
+val pending_update_slots : int
+(** In-flight task limit imposed by the pending update buffers. *)
+
+val simulate : ?cfg:Bm_gpu.Config.t -> Bm_gpu.Command.app -> Bm_gpu.Stats.t

@@ -1,0 +1,68 @@
+(** BlockMaestro: programmer-transparent task-based execution for GPUs.
+
+    Umbrella module re-exporting the whole public API.  Typical use:
+
+    {[
+      open Blockmaestro
+      let app = Suite.by_name "GAUSSIAN" ()
+      let results = Runner.simulate_all app
+    ]}
+
+    Layer map (bottom-up):
+    - {!Rng}, {!Heap}: deterministic simulation substrate
+    - {!Ptx}, {!Printer}, {!Parser}, {!Builder}, {!Cfg}: the PTX-like IR
+    - {!Sinterval}, {!Sym}, {!Slice}, {!Symeval}, {!Footprint}:
+      kernel-launch-time static analysis (Algorithm 1)
+    - {!Bipartite}, {!Pattern}, {!Encode}: TB-level dependency graphs
+    - {!Config}, {!Command}, {!Alloc}, {!Costmodel}, {!Stats}: GPU model
+    - {!Mode}, {!Reorder}, {!Prep}, {!Hardware}, {!Sim}, {!Runner}:
+      BlockMaestro proper
+    - {!Templates}, {!Dsl}, {!Suite}, {!Microbench}, {!Wavefront}: workloads
+    - {!Cdp}, {!Wireframe}: comparison models
+    - {!Report}: result formatting *)
+
+module Rng = Bm_engine.Rng
+module Heap = Bm_engine.Heap
+
+module Ptx = Bm_ptx.Types
+module Printer = Bm_ptx.Printer
+module Parser = Bm_ptx.Parser
+module Builder = Bm_ptx.Builder
+module Cfg = Bm_ptx.Cfg
+module Interp = Bm_ptx.Interp
+
+module Sinterval = Bm_analysis.Sinterval
+module Sym = Bm_analysis.Sym
+module Slice = Bm_analysis.Slice
+module Symeval = Bm_analysis.Symeval
+module Footprint = Bm_analysis.Footprint
+module Dynamic = Bm_analysis.Dynamic
+
+module Bipartite = Bm_depgraph.Bipartite
+module Pattern = Bm_depgraph.Pattern
+module Encode = Bm_depgraph.Encode
+
+module Config = Bm_gpu.Config
+module Command = Bm_gpu.Command
+module Alloc = Bm_gpu.Alloc
+module Costmodel = Bm_gpu.Costmodel
+module Stats = Bm_gpu.Stats
+
+module Mode = Bm_maestro.Mode
+module Reorder = Bm_maestro.Reorder
+module Prep = Bm_maestro.Prep
+module Hardware = Bm_maestro.Hardware
+module Sim = Bm_maestro.Sim
+module Runner = Bm_maestro.Runner
+
+module Templates = Bm_workloads.Templates
+module Dsl = Bm_workloads.Dsl
+module Suite = Bm_workloads.Suite
+module Microbench = Bm_workloads.Microbench
+module Wavefront = Bm_workloads.Wavefront
+
+module Cdp = Bm_baselines.Cdp
+module Wireframe = Bm_baselines.Wireframe
+
+module Report = Bm_report.Report
+module Timeline = Bm_report.Timeline

@@ -1,0 +1,1 @@
+lib/depgraph/bipartite.ml: Array Bm_analysis Format Hashtbl List

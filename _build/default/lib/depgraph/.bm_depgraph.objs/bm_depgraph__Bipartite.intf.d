@@ -1,0 +1,1 @@
+lib/depgraph/bipartite.mli: Bm_analysis Format

@@ -1,0 +1,1 @@
+lib/depgraph/encode.ml: Array Bipartite Format Pattern

@@ -1,0 +1,1 @@
+lib/depgraph/encode.mli: Bipartite Format Pattern

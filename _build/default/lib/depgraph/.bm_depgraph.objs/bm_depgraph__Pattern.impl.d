@@ -1,0 +1,1 @@
+lib/depgraph/pattern.ml: Array Bipartite Format Hashtbl List

@@ -1,0 +1,1 @@
+lib/depgraph/pattern.mli: Bipartite Format

@@ -1,0 +1,22 @@
+(** Mutable binary min-heap keyed by float timestamps.
+
+    This is the event queue at the core of the discrete-event simulator.
+    Ties are broken by insertion order so simulations are deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+val size : 'a t -> int
+
+val push : 'a t -> float -> 'a -> unit
+(** [push t key v] inserts [v] with priority [key]. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the minimum-key element; [None] when empty.
+    Among equal keys, the earliest-inserted element is returned first. *)
+
+val peek_key : 'a t -> float option
+(** The minimum key without removing it. *)

@@ -1,0 +1,1 @@
+lib/gpu/alloc.mli: Command

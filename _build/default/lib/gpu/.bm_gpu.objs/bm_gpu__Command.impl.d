@@ -1,0 +1,1 @@
+lib/gpu/command.ml: Bm_analysis Bm_ptx Format List

@@ -1,0 +1,1 @@
+lib/gpu/command.mli: Bm_analysis Bm_ptx Format

@@ -1,0 +1,1 @@
+lib/gpu/costmodel.ml: Array Bm_analysis Bm_engine Bm_ptx Config

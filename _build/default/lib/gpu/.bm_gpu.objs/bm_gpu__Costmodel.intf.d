@@ -1,0 +1,1 @@
+lib/gpu/costmodel.mli: Bm_analysis Config

@@ -1,0 +1,24 @@
+type t = {
+  mutable next_base : int;
+  mutable count : int;
+}
+
+(* Base of the device heap and inter-buffer guard padding.  The padding must
+   exceed any footprint over-approximation (at most one thread block's span,
+   a few KiB); 1 MiB leaves ample margin. *)
+let heap_base = 0x1000_0000
+let guard_bytes = 1 lsl 20
+let align = 256
+
+let create () = { next_base = heap_base; count = 0 }
+
+let alloc t ~bytes =
+  if bytes <= 0 then invalid_arg "Alloc.alloc: non-positive size";
+  let base = t.next_base in
+  let id = t.count in
+  t.count <- t.count + 1;
+  let size = (bytes + align - 1) / align * align in
+  t.next_base <- base + size + guard_bytes;
+  { Command.buf_id = id; base; bytes }
+
+let buffer_count t = t.count

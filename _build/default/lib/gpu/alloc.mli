@@ -1,0 +1,15 @@
+(** Global-memory allocator for the simulated device.
+
+    Buffers receive disjoint, generously padded address ranges so that the
+    (conservative) value-range footprints of different buffers can never
+    alias: a kernel's guarded tail TB may over-approximate past the logical
+    end of its array, and the inter-buffer padding absorbs that without
+    introducing spurious dependencies. *)
+
+type t
+
+val create : unit -> t
+
+val alloc : t -> bytes:int -> Command.buffer
+
+val buffer_count : t -> int

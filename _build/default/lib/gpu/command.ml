@@ -1,0 +1,54 @@
+type buffer = {
+  buf_id : int;
+  base : int;
+  bytes : int;
+}
+
+type launch_spec = {
+  kernel : Bm_ptx.Types.kernel;
+  grid : Bm_ptx.Types.dim3;
+  block : Bm_ptx.Types.dim3;
+  args : (string * arg) list;
+  stream : int;
+}
+
+and arg =
+  | Buf of buffer
+  | Int of int
+
+type t =
+  | Malloc of buffer
+  | Memcpy_h2d of buffer
+  | Memcpy_d2h of buffer
+  | Kernel_launch of launch_spec
+  | Device_synchronize
+
+type app = {
+  app_name : string;
+  commands : t list;
+}
+
+let footprint_launch spec =
+  {
+    Bm_analysis.Footprint.grid = spec.grid;
+    block = spec.block;
+    args =
+      List.map
+        (fun (name, arg) -> match arg with Buf b -> (name, b.base) | Int v -> (name, v))
+        spec.args;
+  }
+
+let launches app =
+  List.filter_map (function Kernel_launch s -> Some s | _ -> None) app.commands
+
+let buffers_of_args spec =
+  List.filter_map (fun (_, arg) -> match arg with Buf b -> Some b | Int _ -> None) spec.args
+
+let pp ppf = function
+  | Malloc b -> Format.fprintf ppf "cudaMalloc(buf%d, %d)" b.buf_id b.bytes
+  | Memcpy_h2d b -> Format.fprintf ppf "cudaMemcpyH2D(buf%d, %d)" b.buf_id b.bytes
+  | Memcpy_d2h b -> Format.fprintf ppf "cudaMemcpyD2H(buf%d, %d)" b.buf_id b.bytes
+  | Kernel_launch s ->
+    Format.fprintf ppf "launch %s<<<%d, %d>>>" s.kernel.Bm_ptx.Types.kname
+      (Bm_ptx.Types.dim3_count s.grid) (Bm_ptx.Types.dim3_count s.block)
+  | Device_synchronize -> Format.fprintf ppf "cudaDeviceSynchronize()"

@@ -1,0 +1,47 @@
+(** Host-side API commands and applications.
+
+    A GPU application is the sequence of API calls the host pushes into the
+    command queue (CUDA's default stream): allocations, host-device copies,
+    kernel launches and synchronizations (paper §II-A, Fig. 5). *)
+
+type buffer = {
+  buf_id : int;
+  base : int;    (** byte address in the flat simulated global memory *)
+  bytes : int;
+}
+
+type launch_spec = {
+  kernel : Bm_ptx.Types.kernel;
+  grid : Bm_ptx.Types.dim3;
+  block : Bm_ptx.Types.dim3;
+  args : (string * arg) list;
+  stream : int;
+      (** CUDA stream id; kernels in different streams have no implicit
+          ordering (paper §III-C generalizes pre-launching to streams) *)
+}
+
+and arg =
+  | Buf of buffer  (** pointer argument *)
+  | Int of int     (** scalar argument *)
+
+type t =
+  | Malloc of buffer
+  | Memcpy_h2d of buffer
+  | Memcpy_d2h of buffer
+  | Kernel_launch of launch_spec
+  | Device_synchronize
+
+type app = {
+  app_name : string;
+  commands : t list;
+}
+
+val footprint_launch : launch_spec -> Bm_analysis.Footprint.launch
+(** Resolve pointer arguments to their base addresses for the range
+    analysis. *)
+
+val launches : app -> launch_spec list
+
+val buffers_of_args : launch_spec -> buffer list
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,47 @@
+type t = {
+  num_sms : int;
+  max_tbs_per_sm : int;
+  clock_ghz : float;
+  kernel_launch_us : float;
+  launch_api_us : float;
+  cdp_launch_us : float;
+  malloc_us : float;
+  memcpy_latency_us : float;
+  memcpy_gb_per_s : float;
+  cpi : float;
+  mem_extra_cycles : float;
+  jitter_frac : float;
+  max_parent_degree : int;
+  dlb_entries : int;
+  dlb_children_per_entry : int;
+  pcb_entries : int;
+  seed : int;
+}
+
+let titan_x_pascal =
+  {
+    num_sms = 28;
+    max_tbs_per_sm = 32;
+    clock_ghz = 1.417;
+    kernel_launch_us = 5.0;
+    launch_api_us = 2.0;
+    cdp_launch_us = 3.0;
+    (* Host-side memory operations are cheap relative to kernels: the
+       paper's GPGPU-Sim methodology times the kernel region, so copies
+       must not dominate the simulated totals. *)
+    malloc_us = 1.0;
+    memcpy_latency_us = 2.0;
+    memcpy_gb_per_s = 200.0;
+    cpi = 4.0;
+    mem_extra_cycles = 24.0;
+    jitter_frac = 0.08;
+    max_parent_degree = 64;
+    dlb_entries = 28 * 32;
+    dlb_children_per_entry = 4;
+    pcb_entries = 28 * 32;
+    seed = 0xB10C;
+  }
+
+let total_tb_slots t = t.num_sms * t.max_tbs_per_sm
+
+let cycles_to_us t cycles = cycles /. (t.clock_ghz *. 1000.0)

@@ -1,0 +1,33 @@
+(** GPU machine configuration.
+
+    Defaults follow the paper's evaluation setup (§IV-A): a Titan X
+    Pascal-like device simulated on GPGPU-Sim — 28 SMs, up to 32 thread
+    blocks resident per SM, a 5 µs host-side kernel launch overhead
+    (from Hetherington et al. [27]), and a 3 µs device-side (CDP) launch. *)
+
+type t = {
+  num_sms : int;
+  max_tbs_per_sm : int;
+  clock_ghz : float;
+  kernel_launch_us : float;   (** host-side kernel launch overhead *)
+  launch_api_us : float;      (** the API-call share of the launch overhead *)
+  cdp_launch_us : float;      (** device-side kernel launch (Fig. 14's CDP model) *)
+  malloc_us : float;
+  memcpy_latency_us : float;
+  memcpy_gb_per_s : float;
+  cpi : float;                (** average cycles per dynamic instruction *)
+  mem_extra_cycles : float;   (** additional amortized cycles per memory instruction *)
+  jitter_frac : float;        (** per-TB execution-time jitter amplitude *)
+  max_parent_degree : int;    (** parent-counter width cap (6 bits -> 64) *)
+  dlb_entries : int;          (** dependency list buffer entries *)
+  dlb_children_per_entry : int;
+  pcb_entries : int;          (** parent counter buffer entries *)
+  seed : int;
+}
+
+val titan_x_pascal : t
+
+val total_tb_slots : t -> int
+(** [num_sms * max_tbs_per_sm] — concurrent TB capacity of the device. *)
+
+val cycles_to_us : t -> float -> float

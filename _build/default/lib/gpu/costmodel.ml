@@ -1,0 +1,39 @@
+module Footprint = Bm_analysis.Footprint
+module Rng = Bm_engine.Rng
+
+type t = {
+  tb_us : float array;
+  tb_mem_requests : float array;
+  avg_tb_us : float;
+}
+
+let of_launch (cfg : Config.t) ~kernel_seq result (launch : Footprint.launch) =
+  let n = Footprint.tb_count launch in
+  let threads = Bm_ptx.Types.dim3_count launch.Footprint.block in
+  let warps = max 1 ((threads + 31) / 32) in
+  (* Four warp schedulers per SM: warps beyond four lanes serialize. *)
+  let warp_waves = float_of_int (max 1 ((warps + 3) / 4)) in
+  let tb_us = Array.make n 0.0 in
+  let tb_mem = Array.make n 0.0 in
+  let sum = ref 0.0 in
+  for tb = 0 to n - 1 do
+    let insts = Footprint.per_tb_insts result launch ~tb in
+    let mem = Footprint.per_tb_mem_insts result launch ~tb in
+    let cycles = (insts *. cfg.Config.cpi) +. (mem *. cfg.Config.mem_extra_cycles) in
+    let base_us = Config.cycles_to_us cfg (cycles *. warp_waves) in
+    let j = Rng.jitter (cfg.Config.seed + kernel_seq) tb in
+    (* Heavy-tailed straggler factor: most TBs are near nominal, a few run
+       much longer (data-dependent work).  The tail weight scales with the
+       configured jitter so the default stays mild. *)
+    let tail = 1.0 +. (6.0 *. cfg.Config.jitter_frac *. (j ** 12.0)) in
+    let jittered =
+      base_us *. (1.0 +. (cfg.Config.jitter_frac *. ((2.0 *. j) -. 1.0))) *. tail
+    in
+    tb_us.(tb) <- jittered;
+    (* One coalesced request per warp per executed memory instruction. *)
+    tb_mem.(tb) <- mem *. float_of_int warps;
+    sum := !sum +. jittered
+  done;
+  { tb_us; tb_mem_requests = tb_mem; avg_tb_us = (if n = 0 then 0.0 else !sum /. float_of_int n) }
+
+let total_mem_requests t = Array.fold_left ( +. ) 0.0 t.tb_mem_requests

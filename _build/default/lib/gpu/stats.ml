@@ -1,0 +1,32 @@
+type tb_record = {
+  r_kernel : int;
+  r_tb : int;
+  r_dep_ready : float;
+  r_start : float;
+  r_finish : float;
+}
+
+type t = {
+  total_us : float;
+  busy_us : float;
+  records : tb_record array;
+  avg_concurrency : float;
+  base_mem_requests : float;
+  dep_mem_requests : float;
+}
+
+let stall_fractions t =
+  Array.to_list t.records
+  |> List.filter_map (fun r ->
+         let dur = r.r_finish -. r.r_start in
+         if dur <= 0.0 then None else Some (max 0.0 (r.r_start -. r.r_dep_ready) /. dur))
+  |> Array.of_list
+
+let speedup ~baseline t = baseline.total_us /. t.total_us
+
+let mem_overhead_pct t =
+  if t.base_mem_requests <= 0.0 then 0.0
+  else 100.0 *. t.dep_mem_requests /. t.base_mem_requests
+
+let busy_concurrency t =
+  if t.busy_us <= 0.0 then 0.0 else t.avg_concurrency *. t.total_us /. t.busy_us

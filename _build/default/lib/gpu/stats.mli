@@ -1,0 +1,37 @@
+(** Simulation outcome metrics.
+
+    Everything the paper's evaluation section reports is derived from these:
+    total runtime (Fig. 9 speedups), time-weighted TB concurrency (Fig. 10),
+    per-TB dependency-stall records (Fig. 11), and memory request counts
+    (Fig. 13). *)
+
+type tb_record = {
+  r_kernel : int;      (** launch sequence number *)
+  r_tb : int;
+  r_dep_ready : float; (** when the TB's fine-grain data dependencies were satisfied *)
+  r_start : float;
+  r_finish : float;
+}
+
+type t = {
+  total_us : float;
+  busy_us : float;           (** time during which at least one TB was running *)
+  records : tb_record array;
+  avg_concurrency : float;   (** time-weighted mean number of running TBs *)
+  base_mem_requests : float; (** application (data) memory requests *)
+  dep_mem_requests : float;  (** extra requests for dependency-list traffic *)
+}
+
+val stall_fractions : t -> float array
+(** Per TB: (start - dep_ready) / duration — Fig. 11's normalized stall.
+    TBs with zero duration are skipped. *)
+
+val speedup : baseline:t -> t -> float
+(** baseline.total / this.total *)
+
+val mem_overhead_pct : t -> float
+(** dependency traffic as a percentage of data traffic (Fig. 13). *)
+
+val busy_concurrency : t -> float
+(** Mean running-TB count conditional on the device being busy — the
+    utilization metric normalized in Fig. 10. *)

@@ -1,0 +1,1 @@
+lib/maestro/hardware.ml: Array Bm_depgraph Bm_gpu

@@ -1,0 +1,1 @@
+lib/maestro/hardware.mli: Bm_depgraph Bm_gpu

@@ -1,0 +1,1 @@
+lib/maestro/mode.ml: Bm_gpu Format Printf

@@ -1,0 +1,1 @@
+lib/maestro/mode.mli: Bm_gpu Format

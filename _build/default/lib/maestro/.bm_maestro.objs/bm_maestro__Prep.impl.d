@@ -1,0 +1,1 @@
+lib/maestro/prep.ml: Array Bm_analysis Bm_depgraph Bm_gpu Bm_ptx Hashtbl List Option Reorder

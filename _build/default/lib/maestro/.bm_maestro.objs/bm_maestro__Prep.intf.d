@@ -1,0 +1,1 @@
+lib/maestro/prep.mli: Bm_analysis Bm_depgraph Bm_gpu Reorder

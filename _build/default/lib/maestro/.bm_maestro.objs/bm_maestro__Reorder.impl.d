@@ -1,0 +1,1 @@
+lib/maestro/reorder.ml: Array Bm_gpu List

@@ -1,0 +1,1 @@
+lib/maestro/reorder.mli: Bm_gpu

@@ -1,0 +1,1 @@
+lib/maestro/runner.ml: Bm_gpu Lazy List Mode Prep Sim

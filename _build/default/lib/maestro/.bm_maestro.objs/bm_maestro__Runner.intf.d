@@ -1,0 +1,1 @@
+lib/maestro/runner.mli: Bm_gpu Mode Prep

@@ -1,0 +1,1 @@
+lib/maestro/sim.ml: Array Bm_depgraph Bm_engine Bm_gpu Hardware Hashtbl List Mode Prep Printf Queue

@@ -1,0 +1,1 @@
+lib/maestro/sim.mli: Bm_gpu Mode Prep

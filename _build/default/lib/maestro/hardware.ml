@@ -1,0 +1,65 @@
+module Config = Bm_gpu.Config
+module Bipartite = Bm_depgraph.Bipartite
+module Pattern = Bm_depgraph.Pattern
+module Encode = Bm_depgraph.Encode
+
+(* TB ids are 32 bits plus 2 bits of relative kernel id (supports 4
+   concurrently resident kernels). *)
+let tb_id_bits = 32 + 2
+
+let dlb_entry_bits (cfg : Config.t) =
+  tb_id_bits + (cfg.Config.dlb_children_per_entry * 32)
+
+let pcb_entry_bits (cfg : Config.t) =
+  (* Counter width follows the degree cap: 64 parents -> 6 bits. *)
+  let counter_bits =
+    let rec bits n acc = if n <= 1 then acc else bits (n / 2) (acc + 1) in
+    bits cfg.Config.max_parent_degree 0
+  in
+  tb_id_bits + counter_bits
+
+let area_bytes cfg =
+  let bits =
+    (cfg.Config.dlb_entries * dlb_entry_bits cfg) + (cfg.Config.pcb_entries * pcb_entry_bits cfg)
+  in
+  (bits + 7) / 8
+
+let transaction_bytes = 32
+
+let to_transactions bytes = float_of_int ((bytes + transaction_bytes - 1) / transaction_bytes)
+
+let dep_mem_requests (cfg : Config.t) ~n_parents ~n_children relation =
+  match relation with
+  | Bipartite.Independent -> 1.0
+  | Bipartite.Fully_connected ->
+    (* A single flag installed and read back: the consumer is simply gated
+       on the producer's completion. *)
+    2.0
+  | Bipartite.Graph g ->
+    let sizes = Encode.measure relation in
+    let install =
+      to_transactions sizes.Encode.encoded_bytes +. to_transactions n_children
+      (* one byte-wide counter per child, packed *)
+    in
+    let entry_fetches =
+      match sizes.Encode.pattern with
+      | Pattern.Irregular | Pattern.Overlapped ->
+        (* Explicit child lists: a parent with out-degree d occupies
+           ceil(d / children_per_entry) DLB entries, each one fetch. *)
+        Array.fold_left
+          (fun acc cs ->
+            acc
+            +. float_of_int
+                 ((Array.length cs + cfg.Config.dlb_children_per_entry - 1)
+                 / cfg.Config.dlb_children_per_entry))
+          0.0 g.Bipartite.children_of
+      | Pattern.Independent | Pattern.Fully_connected | Pattern.One_to_one | Pattern.One_to_n
+      | Pattern.N_to_one | Pattern.N_group ->
+        (* Encoded patterns derive children arithmetically: the pattern
+           descriptors are prefetched in batches of eight 32-bit words per
+           32-byte transaction. *)
+        ceil (float_of_int n_parents /. 8.0)
+    in
+    (* 6-bit counters are packed eight to a transaction. *)
+    let counter_traffic = ceil (float_of_int n_children /. 8.0) in
+    install +. entry_fetches +. counter_traffic

@@ -1,0 +1,26 @@
+(** Architectural support in the TB scheduler (paper §III-D.1, Fig. 7).
+
+    Two small buffers back the runtime dependency resolution:
+
+    - the {e Dependency List Buffer} (DLB) caches the children lists of
+      actively running parent TBs (896 entries, 4 child TB ids per entry;
+      wider lists split across entries);
+    - the {e Parent Counter Buffer} (PCB) caches the pending-parent counts
+      of child TBs (896 entries, 6-bit counters — hence the 64-parent cap).
+
+    Both are backed by the encoded graph in global memory, so dependency
+    resolution costs extra memory requests (Fig. 13, ~1.36% on average).
+    This module provides the area accounting and the traffic model. *)
+
+val dlb_entry_bits : Bm_gpu.Config.t -> int
+val pcb_entry_bits : Bm_gpu.Config.t -> int
+
+val area_bytes : Bm_gpu.Config.t -> int
+(** Total SRAM for DLB + PCB (the paper reports ~22 KB). *)
+
+val dep_mem_requests :
+  Bm_gpu.Config.t -> n_parents:int -> n_children:int -> Bm_depgraph.Bipartite.relation -> float
+(** 32-byte memory transactions needed to install and resolve one kernel
+    pair's dependency graph: writing the encoded graph and initial counters
+    at (pre-)launch, fetching each scheduled parent TB's dependency-list
+    entries, and fetching/retiring each child's parent counter. *)

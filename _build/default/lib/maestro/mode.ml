@@ -1,0 +1,54 @@
+type t =
+  | Baseline
+  | Ideal
+  | Prelaunch_only
+  | Producer_priority
+  | Consumer_priority of int
+
+type policy = Oldest_first | Newest_first
+
+let window = function
+  | Baseline | Ideal -> 1
+  | Prelaunch_only | Producer_priority -> 2
+  | Consumer_priority w -> max 2 w
+
+let fine_grain = function
+  | Baseline | Ideal | Prelaunch_only -> false
+  | Producer_priority | Consumer_priority _ -> true
+
+let reorders = function
+  | Baseline | Ideal -> false
+  | Prelaunch_only | Producer_priority | Consumer_priority _ -> true
+
+let serial_commands = function
+  | Baseline | Ideal -> true
+  | Prelaunch_only | Producer_priority | Consumer_priority _ -> false
+
+let policy = function
+  | Baseline | Ideal | Prelaunch_only | Producer_priority -> Oldest_first
+  | Consumer_priority _ -> Newest_first
+
+let launch_overhead (cfg : Bm_gpu.Config.t) = function
+  | Ideal -> 0.0
+  | Baseline | Prelaunch_only | Producer_priority | Consumer_priority _ ->
+    cfg.Bm_gpu.Config.kernel_launch_us
+
+let name = function
+  | Baseline -> "baseline"
+  | Ideal -> "ideal"
+  | Prelaunch_only -> "kernel-pre-launching"
+  | Producer_priority -> "producer-priority"
+  | Consumer_priority w -> Printf.sprintf "consumer-priority-%dk" w
+
+let all_fig9 =
+  [
+    Baseline;
+    Prelaunch_only;
+    Producer_priority;
+    Consumer_priority 2;
+    Consumer_priority 3;
+    Consumer_priority 4;
+    Ideal;
+  ]
+
+let pp ppf t = Format.pp_print_string ppf (name t)

@@ -1,0 +1,43 @@
+(** Execution modes evaluated in the paper (Fig. 9's bar groups).
+
+    - [Baseline]: serialized stream — every kernel pays its launch overhead
+      on the critical path and acts as a barrier.
+    - [Ideal]: the reference upper bound with zero launch overhead
+      (still serialized).
+    - [Prelaunch_only]: one kernel pre-launched; dependencies enforced at
+      kernel granularity (consumer blocked until the producer drains).
+    - [Producer_priority]: pre-launch + fine-grain TB dependency resolution,
+      scheduling priority to the producer kernel's TBs (the default policy).
+    - [Consumer_priority window]: fine-grain resolution with [window]
+      concurrently resident kernels (window-1 pre-launched), priority to
+      consumer TBs so they can run ahead. *)
+
+type t =
+  | Baseline
+  | Ideal
+  | Prelaunch_only
+  | Producer_priority
+  | Consumer_priority of int  (** concurrently resident kernels, >= 2 *)
+
+type policy = Oldest_first | Newest_first
+
+val window : t -> int
+(** Maximum concurrently resident kernels. *)
+
+val fine_grain : t -> bool
+(** Whether TB-level dependencies are resolved (vs kernel-level). *)
+
+val reorders : t -> bool
+(** Whether the command queue is reordered and sync APIs bypassed. *)
+
+val serial_commands : t -> bool
+(** Whether each command waits for all previous commands (baseline stream
+    semantics). *)
+
+val policy : t -> policy
+
+val launch_overhead : Bm_gpu.Config.t -> t -> float
+
+val name : t -> string
+val all_fig9 : t list
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,193 @@
+module Command = Bm_gpu.Command
+module Config = Bm_gpu.Config
+module Costmodel = Bm_gpu.Costmodel
+module Footprint = Bm_analysis.Footprint
+module Symeval = Bm_analysis.Symeval
+module Bipartite = Bm_depgraph.Bipartite
+module Pattern = Bm_depgraph.Pattern
+module Encode = Bm_depgraph.Encode
+module I = Bm_analysis.Sinterval
+
+type launch_info = {
+  li_seq : int;
+  li_prev : int option;  (* predecessor launch in the same stream *)
+  li_spec : Command.launch_spec;
+  li_result : Symeval.result;
+  li_fp : Footprint.kernel_footprints;
+  li_cost : Costmodel.t;
+  li_tbs : int;
+  li_relation : Bipartite.relation;
+  li_pattern : Pattern.t;
+  li_sizes : Encode.sizes;
+  li_copy_deps : int list;
+}
+
+type t = {
+  p_commands : Command.t array;
+  p_launches : launch_info array;
+  p_kernel_of_cmd : int array;
+  p_d2h_wait : int option array;
+}
+
+(* Attribute a footprint interval to the buffer containing it: buffers are
+   disjoint and padded, so the buffer with the greatest base <= lo wins. *)
+let owner_buffer buffers (i : I.t) =
+  List.fold_left
+    (fun best (b : Command.buffer) ->
+      if b.Command.base <= i.I.lo then
+        match best with
+        | Some (bb : Command.buffer) when bb.Command.base >= b.Command.base -> best
+        | Some _ | None -> Some b
+      else best)
+    None buffers
+
+let kernel_rw spec fp =
+  let buffers = Command.buffers_of_args spec in
+  match fp with
+  | Footprint.Conservative _ ->
+    let ids = List.map (fun b -> b.Command.buf_id) buffers in
+    { Reorder.reads = ids; writes = ids }
+  | Footprint.Per_tb fps ->
+    let whole = Footprint.whole fps in
+    let ids_of intervals =
+      List.filter_map (fun i -> Option.map (fun b -> b.Command.buf_id) (owner_buffer buffers i)) intervals
+      |> List.sort_uniq compare
+    in
+    { Reorder.reads = ids_of whole.Footprint.freads; writes = ids_of whole.Footprint.fwrites }
+
+let command_rw cmd krw =
+  match cmd with
+  | Command.Malloc b -> { Reorder.reads = []; writes = [ b.Command.buf_id ] }
+  | Command.Memcpy_h2d b -> { Reorder.reads = []; writes = [ b.Command.buf_id ] }
+  | Command.Memcpy_d2h b -> { Reorder.reads = [ b.Command.buf_id ]; writes = [] }
+  | Command.Kernel_launch spec -> krw spec
+  | Command.Device_synchronize -> { Reorder.reads = []; writes = [] }
+
+let prepare ?(reorder = true) (cfg : Config.t) (app : Command.app) =
+  (* Analyze every distinct kernel once (apps reuse kernels across many
+     launches; GAUSSIAN alone has 510 launches of 2 kernels). *)
+  let results : (string, Symeval.result) Hashtbl.t = Hashtbl.create 16 in
+  let analyze kernel =
+    let name = kernel.Bm_ptx.Types.kname in
+    match Hashtbl.find_opt results name with
+    | Some r -> r
+    | None ->
+      let r = Symeval.analyze kernel in
+      Hashtbl.add results name r;
+      r
+  in
+  (* Footprints are cached per (kernel, launch configuration): iterative apps
+     relaunch identical configurations hundreds of times. *)
+  let fp_cache = Hashtbl.create 64 in
+  let footprint spec =
+    let fl = Command.footprint_launch spec in
+    let key = (spec.Command.kernel.Bm_ptx.Types.kname, fl) in
+    match Hashtbl.find_opt fp_cache key with
+    | Some fp -> fp
+    | None ->
+      let fp = Footprint.of_result (analyze spec.Command.kernel) fl in
+      Hashtbl.add fp_cache key fp;
+      fp
+  in
+  (* Reorder (or keep) the command stream. *)
+  let original = Array.of_list app.Command.commands in
+  let rws = Array.map (fun c -> command_rw c (fun spec -> kernel_rw spec (footprint spec))) original in
+  let final =
+    if reorder then Array.of_list (Reorder.reorder (Array.map2 (fun c rw -> (c, rw)) original rws))
+    else original
+  in
+  let n = Array.length final in
+  (* Walk the final order: build launch infos, H2D gating, D2H gating. *)
+  let launches = ref [] in
+  let kernel_of_cmd = Array.make n (-1) in
+  let d2h_wait = Array.make n None in
+  let last_writer : (int, int) Hashtbl.t = Hashtbl.create 16 in  (* buf id -> kernel seq *)
+  let pending_h2d : (int, int) Hashtbl.t = Hashtbl.create 16 in  (* buf id -> cmd idx *)
+  let seq = ref 0 in
+  (* Per-stream predecessor tracking: dependencies are only enforced (and
+     in-order completion only required) within a stream. *)
+  let stream_prev : (int, int * Footprint.kernel_footprints * Command.launch_spec) Hashtbl.t =
+    Hashtbl.create 4
+  in
+  Array.iteri
+    (fun ci cmd ->
+      match cmd with
+      | Command.Malloc _ | Command.Device_synchronize -> ()
+      | Command.Memcpy_h2d b -> Hashtbl.replace pending_h2d b.Command.buf_id ci
+      | Command.Memcpy_d2h b ->
+        d2h_wait.(ci) <- Hashtbl.find_opt last_writer b.Command.buf_id
+      | Command.Kernel_launch spec ->
+        let result = analyze spec.Command.kernel in
+        let fp = footprint spec in
+        let rw = kernel_rw spec fp in
+        let prev = Hashtbl.find_opt stream_prev spec.Command.stream in
+        let relation =
+          match prev with
+          | None -> Bipartite.Independent
+          | Some (_, pfp, _) -> Bipartite.relate ~max_degree:cfg.Config.max_parent_degree pfp fp
+        in
+        let pattern = Pattern.classify relation in
+        let sizes =
+          match relation with
+          | Bipartite.Fully_connected ->
+            let n_parents =
+              match prev with
+              | Some (_, _, pspec) -> Bm_ptx.Types.dim3_count pspec.Command.grid
+              | None -> 0
+            in
+            Encode.measure_full ~n_parents ~n_children:(Bm_ptx.Types.dim3_count spec.Command.grid)
+          | Bipartite.Independent | Bipartite.Graph _ -> Encode.measure relation
+        in
+        let cost =
+          Costmodel.of_launch cfg ~kernel_seq:!seq result (Command.footprint_launch spec)
+        in
+        let copy_deps =
+          List.filter_map (fun buf_id -> Hashtbl.find_opt pending_h2d buf_id) rw.Reorder.reads
+        in
+        List.iter (fun buf_id -> Hashtbl.replace last_writer buf_id !seq) rw.Reorder.writes;
+        kernel_of_cmd.(ci) <- !seq;
+        launches :=
+          {
+            li_seq = !seq;
+            li_prev = (match prev with Some (p, _, _) -> Some p | None -> None);
+            li_spec = spec;
+            li_result = result;
+            li_fp = fp;
+            li_cost = cost;
+            li_tbs = Bm_ptx.Types.dim3_count spec.Command.grid;
+            li_relation = relation;
+            li_pattern = pattern;
+            li_sizes = sizes;
+            li_copy_deps = copy_deps;
+          }
+          :: !launches;
+        Hashtbl.replace stream_prev spec.Command.stream (!seq, fp, spec);
+        incr seq)
+    final;
+  {
+    p_commands = final;
+    p_launches = Array.of_list (List.rev !launches);
+    p_kernel_of_cmd = kernel_of_cmd;
+    p_d2h_wait = d2h_wait;
+  }
+
+let with_relation t ~seq relation =
+  let launches =
+    Array.map
+      (fun li ->
+        if li.li_seq <> seq then li
+        else
+          let pattern = Pattern.classify relation in
+          let sizes =
+            match relation with
+            | Bipartite.Fully_connected ->
+              let n_parents =
+                match li.li_prev with Some p -> t.p_launches.(p).li_tbs | None -> 0
+              in
+              Encode.measure_full ~n_parents ~n_children:li.li_tbs
+            | Bipartite.Independent | Bipartite.Graph _ -> Encode.measure relation
+          in
+          { li with li_relation = relation; li_pattern = pattern; li_sizes = sizes })
+      t.p_launches
+  in
+  { t with p_launches = launches }

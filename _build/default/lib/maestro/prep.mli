@@ -1,0 +1,45 @@
+(** Kernel-launch-time preparation: the software half of BlockMaestro.
+
+    For an application's command stream this performs everything the paper
+    does during JIT compilation at launch time: PTX analysis (Algorithm 1 via
+    {!Bm_analysis.Symeval}), per-TB value-range footprints, command-queue
+    reordering, bipartite dependency graphs between consecutive kernels,
+    pattern classification, encoded-storage sizes, and the TB cost model the
+    simulator consumes. *)
+
+type launch_info = {
+  li_seq : int;                                 (** index among launches, final order *)
+  li_prev : int option;                         (** predecessor launch in the same stream *)
+  li_spec : Bm_gpu.Command.launch_spec;
+  li_result : Bm_analysis.Symeval.result;
+  li_fp : Bm_analysis.Footprint.kernel_footprints;
+  li_cost : Bm_gpu.Costmodel.t;
+  li_tbs : int;
+  li_relation : Bm_depgraph.Bipartite.relation;
+      (** with the previous launch in the same stream; [Independent] for a
+          stream's first launch *)
+  li_pattern : Bm_depgraph.Pattern.t;
+  li_sizes : Bm_depgraph.Encode.sizes;          (** storage of this pair's graph *)
+  li_copy_deps : int list;                      (** indices of H2D commands this kernel must wait for *)
+}
+
+type t = {
+  p_commands : Bm_gpu.Command.t array;  (** final (possibly reordered) order *)
+  p_launches : launch_info array;
+  p_kernel_of_cmd : int array;          (** command index -> launch seq, or -1 *)
+  p_d2h_wait : int option array;        (** per command: kernel seq whose completion gates this D2H *)
+}
+
+val kernel_rw : Bm_gpu.Command.launch_spec -> Bm_analysis.Footprint.kernel_footprints -> Reorder.rw
+(** Buffer-granularity read/write sets of a launch, for reordering. *)
+
+val command_rw : Bm_gpu.Command.t -> (Bm_gpu.Command.launch_spec -> Reorder.rw) -> Reorder.rw
+
+val prepare : ?reorder:bool -> Bm_gpu.Config.t -> Bm_gpu.Command.app -> t
+(** Analyze and (when [reorder], default true) reorder the app. *)
+
+val with_relation : t -> seq:int -> Bm_depgraph.Bipartite.relation -> t
+(** Replace the dependency relation of launch [seq] (with its predecessor).
+    Used by the interconnectivity microbenchmark (Fig. 12), which
+    artificially varies the dependency degree of an otherwise unchanged
+    application. *)

@@ -1,0 +1,75 @@
+module Command = Bm_gpu.Command
+
+type rw = {
+  reads : int list;
+  writes : int list;
+}
+
+let inter a b = List.exists (fun x -> List.mem x b) a
+
+let conflicts a b =
+  inter a.writes b.reads || inter a.reads b.writes || inter a.writes b.writes
+
+let dependencies rws =
+  let n = Array.length rws in
+  let edges = ref [] in
+  for j = 1 to n - 1 do
+    for i = 0 to j - 1 do
+      if conflicts rws.(i) rws.(j) then edges := (i, j) :: !edges
+    done
+  done;
+  List.rev !edges
+
+let reorder commands =
+  let keep =
+    Array.to_list commands
+    |> List.filter (fun (c, _) -> match c with Command.Device_synchronize -> false | _ -> true)
+    |> Array.of_list
+  in
+  let n = Array.length keep in
+  let rws = Array.map snd keep in
+  let indeg = Array.make n 0 in
+  let succs = Array.make n [] in
+  List.iter
+    (fun (i, j) ->
+      indeg.(j) <- indeg.(j) + 1;
+      succs.(i) <- j :: succs.(i))
+    (dependencies rws);
+  let emitted = Array.make n false in
+  let out = ref [] in
+  let emit i =
+    emitted.(i) <- true;
+    out := fst keep.(i) :: !out;
+    List.iter (fun j -> indeg.(j) <- indeg.(j) - 1) succs.(i)
+  in
+  let is_kernel i = match fst keep.(i) with Command.Kernel_launch _ -> true | _ -> false in
+  let remaining = ref n in
+  while !remaining > 0 do
+    (* Drain every ready non-kernel command. *)
+    let progressed = ref true in
+    while !progressed do
+      progressed := false;
+      for i = 0 to n - 1 do
+        if (not emitted.(i)) && indeg.(i) = 0 && not (is_kernel i) then begin
+          emit i;
+          decr remaining;
+          progressed := true
+        end
+      done
+    done;
+    (* Then the first ready kernel, preserving kernel order. *)
+    let k = ref (-1) in
+    for i = n - 1 downto 0 do
+      if (not emitted.(i)) && indeg.(i) = 0 && is_kernel i then k := i
+    done;
+    if !k >= 0 then begin
+      emit !k;
+      decr remaining
+    end
+    else if !remaining > 0 then begin
+      (* No ready command at all would mean a dependency cycle, which is
+         impossible for edges i < j. *)
+      assert (!remaining = 0)
+    end
+  done;
+  List.rev !out

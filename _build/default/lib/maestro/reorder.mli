@@ -1,0 +1,24 @@
+(** Programmer-transparent API command reordering (paper §III-C, Fig. 5).
+
+    To maximize kernel pre-launching opportunities, commands are reordered
+    so that memory operations are hoisted ahead of kernel launches whenever
+    no true dependency (RAW/WAR/WAW on a buffer) forbids it, bringing
+    kernel launches as close together as possible.  Kernel-kernel relative
+    order is always preserved; explicit synchronization commands are
+    bypassed (their hazards are enforced in hardware instead). *)
+
+type rw = {
+  reads : int list;   (** buffer ids read *)
+  writes : int list;  (** buffer ids written (allocation counts as a write) *)
+}
+
+val conflicts : rw -> rw -> bool
+(** Any RAW, WAR or WAW hazard between two commands. *)
+
+val dependencies : rw array -> (int * int) list
+(** Edges (i, j) with i < j meaning command j must stay after command i. *)
+
+val reorder : (Bm_gpu.Command.t * rw) array -> Bm_gpu.Command.t list
+(** Hazard-preserving greedy schedule: emit every ready non-kernel command
+    first (original order), then the next ready kernel; synchronization
+    commands are dropped. *)

@@ -1,0 +1,27 @@
+module Config = Bm_gpu.Config
+module Stats = Bm_gpu.Stats
+
+let prepare ?(cfg = Config.titan_x_pascal) mode app =
+  Prep.prepare ~reorder:(Mode.reorders mode) cfg app
+
+let simulate ?(cfg = Config.titan_x_pascal) mode app =
+  let prep = prepare ~cfg mode app in
+  Sim.run cfg mode prep
+
+let simulate_all ?(cfg = Config.titan_x_pascal) ?(modes = Mode.all_fig9) app =
+  (* The two reordering variants share their preparation. *)
+  let prep_plain = lazy (Prep.prepare ~reorder:false cfg app) in
+  let prep_reordered = lazy (Prep.prepare ~reorder:true cfg app) in
+  List.map
+    (fun mode ->
+      let prep = if Mode.reorders mode then Lazy.force prep_reordered else Lazy.force prep_plain in
+      (mode, Sim.run cfg mode prep))
+    modes
+
+let speedups ?(cfg = Config.titan_x_pascal) ?(modes = Mode.all_fig9) app =
+  let results = simulate_all ~cfg ~modes:(Mode.Baseline :: modes) app in
+  let baseline = List.assoc Mode.Baseline results in
+  List.filter_map
+    (fun (mode, stats) ->
+      if mode = Mode.Baseline then None else Some (mode, Stats.speedup ~baseline stats))
+    results

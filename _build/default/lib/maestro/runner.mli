@@ -1,0 +1,27 @@
+(** Top-level entry points: analyze an application and simulate it.
+
+    This is the API examples and benchmarks use:
+    {[
+      let stats = Runner.simulate Mode.Producer_priority app in
+      let base = Runner.simulate Mode.Baseline app in
+      Printf.printf "speedup: %.2f\n" (Bm_gpu.Stats.speedup ~baseline:base stats)
+    ]} *)
+
+val prepare : ?cfg:Bm_gpu.Config.t -> Mode.t -> Bm_gpu.Command.app -> Prep.t
+(** Launch-time analysis with the mode's reordering policy. *)
+
+val simulate : ?cfg:Bm_gpu.Config.t -> Mode.t -> Bm_gpu.Command.app -> Bm_gpu.Stats.t
+
+val simulate_all :
+  ?cfg:Bm_gpu.Config.t ->
+  ?modes:Mode.t list ->
+  Bm_gpu.Command.app ->
+  (Mode.t * Bm_gpu.Stats.t) list
+(** Run the Fig. 9 mode set (or [modes]) over one application. *)
+
+val speedups :
+  ?cfg:Bm_gpu.Config.t ->
+  ?modes:Mode.t list ->
+  Bm_gpu.Command.app ->
+  (Mode.t * float) list
+(** Speedups over [Mode.Baseline]. *)

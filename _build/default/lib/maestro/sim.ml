@@ -1,0 +1,465 @@
+module Command = Bm_gpu.Command
+module Config = Bm_gpu.Config
+module Stats = Bm_gpu.Stats
+module Bipartite = Bm_depgraph.Bipartite
+module Heap = Bm_engine.Heap
+
+type tb_state = Waiting | Queued | Running | Finished
+
+type kstate = {
+  info : Prep.launch_info;
+  mutable launched : bool;
+  mutable started_tbs : int;
+  mutable done_tbs : int;
+  mutable drained : bool;
+  mutable drained_at : float;
+  mutable completed : bool;
+  tb_state : tb_state array;
+  pc : int array;  (* pending parent counts (Graph relation only) *)
+  ready : int Queue.t;
+  dep_ready_time : float array;
+  start_time : float array;
+  finish_time : float array;
+}
+
+type ev =
+  | Launch_done of int        (* kernel seq *)
+  | Tb_done of int * int      (* kernel seq, tb id *)
+  | Copy_done of int          (* command index *)
+  | Cmd_done of int           (* serial host command (malloc / serial copy) *)
+
+let memcpy_us (cfg : Config.t) bytes =
+  cfg.Config.memcpy_latency_us +. (float_of_int bytes /. (cfg.Config.memcpy_gb_per_s *. 1000.0))
+
+let run ?(host_blocking_copies = false) (cfg : Config.t) mode (prep : Prep.t) =
+  let launches = prep.Prep.p_launches in
+  let nk = Array.length launches in
+  let commands = prep.Prep.p_commands in
+  let nc = Array.length commands in
+  let window = Mode.window mode in
+  let fine = Mode.fine_grain mode in
+  let serial = Mode.serial_commands mode in
+  let launch_us = Mode.launch_overhead cfg mode in
+  let total_slots = Config.total_tb_slots cfg in
+
+  let ks =
+    Array.map
+      (fun (info : Prep.launch_info) ->
+        let n = info.Prep.li_tbs in
+        let pc =
+          match info.Prep.li_relation with
+          | Bipartite.Graph g -> Array.map Array.length g.Bipartite.parents_of
+          | Bipartite.Independent | Bipartite.Fully_connected -> [||]
+        in
+        {
+          info;
+          launched = false;
+          started_tbs = 0;
+          done_tbs = 0;
+          drained = n = 0;
+          drained_at = 0.0;
+          completed = false;
+          tb_state = Array.make n Waiting;
+          pc;
+          ready = Queue.create ();
+          dep_ready_time = Array.make n 0.0;
+          start_time = Array.make n 0.0;
+          finish_time = Array.make n 0.0;
+        })
+      launches
+  in
+
+  (* Stream topology: dependencies, in-order completion and the pre-launch
+     window all apply per stream (paper SIII-C). *)
+  let prev_of =
+    Array.map (fun (li : Prep.launch_info) -> match li.Prep.li_prev with Some p -> p | None -> -1)
+      launches
+  in
+  let next_of = Array.make nk (-1) in
+  Array.iteri (fun k p -> if p >= 0 then next_of.(p) <- k) prev_of;
+  let stream_of =
+    Array.map (fun (li : Prep.launch_info) -> li.Prep.li_spec.Command.stream) launches
+  in
+  let heap : ev Heap.t = Heap.create () in
+  let now = ref 0.0 in
+
+  (* Concurrency integration. *)
+  let running = ref 0 in
+  let last_t = ref 0.0 in
+  let area = ref 0.0 in
+  let busy = ref 0.0 in
+  let advance t =
+    if t > !last_t then begin
+      area := !area +. (float_of_int !running *. (t -. !last_t));
+      if !running > 0 then busy := !busy +. (t -. !last_t);
+      last_t := t
+    end
+  in
+
+  let free_slots = ref total_slots in
+  let launch_engine_free = ref 0.0 in
+  let copy_engine_free = ref 0.0 in
+  let resident : (int, int ref) Hashtbl.t = Hashtbl.create 4 in
+  let resident_of stream =
+    match Hashtbl.find_opt resident stream with
+    | Some r -> r
+    | None ->
+      let r = ref 0 in
+      Hashtbl.add resident stream r;
+      r
+  in
+  let next_cmd = ref 0 in
+  let copy_done = Array.make (max nc 1) false in
+  (* In serial mode the host stalls on the in-flight command. *)
+  let serial_blocked = ref false in
+  let serial_wait_kernel = ref (-1) in
+  (* D2H copies parked until their producing kernel completes. *)
+  let pending_d2h : (int * float) list array = Array.make (max nk 1) [] in
+  let end_time = ref 0.0 in
+  let bump t = if t > !end_time then end_time := t in
+
+  let queue_tb k tb =
+    let st = ks.(k) in
+    match st.tb_state.(tb) with
+    | Waiting ->
+      st.tb_state.(tb) <- Queued;
+      Queue.push tb st.ready
+    | Queued | Running | Finished -> ()
+  in
+
+  (* Initial readiness of kernel [k]'s TBs under the mode's policy.  Called
+     at launch completion and again when the parent drains. *)
+  let refresh_ready k =
+    let st = ks.(k) in
+    if st.launched && not st.drained then begin
+      let parent_drained =
+        prev_of.(k) < 0 || ks.(prev_of.(k)).drained || ks.(prev_of.(k)).completed
+      in
+      match st.info.Prep.li_relation with
+      | Bipartite.Independent ->
+        Array.iteri (fun tb s -> if s = Waiting then queue_tb k tb) st.tb_state
+      | Bipartite.Fully_connected ->
+        if parent_drained then
+          Array.iteri (fun tb s -> if s = Waiting then queue_tb k tb) st.tb_state
+      | Bipartite.Graph _ ->
+        if fine then
+          Array.iteri
+            (fun tb s -> if s = Waiting && st.pc.(tb) = 0 then queue_tb k tb)
+            st.tb_state
+        else if parent_drained then
+          Array.iteri (fun tb s -> if s = Waiting then queue_tb k tb) st.tb_state
+    end
+  in
+
+  (* Scheduling: fill free slots from ready queues, producer- or
+     consumer-priority across resident kernels. *)
+  let dispatch () =
+    let order =
+      let active = ref [] in
+      for k = nk - 1 downto 0 do
+        if ks.(k).launched && not ks.(k).drained then active := k :: !active
+      done;
+      match Mode.policy mode with
+      | Mode.Oldest_first -> !active
+      | Mode.Newest_first -> List.rev !active
+    in
+    (* Producer priority is strict (paper §III-D): a consuming kernel's TBs
+       are not scheduled until every TB of the producing kernel has been
+       scheduled.  Consumer priority lets newer kernels' ready TBs run
+       ahead freely. *)
+    let eligible =
+      match Mode.policy mode with
+      | Mode.Newest_first -> fun _ -> true
+      | Mode.Oldest_first ->
+        fun k ->
+          List.for_all
+            (fun k' ->
+              k' >= k
+              || stream_of.(k') <> stream_of.(k)
+              || ks.(k').started_tbs = ks.(k').info.Prep.li_tbs)
+            order
+    in
+    let continue_ = ref true in
+    while !free_slots > 0 && !continue_ do
+      match
+        List.find_opt (fun k -> (not (Queue.is_empty ks.(k).ready)) && eligible k) order
+      with
+      | None -> continue_ := false
+      | Some k ->
+        let st = ks.(k) in
+        let tb = Queue.pop st.ready in
+        st.tb_state.(tb) <- Running;
+        st.start_time.(tb) <- !now;
+        st.started_tbs <- st.started_tbs + 1;
+        decr free_slots;
+        incr running;
+        let dur = st.info.Prep.li_cost.Bm_gpu.Costmodel.tb_us.(tb) in
+        Heap.push heap (!now +. dur) (Tb_done (k, tb))
+    done
+  in
+
+  (* In-order kernel completion, per stream: kernel k completes only once
+     it has drained and its stream predecessor has completed. *)
+  let rec try_complete k =
+    if k >= 0 && (not ks.(k).completed) && ks.(k).drained
+       && (prev_of.(k) < 0 || ks.(prev_of.(k)).completed)
+    then begin
+      ks.(k).completed <- true;
+      decr (resident_of stream_of.(k));
+      (* Release the copies gated on this kernel. *)
+      List.iter
+        (fun (ci, dur) ->
+          let start = max !now !copy_engine_free in
+          copy_engine_free := start +. dur;
+          Heap.push heap (start +. dur) (Copy_done ci))
+        (List.rev pending_d2h.(k));
+      pending_d2h.(k) <- [];
+      bump !now;
+      try_complete next_of.(k)
+    end
+  in
+  let cascade_completions_from k = try_complete k in
+
+  let kernel_completed k = k < 0 || (k < nk && ks.(k).completed) in
+
+  (* Host command issue.  Returns true if any progress was made. *)
+  let try_issue () =
+    let progressed = ref false in
+    let blocked = ref false in
+    while (not !blocked) && !next_cmd < nc do
+      let ci = !next_cmd in
+      if !serial_blocked then blocked := true
+      else begin
+        match commands.(ci) with
+        | Command.Device_synchronize ->
+          (* Serial streams are already synchronized at this point;
+             BlockMaestro drops syncs during reordering. *)
+          incr next_cmd;
+          progressed := true
+        | Command.Malloc _ ->
+          (* cudaMalloc blocks the host in every mode (paper §III-C). *)
+          Heap.push heap (!now +. cfg.Config.malloc_us) (Cmd_done ci);
+          serial_blocked := true;
+          blocked := true;
+          progressed := true
+        | Command.Memcpy_h2d b ->
+          let dur = memcpy_us cfg b.Command.bytes in
+          if serial || host_blocking_copies then begin
+            (* Synchronous cudaMemcpy: the host stalls until it returns
+               (the default CUDA behaviour BlockMaestro's non-blocking
+               treatment removes, paper SIII-C). *)
+            Heap.push heap (!now +. dur) (Cmd_done ci);
+            serial_blocked := true;
+            blocked := true
+          end
+          else begin
+            let start = max !now !copy_engine_free in
+            copy_engine_free := start +. dur;
+            Heap.push heap (start +. dur) (Copy_done ci);
+            incr next_cmd
+          end;
+          progressed := true
+        | Command.Memcpy_d2h b ->
+          let gate = match prep.Prep.p_d2h_wait.(ci) with Some k -> k | None -> -1 in
+          let dur = memcpy_us cfg b.Command.bytes in
+          if serial then
+            if kernel_completed gate then begin
+              Heap.push heap (!now +. dur) (Cmd_done ci);
+              serial_blocked := true;
+              blocked := true;
+              progressed := true
+            end
+            else blocked := true
+          else if kernel_completed gate then begin
+            let start = max !now !copy_engine_free in
+            copy_engine_free := start +. dur;
+            Heap.push heap (start +. dur) (Copy_done ci);
+            incr next_cmd;
+            progressed := true
+          end
+          else begin
+            (* The RAW hazard with the host is enforced by hardware: the
+               copy is parked on the producing kernel's completion and the
+               host continues issuing (paper §III-C, "handling blocking
+               APIs"). *)
+            pending_d2h.(gate) <- (ci, dur) :: pending_d2h.(gate);
+            incr next_cmd;
+            progressed := true
+          end
+        | Command.Kernel_launch _ ->
+          let seq = prep.Prep.p_kernel_of_cmd.(ci) in
+          let st = ks.(seq) in
+          let copies_ok = List.for_all (fun d -> copy_done.(d)) st.info.Prep.li_copy_deps in
+          if serial then begin
+            (* Baseline stream: the kernel is the only device work. *)
+            if copies_ok then begin
+              incr (resident_of stream_of.(seq));
+              let start = max !now !launch_engine_free in
+              launch_engine_free := start +. launch_us;
+              Heap.push heap (start +. launch_us) (Launch_done seq);
+              serial_blocked := true;
+              serial_wait_kernel := seq;
+              blocked := true;
+              progressed := true
+            end
+            else blocked := true
+          end
+          else if !(resident_of stream_of.(seq)) < window && copies_ok then begin
+            (* Launch processing pipelines across pre-launched kernels: the
+               per-stream residency window, not a serial engine, is the
+               limit. *)
+            incr (resident_of stream_of.(seq));
+            Heap.push heap (!now +. launch_us) (Launch_done seq);
+            incr next_cmd;
+            progressed := true
+          end
+          else blocked := true
+      end
+    done;
+    !progressed
+  in
+
+  let progress () =
+    ignore (try_issue ());
+    dispatch ()
+  in
+
+  (* Dependency bookkeeping on a finished parent TB. *)
+  let on_tb_done k tb =
+    let st = ks.(k) in
+    st.tb_state.(tb) <- Finished;
+    st.finish_time.(tb) <- !now;
+    st.done_tbs <- st.done_tbs + 1;
+    incr free_slots;
+    decr running;
+    bump !now;
+    (* Fine-grain child updates (tracked in every mode for Fig. 11). *)
+    let kc = next_of.(k) in
+    if kc >= 0 then begin
+      let child = ks.(kc) in
+      match child.info.Prep.li_relation with
+      | Bipartite.Graph g ->
+        Array.iter
+          (fun c ->
+            child.pc.(c) <- child.pc.(c) - 1;
+            if !now > child.dep_ready_time.(c) then child.dep_ready_time.(c) <- !now;
+            if fine && child.pc.(c) = 0 && child.launched then queue_tb kc c)
+          g.Bipartite.children_of.(tb)
+      | Bipartite.Independent | Bipartite.Fully_connected -> ()
+    end;
+    if st.done_tbs = st.info.Prep.li_tbs then begin
+      st.drained <- true;
+      st.drained_at <- !now;
+      (* A fully-connected child's dependencies are all satisfied now. *)
+      if kc >= 0 then begin
+        let child = ks.(kc) in
+        match child.info.Prep.li_relation with
+        | Bipartite.Fully_connected ->
+          Array.iteri (fun c t -> if t < !now then child.dep_ready_time.(c) <- !now) child.dep_ready_time
+        | Bipartite.Independent | Bipartite.Graph _ -> ()
+      end;
+      (* The consumer kernel may now be gated only on our drain. *)
+      if kc >= 0 then refresh_ready kc;
+      cascade_completions_from k;
+      (* Serial stream: the kernel command retires at completion. *)
+      if serial && !serial_wait_kernel = k && ks.(k).completed then begin
+        serial_blocked := false;
+        serial_wait_kernel := -1;
+        incr next_cmd
+      end
+    end
+  in
+
+  (* Main loop. *)
+  progress ();
+  let steps = ref 0 in
+  let rec loop () =
+    match Heap.pop heap with
+    | None -> ()
+    | Some (t, ev) ->
+      incr steps;
+      if !steps > 100_000_000 then failwith "Sim.run: event budget exceeded";
+      advance t;
+      now := t;
+      (match ev with
+      | Launch_done seq ->
+        ks.(seq).launched <- true;
+        if ks.(seq).info.Prep.li_tbs = 0 then begin
+          ks.(seq).drained <- true;
+          ks.(seq).drained_at <- t;
+          cascade_completions_from seq
+        end
+        else refresh_ready seq;
+        bump t
+      | Tb_done (k, tb) -> on_tb_done k tb
+      | Copy_done ci ->
+        if ci >= 0 then begin
+          copy_done.(ci) <- true;
+          bump t
+        end
+      | Cmd_done ci ->
+        serial_blocked := false;
+        (match commands.(ci) with
+        | Command.Memcpy_h2d _ | Command.Memcpy_d2h _ -> copy_done.(ci) <- true
+        | Command.Malloc _ | Command.Kernel_launch _ | Command.Device_synchronize -> ());
+        bump t;
+        incr next_cmd);
+      progress ();
+      loop ()
+  in
+  loop ();
+  if !next_cmd < nc then
+    failwith
+      (Printf.sprintf "Sim.run: host stalled at command %d/%d (mode %s)" !next_cmd nc
+         (Mode.name mode));
+  Array.iteri
+    (fun k st ->
+      if not st.completed then failwith (Printf.sprintf "Sim.run: kernel %d never completed" k))
+    ks;
+
+  (* Collect statistics. *)
+  let records = ref [] in
+  Array.iteri
+    (fun k st ->
+      for tb = 0 to st.info.Prep.li_tbs - 1 do
+        records :=
+          {
+            Stats.r_kernel = k;
+            r_tb = tb;
+            r_dep_ready = st.dep_ready_time.(tb);
+            r_start = st.start_time.(tb);
+            r_finish = st.finish_time.(tb);
+          }
+          :: !records
+      done)
+    ks;
+  let base_mem =
+    Array.fold_left
+      (fun acc (st : kstate) -> acc +. Bm_gpu.Costmodel.total_mem_requests st.info.Prep.li_cost)
+      0.0 ks
+  in
+  let dep_mem =
+    if not (Mode.reorders mode) then 0.0
+    else
+      Array.fold_left
+        (fun acc (st : kstate) ->
+          match st.info.Prep.li_prev with
+          | None -> acc
+          | Some prev ->
+            let n_parents = launches.(prev).Prep.li_tbs in
+            if fine then
+              acc
+              +. Hardware.dep_mem_requests cfg ~n_parents ~n_children:st.info.Prep.li_tbs
+                   st.info.Prep.li_relation
+            else acc +. 2.0 (* kernel-granular gating: a flag write + read *))
+        0.0 ks
+  in
+  let total = !end_time in
+  {
+    Stats.total_us = total;
+    busy_us = !busy;
+    records = Array.of_list (List.rev !records);
+    avg_concurrency = (if total > 0.0 then !area /. total else 0.0);
+    base_mem_requests = base_mem;
+    dep_mem_requests = dep_mem;
+  }

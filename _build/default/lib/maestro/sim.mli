@@ -1,0 +1,24 @@
+(** Event-driven GPU timing simulator.
+
+    Simulates a prepared application under one execution mode and collects
+    the paper's metrics.  The machine model: a pool of
+    [num_sms * max_tbs_per_sm] concurrent TB slots, a serial kernel-launch
+    engine (5 µs per host-side launch), a copy engine, and the BlockMaestro
+    TB scheduler enforcing the mode's dependency policy:
+
+    - out-of-order TB execution with {e in-order kernel completion}
+      (paper §III-B.1), so only consecutive-kernel graphs are consulted;
+    - up to [Mode.window] kernels resident; pre-launched kernels overlap
+      their launch overhead with the running kernel;
+    - TB readiness per mode: kernel-granular draining, or fine-grain parent
+      counters fed by the bipartite graph;
+    - producer- or consumer-priority slot allocation.
+
+    Per-TB fine-grain dependency-satisfaction times are tracked in {e every}
+    mode (including the baseline) so Fig. 11's stall distributions compare
+    like for like. *)
+
+val run : ?host_blocking_copies:bool -> Bm_gpu.Config.t -> Mode.t -> Prep.t -> Bm_gpu.Stats.t
+(** [host_blocking_copies] (default false) restores the synchronous
+    behaviour of host-to-device copies, for ablating BlockMaestro's
+    treatment of blocking APIs as non-blocking. *)

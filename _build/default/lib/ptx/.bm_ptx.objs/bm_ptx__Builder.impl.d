@@ -1,0 +1,1 @@
+lib/ptx/builder.ml: Array Hashtbl List Printf Types

@@ -1,0 +1,1 @@
+lib/ptx/builder.mli: Types

@@ -1,0 +1,1 @@
+lib/ptx/cfg.mli: Types

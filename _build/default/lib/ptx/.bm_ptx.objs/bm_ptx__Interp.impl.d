@@ -1,0 +1,1 @@
+lib/ptx/interp.ml: Array Float Hashtbl Int32 List Printf Types

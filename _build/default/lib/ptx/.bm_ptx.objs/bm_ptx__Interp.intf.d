@@ -1,0 +1,1 @@
+lib/ptx/interp.mli: Types

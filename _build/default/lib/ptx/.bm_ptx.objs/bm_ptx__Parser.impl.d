@@ -1,0 +1,1 @@
+lib/ptx/parser.ml: Array Buffer List Printf String Types

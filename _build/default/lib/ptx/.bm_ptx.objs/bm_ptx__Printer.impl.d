@@ -1,0 +1,1 @@
+lib/ptx/printer.ml: Array Format List Types

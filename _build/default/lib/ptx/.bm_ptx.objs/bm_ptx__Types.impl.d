@@ -1,0 +1,1 @@
+lib/ptx/types.ml: Array List

@@ -1,0 +1,177 @@
+open Types
+
+type block = {
+  bid : int;
+  first : int;
+  last : int;
+  succs : int list;
+  preds : int list;
+}
+
+type t = {
+  kernel : Types.kernel;
+  blocks : block array;
+  block_of_instr : int array;
+}
+
+let label_positions body =
+  let tbl = Hashtbl.create 8 in
+  Array.iteri (fun i instr -> match instr with Label l -> Hashtbl.replace tbl l i | I _ -> ()) body;
+  tbl
+
+let is_branch = function I { op = Bra _; _ } -> true | Label _ | I _ -> false
+let is_terminator = function
+  | I { op = Ret; guard = None; _ } -> true
+  | I { op = Bra _; guard = None; _ } -> true
+  | Label _ | I _ -> false
+
+let build kernel =
+  let body = kernel.kbody in
+  let n = Array.length body in
+  let labels = label_positions body in
+  (* Leaders: instruction 0, every label, every instruction after a branch. *)
+  let leader = Array.make n false in
+  if n > 0 then leader.(0) <- true;
+  Array.iteri
+    (fun i instr ->
+      match instr with
+      | Label _ -> leader.(i) <- true
+      | I { op = Bra target; _ } ->
+        if i + 1 < n then leader.(i + 1) <- true;
+        (match Hashtbl.find_opt labels target with
+        | Some pos -> leader.(pos) <- true
+        | None -> invalid_arg (Printf.sprintf "Cfg.build: unknown label %s" target))
+      | I { op = Ret; _ } -> if i + 1 < n then leader.(i + 1) <- true
+      | I _ -> ())
+    body;
+  (* Collect block extents. *)
+  let starts = ref [] in
+  for i = n - 1 downto 0 do
+    if leader.(i) then starts := i :: !starts
+  done;
+  let starts = Array.of_list !starts in
+  let nb = Array.length starts in
+  let block_of_instr = Array.make n (-1) in
+  let extents =
+    Array.mapi
+      (fun bi s ->
+        let e = if bi + 1 < nb then starts.(bi + 1) - 1 else n - 1 in
+        for i = s to e do
+          block_of_instr.(i) <- bi
+        done;
+        (s, e))
+      starts
+  in
+  (* Successors. *)
+  let succs = Array.make nb [] in
+  let preds = Array.make nb [] in
+  let add_edge s d =
+    if not (List.mem d succs.(s)) then begin
+      succs.(s) <- succs.(s) @ [ d ];
+      preds.(d) <- preds.(d) @ [ s ]
+    end
+  in
+  Array.iteri
+    (fun bi (s, e) ->
+      ignore s;
+      let last = body.(e) in
+      (match last with
+      | I { op = Bra target; _ } ->
+        let pos = Hashtbl.find labels target in
+        add_edge bi block_of_instr.(pos)
+      | Label _ | I _ -> ());
+      (* Fallthrough unless the block ends in an unconditional terminator. *)
+      if (not (is_terminator last)) && bi + 1 < nb then add_edge bi (bi + 1);
+      (* A conditional branch also falls through (handled above); an
+         unconditional bra or ret does not. *)
+      if is_branch last && (match last with I { guard = Some _; _ } -> false | _ -> true) then ())
+    extents;
+  let blocks =
+    Array.mapi
+      (fun bi (first, last) -> { bid = bi; first; last; succs = succs.(bi); preds = preds.(bi) })
+      extents
+  in
+  { kernel; blocks; block_of_instr }
+
+let reverse_postorder t =
+  let nb = Array.length t.blocks in
+  let visited = Array.make nb false in
+  let order = ref [] in
+  let rec dfs b =
+    if not visited.(b) then begin
+      visited.(b) <- true;
+      List.iter dfs t.blocks.(b).succs;
+      order := b :: !order
+    end
+  in
+  if nb > 0 then dfs 0;
+  Array.of_list !order
+
+let dominators t =
+  let nb = Array.length t.blocks in
+  let rpo = reverse_postorder t in
+  let rpo_index = Array.make nb (-1) in
+  Array.iteri (fun i b -> rpo_index.(b) <- i) rpo;
+  let idom = Array.make nb (-1) in
+  if nb = 0 then idom
+  else begin
+    idom.(0) <- 0;
+    let intersect a b =
+      let a = ref a and b = ref b in
+      while !a <> !b do
+        while rpo_index.(!a) > rpo_index.(!b) do
+          a := idom.(!a)
+        done;
+        while rpo_index.(!b) > rpo_index.(!a) do
+          b := idom.(!b)
+        done
+      done;
+      !a
+    in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      Array.iter
+        (fun b ->
+          if b <> 0 then begin
+            let processed = List.filter (fun p -> idom.(p) >= 0) t.blocks.(b).preds in
+            match processed with
+            | [] -> ()
+            | first :: rest ->
+              let new_idom = List.fold_left intersect first rest in
+              if idom.(b) <> new_idom then begin
+                idom.(b) <- new_idom;
+                changed := true
+              end
+          end)
+        rpo
+    done;
+    (* Unreachable blocks (never assigned) dominate nothing; point at entry. *)
+    Array.iteri (fun b d -> if d < 0 then idom.(b) <- 0) idom;
+    idom
+  end
+
+let dominates idom a b =
+  (* Does a dominate b? Walk the idom chain from b. *)
+  let rec walk x = if x = a then true else if x = 0 then a = 0 else walk idom.(x) in
+  walk b
+
+let back_edges t =
+  let idom = dominators t in
+  let edges = ref [] in
+  Array.iter
+    (fun blk -> List.iter (fun s -> if dominates idom s blk.bid then edges := (blk.bid, s) :: !edges) blk.succs)
+    t.blocks;
+  List.rev !edges
+
+let natural_loop t ~src ~header =
+  let in_loop = Hashtbl.create 8 in
+  Hashtbl.replace in_loop header ();
+  let rec add b =
+    if not (Hashtbl.mem in_loop b) then begin
+      Hashtbl.replace in_loop b ();
+      List.iter add t.blocks.(b).preds
+    end
+  in
+  add src;
+  Hashtbl.fold (fun b () acc -> b :: acc) in_loop [] |> List.sort compare

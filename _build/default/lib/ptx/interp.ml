@@ -1,0 +1,305 @@
+open Types
+
+type value =
+  | Int of int
+  | Float of float
+  | Pred of bool
+
+type memory = (int, int32) Hashtbl.t
+
+let memory () : memory = Hashtbl.create 256
+
+let poke_u32 m addr v = Hashtbl.replace m addr (Int32.of_int v)
+let peek_u32 m addr = match Hashtbl.find_opt m addr with Some v -> Int32.to_int v | None -> 0
+let poke_f32 m addr f = Hashtbl.replace m addr (Int32.bits_of_float f)
+let peek_f32 m addr =
+  match Hashtbl.find_opt m addr with Some v -> Int32.float_of_bits v | None -> 0.0
+
+type access = {
+  ia_addr : int;
+  ia_kind : [ `Read | `Write ];
+  ia_bytes : int;
+}
+
+type trace = {
+  t_accesses : access list;
+  t_dyn_insts : int;
+  t_registers : (string * value) list;
+}
+
+exception Stuck of string
+
+let stuck fmt = Printf.ksprintf (fun s -> raise (Stuck s)) fmt
+
+let axis_of d = function X -> d.dx | Y -> d.dy | Z -> d.dz
+
+let run_thread ?(fuel = 1_000_000) kernel ~grid ~block ~cta ~tid ~args mem =
+  let body = kernel.kbody in
+  let n = Array.length body in
+  (* Label positions for branching. *)
+  let labels = Hashtbl.create 8 in
+  Array.iteri (fun i instr -> match instr with Label l -> Hashtbl.replace labels l i | I _ -> ()) body;
+  let regs : (string, value) Hashtbl.t = Hashtbl.create 64 in
+  let accesses = ref [] in
+  let dyn = ref 0 in
+  let reg_val r =
+    match Hashtbl.find_opt regs r with
+    | Some v -> v
+    | None -> stuck "use of undefined register %s" r
+  in
+  let special = function
+    | Tid a -> axis_of tid a
+    | Ntid a -> axis_of block a
+    | Ctaid a -> axis_of cta a
+    | Nctaid a -> axis_of grid a
+  in
+  let operand = function
+    | Reg r -> reg_val r
+    | Imm v -> Int v
+    | Fimm f -> Float f
+    | Sreg s -> Int (special s)
+    | Sym s -> stuck "bare symbol operand %s outside ld.param" s
+  in
+  let as_int what = function
+    | Int v -> v
+    | Pred true -> 1
+    | Pred false -> 0
+    | Float _ -> stuck "%s: expected an integer, got a float" what
+  in
+  let as_float what = function
+    | Float f -> f
+    | Int v -> float_of_int v  (* permissive: moves between register classes *)
+    | Pred _ -> stuck "%s: expected a float, got a predicate" what
+  in
+  let as_pred what = function
+    | Pred b -> b
+    | Int v -> v <> 0
+    | Float _ -> stuck "%s: expected a predicate" what
+  in
+  let set dst v =
+    match dst with
+    | Some (Reg r) -> Hashtbl.replace regs r v
+    | Some _ -> stuck "non-register destination"
+    | None -> ()
+  in
+  let record kind addr bytes = accesses := { ia_addr = addr; ia_kind = kind; ia_bytes = bytes } :: !accesses in
+  let is_float_ty = function F32 | F64 -> true | U16 | U32 | U64 | S32 | S64 | B32 | B64 | Pred -> false in
+  let compare_vals c ty a b =
+    if is_float_ty ty then begin
+      let x = as_float "setp" a and y = as_float "setp" b in
+      match c with
+      | Eq -> x = y
+      | Ne -> x <> y
+      | Lt -> x < y
+      | Le -> x <= y
+      | Gt -> x > y
+      | Ge -> x >= y
+    end
+    else begin
+      let x = as_int "setp" a and y = as_int "setp" b in
+      match c with
+      | Eq -> x = y
+      | Ne -> x <> y
+      | Lt -> x < y
+      | Le -> x <= y
+      | Gt -> x > y
+      | Ge -> x >= y
+    end
+  in
+  let pc = ref 0 in
+  let halted = ref false in
+  while (not !halted) && !pc < n do
+    (match body.(!pc) with
+    | Label _ -> incr pc
+    | I { op; ty; dst; srcs; offset; guard } ->
+      incr dyn;
+      if !dyn > fuel then stuck "out of fuel (%d instructions)" fuel;
+      let skip =
+        match guard with
+        | None -> false
+        | Some (negated, p) ->
+          let b = as_pred "guard" (reg_val p) in
+          if negated then b else not b
+      in
+      let next = ref (!pc + 1) in
+      if not skip then begin
+        let int2 f =
+          match srcs with
+          | [ a; b ] -> set dst (Int (f (as_int "src" (operand a)) (as_int "src" (operand b))))
+          | _ -> stuck "expected two operands"
+        in
+        match op with
+        | Mov -> (
+          match srcs with [ a ] -> set dst (operand a) | _ -> stuck "mov arity")
+        | Add ->
+          if is_float_ty ty then (
+            match srcs with
+            | [ a; b ] -> set dst (Float (as_float "add" (operand a) +. as_float "add" (operand b)))
+            | _ -> stuck "add arity")
+          else int2 ( + )
+        | Sub ->
+          if is_float_ty ty then (
+            match srcs with
+            | [ a; b ] -> set dst (Float (as_float "sub" (operand a) -. as_float "sub" (operand b)))
+            | _ -> stuck "sub arity")
+          else int2 ( - )
+        | Mul_lo | Mul_wide ->
+          if is_float_ty ty then (
+            match srcs with
+            | [ a; b ] -> set dst (Float (as_float "mul" (operand a) *. as_float "mul" (operand b)))
+            | _ -> stuck "mul arity")
+          else int2 ( * )
+        | Mad_lo | Mad_wide -> (
+          match srcs with
+          | [ a; b; c ] ->
+            set dst
+              (Int ((as_int "mad" (operand a) * as_int "mad" (operand b)) + as_int "mad" (operand c)))
+          | _ -> stuck "mad arity")
+        | Div ->
+          if is_float_ty ty then (
+            match srcs with
+            | [ a; b ] -> set dst (Float (as_float "div" (operand a) /. as_float "div" (operand b)))
+            | _ -> stuck "div arity")
+          else
+            int2 (fun a b -> if b = 0 then stuck "division by zero" else a / b)
+        | Rem -> int2 (fun a b -> if b = 0 then stuck "rem by zero" else a mod b)
+        | Shl -> int2 (fun a b -> a lsl b)
+        | Shr -> int2 (fun a b -> a asr b)
+        | And_ -> int2 ( land )
+        | Or_ -> int2 ( lor )
+        | Xor -> int2 ( lxor )
+        | Not_ -> (
+          match srcs with
+          | [ a ] -> set dst (Int (lnot (as_int "not" (operand a))))
+          | _ -> stuck "not arity")
+        | Neg ->
+          if is_float_ty ty then (
+            match srcs with
+            | [ a ] -> set dst (Float (-.as_float "neg" (operand a)))
+            | _ -> stuck "neg arity")
+          else (
+            match srcs with
+            | [ a ] -> set dst (Int (-as_int "neg" (operand a)))
+            | _ -> stuck "neg arity")
+        | Min -> int2 min
+        | Max -> int2 max
+        | Cvt _ -> (
+          match srcs with
+          | [ a ] ->
+            let v = operand a in
+            if is_float_ty ty then set dst (Float (as_float "cvt" v))
+            else set dst (Int (as_int "cvt" v))
+          | _ -> stuck "cvt arity")
+        | Cvta _ -> ( match srcs with [ a ] -> set dst (operand a) | _ -> stuck "cvta arity")
+        | Setp c -> (
+          match srcs with
+          | [ a; b ] -> set dst (Pred (compare_vals c ty (operand a) (operand b)))
+          | _ -> stuck "setp arity")
+        | Selp -> (
+          match srcs with
+          | [ a; b; p ] -> set dst (if as_pred "selp" (operand p) then operand a else operand b)
+          | _ -> stuck "selp arity")
+        | Ld Param_space -> (
+          match srcs with
+          | [ Sym name ] -> (
+            match List.assoc_opt name args with
+            | Some v -> set dst (Int v)
+            | None -> stuck "unbound parameter %s" name)
+          | _ -> stuck "ld.param operand")
+        | Ld space -> (
+          match srcs with
+          | [ base ] ->
+            let addr = as_int "ld" (operand base) + offset in
+            if space = Global then record `Read addr (ty_bytes ty);
+            if is_float_ty ty then set dst (Float (peek_f32 mem addr))
+            else set dst (Int (peek_u32 mem addr))
+          | _ -> stuck "ld operand")
+        | St space -> (
+          match srcs with
+          | [ base; v ] ->
+            let addr = as_int "st" (operand base) + offset in
+            if space = Global then record `Write addr (ty_bytes ty);
+            (match operand v with
+            | Float f -> poke_f32 mem addr f
+            | Int i -> poke_u32 mem addr i
+            | Pred b -> poke_u32 mem addr (if b then 1 else 0))
+          | _ -> stuck "st operands")
+        | Atom (space, aop) -> (
+          match srcs with
+          | base :: rest ->
+            let addr = as_int "atom" (operand base) + offset in
+            if space = Global then begin
+              record `Read addr (ty_bytes ty);
+              record `Write addr (ty_bytes ty)
+            end;
+            let old = peek_u32 mem addr in
+            let arg = match rest with [ a ] -> as_int "atom" (operand a) | _ -> 0 in
+            let updated =
+              match aop with
+              | "add" -> old + arg
+              | "max" -> max old arg
+              | "min" -> min old arg
+              | "exch" -> arg
+              | _ -> stuck "unsupported atomic %s" aop
+            in
+            poke_u32 mem addr updated;
+            set dst (Int old)
+          | [] -> stuck "atom operands")
+        | Bra target -> (
+          match Hashtbl.find_opt labels target with
+          | Some i -> next := i
+          | None -> stuck "branch to unknown label %s" target)
+        | Bar -> ()
+        | Ret -> halted := true
+        | Fma -> (
+          match srcs with
+          | [ a; b; c ] ->
+            set dst
+              (Float
+                 ((as_float "fma" (operand a) *. as_float "fma" (operand b))
+                 +. as_float "fma" (operand c)))
+          | _ -> stuck "fma arity")
+        | Funary name -> (
+          match srcs with
+          | [ a ] ->
+            let x = as_float "funary" (operand a) in
+            let r =
+              match name with
+              | "sqrt" -> sqrt (abs_float x)
+              | "rcp" -> if x = 0.0 then 0.0 else 1.0 /. x
+              | "ex2" -> Float.pow 2.0 x
+              | "lg2" -> if x <= 0.0 then 0.0 else log x /. log 2.0
+              | _ -> x
+            in
+            set dst (Float r)
+          | _ -> stuck "funary arity")
+      end;
+      pc := !next)
+  done;
+  {
+    t_accesses = List.rev !accesses;
+    t_dyn_insts = !dyn;
+    t_registers = Hashtbl.fold (fun r v acc -> (r, v) :: acc) regs [];
+  }
+
+let run_block ?fuel kernel ~grid ~block ~cta ~args mem =
+  let traces = ref [] in
+  for tz = 0 to block.dz - 1 do
+    for ty = 0 to block.dy - 1 do
+      for tx = 0 to block.dx - 1 do
+        let tid = { dx = tx; dy = ty; dz = tz } in
+        traces := run_thread ?fuel kernel ~grid ~block ~cta ~tid ~args mem :: !traces
+      done
+    done
+  done;
+  List.rev !traces
+
+let run_grid ?fuel kernel ~grid ~block ~args mem =
+  for cz = 0 to grid.dz - 1 do
+    for cy = 0 to grid.dy - 1 do
+      for cx = 0 to grid.dx - 1 do
+        let cta = { dx = cx; dy = cy; dz = cz } in
+        ignore (run_block ?fuel kernel ~grid ~block ~cta ~args mem)
+      done
+    done
+  done

@@ -1,0 +1,79 @@
+(** Concrete interpreter for the PTX-like IR.
+
+    Executes one thread of a kernel against a sparse global memory and
+    records every global-memory access.  This is the ground truth the
+    static analysis is validated against: for any thread, the addresses it
+    actually touches must be contained in its thread block's value-range
+    footprint (test/test_interp.ml runs this as a property over the
+    workload templates).  It also doubles as a functional simulator for
+    checking kernel semantics. *)
+
+type value =
+  | Int of int
+  | Float of float
+  | Pred of bool
+
+type memory
+(** Sparse byte-addressed global/shared memory holding 32-bit words. *)
+
+val memory : unit -> memory
+
+val poke_f32 : memory -> int -> float -> unit
+val peek_f32 : memory -> int -> float
+val poke_u32 : memory -> int -> int -> unit
+val peek_u32 : memory -> int -> int
+
+type access = {
+  ia_addr : int;               (** byte address *)
+  ia_kind : [ `Read | `Write ];
+  ia_bytes : int;
+}
+
+type trace = {
+  t_accesses : access list;    (** global accesses in execution order *)
+  t_dyn_insts : int;           (** dynamic instructions executed *)
+  t_registers : (string * value) list;  (** final register file *)
+}
+
+exception Stuck of string
+(** Raised on malformed programs (undefined registers used as addresses,
+    missing parameters, type confusion) or when the fuel limit is hit. *)
+
+val run_thread :
+  ?fuel:int ->
+  Types.kernel ->
+  grid:Types.dim3 ->
+  block:Types.dim3 ->
+  cta:Types.dim3 ->
+  tid:Types.dim3 ->
+  args:(string * int) list ->
+  memory ->
+  trace
+(** Execute one thread to completion ([ret] or falling off the end).
+    [args] binds kernel parameters: pointer parameters to byte addresses,
+    scalars to their values.  [fuel] (default 1_000_000) bounds dynamic
+    instructions. *)
+
+val run_block :
+  ?fuel:int ->
+  Types.kernel ->
+  grid:Types.dim3 ->
+  block:Types.dim3 ->
+  cta:Types.dim3 ->
+  args:(string * int) list ->
+  memory ->
+  trace list
+(** Run every thread of one TB sequentially (sufficient for kernels whose
+    threads don't communicate through shared memory within the block). *)
+
+val run_grid :
+  ?fuel:int ->
+  Types.kernel ->
+  grid:Types.dim3 ->
+  block:Types.dim3 ->
+  args:(string * int) list ->
+  memory ->
+  unit
+(** Functionally execute the whole grid (every TB, every thread) against
+    the shared memory image — a reference functional simulation for
+    checking multi-kernel data flow end to end. *)

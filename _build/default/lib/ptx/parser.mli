@@ -1,0 +1,17 @@
+(** Parser for the textual PTX-like form produced by {!Printer}.
+
+    BlockMaestro performs its dependency extraction at kernel launch time on
+    the PTX of the launched kernel; this parser is the entry point of that
+    pipeline when kernels arrive as text (e.g. in tests or tools). *)
+
+exception Parse_error of string
+(** Raised with a human-readable message including the line number. *)
+
+val kernel_of_string : string -> Types.kernel
+(** Parse a single kernel. @raise Parse_error on malformed input. *)
+
+val kernels_of_string : string -> Types.kernel list
+(** Parse a module containing any number of kernels. *)
+
+val operand_of_string : string -> Types.operand
+(** Parse one operand (exposed for unit tests). *)

@@ -1,0 +1,99 @@
+open Types
+
+let operand ppf = function
+  | Reg r -> Format.pp_print_string ppf r
+  | Imm n -> Format.pp_print_int ppf n
+  | Fimm f -> Format.fprintf ppf "%h" f
+  | Sreg s -> Format.pp_print_string ppf (special_name s)
+  | Sym s -> Format.pp_print_string ppf s
+
+let address ppf ~base ~offset =
+  match (base, offset) with
+  | base, 0 -> Format.fprintf ppf "[%a]" operand base
+  | base, off -> Format.fprintf ppf "[%a+%d]" operand base off
+
+let opcode_string op ty =
+  let t = ty_name ty in
+  match op with
+  | Mov -> "mov." ^ t
+  | Add -> "add." ^ t
+  | Sub -> "sub." ^ t
+  | Mul_lo -> "mul.lo." ^ t
+  | Mul_wide -> "mul.wide." ^ t
+  | Mad_lo -> "mad.lo." ^ t
+  | Mad_wide -> "mad.wide." ^ t
+  | Div -> "div." ^ t
+  | Rem -> "rem." ^ t
+  | Shl -> "shl." ^ t
+  | Shr -> "shr." ^ t
+  | And_ -> "and." ^ t
+  | Or_ -> "or." ^ t
+  | Xor -> "xor." ^ t
+  | Not_ -> "not." ^ t
+  | Neg -> "neg." ^ t
+  | Min -> "min." ^ t
+  | Max -> "max." ^ t
+  | Cvt src -> "cvt." ^ t ^ "." ^ ty_name src
+  | Cvta sp -> "cvta.to." ^ space_name sp ^ "." ^ t
+  | Setp c -> "setp." ^ cmp_name c ^ "." ^ t
+  | Selp -> "selp." ^ t
+  | Ld sp -> "ld." ^ space_name sp ^ "." ^ t
+  | St sp -> "st." ^ space_name sp ^ "." ^ t
+  | Atom (sp, aop) -> "atom." ^ space_name sp ^ "." ^ aop ^ "." ^ t
+  | Bra _ -> "bra"
+  | Bar -> "bar.sync"
+  | Ret -> "ret"
+  | Fma -> "fma.rn." ^ t
+  | Funary name -> name ^ "." ^ t
+
+let instr ppf = function
+  | Label l -> Format.fprintf ppf "%s:" l
+  | I { op; ty; dst; srcs; offset; guard } ->
+    let pp_guard ppf = function
+      | None -> ()
+      | Some (false, p) -> Format.fprintf ppf "@%s " p
+      | Some (true, p) -> Format.fprintf ppf "@!%s " p
+    in
+    Format.fprintf ppf "  %a%s" pp_guard guard (opcode_string op ty);
+    (match (op, dst, srcs) with
+    | Bra target, _, _ -> Format.fprintf ppf " %s;" target
+    | Bar, _, _ -> Format.fprintf ppf " 0;"
+    | Ret, _, _ -> Format.fprintf ppf ";"
+    | Ld _, Some d, [ base ] ->
+      Format.fprintf ppf " %a, %a;" operand d (fun ppf () -> address ppf ~base ~offset) ()
+    | St _, None, [ base; value ] ->
+      Format.fprintf ppf " %a, %a;" (fun ppf () -> address ppf ~base ~offset) () operand value
+    | Atom _, Some d, base :: rest ->
+      Format.fprintf ppf " %a, %a" operand d (fun ppf () -> address ppf ~base ~offset) ();
+      List.iter (fun o -> Format.fprintf ppf ", %a" operand o) rest;
+      Format.fprintf ppf ";"
+    | _, Some d, srcs ->
+      Format.fprintf ppf " %a" operand d;
+      List.iter (fun o -> Format.fprintf ppf ", %a" operand o) srcs;
+      Format.fprintf ppf ";"
+    | _, None, srcs ->
+      (match srcs with
+      | [] -> Format.fprintf ppf ";"
+      | first :: rest ->
+        Format.fprintf ppf " %a" operand first;
+        List.iter (fun o -> Format.fprintf ppf ", %a" operand o) rest;
+        Format.fprintf ppf ";"))
+
+let param ppf { pname; pty; pptr } =
+  if pptr then Format.fprintf ppf "  .param .%s .ptr %s" (ty_name pty) pname
+  else Format.fprintf ppf "  .param .%s %s" (ty_name pty) pname
+
+let kernel ppf k =
+  Format.fprintf ppf ".visible .entry %s(@." k.kname;
+  let n = List.length k.kparams in
+  List.iteri
+    (fun i p ->
+      param ppf p;
+      if i < n - 1 then Format.fprintf ppf ",";
+      Format.fprintf ppf "@.")
+    k.kparams;
+  Format.fprintf ppf ")@.{@.";
+  Array.iter (fun i -> Format.fprintf ppf "%a@." instr i) k.kbody;
+  Format.fprintf ppf "}@."
+
+let kernel_to_string k = Format.asprintf "%a" kernel k

@@ -1,0 +1,11 @@
+(** Pretty-printing of the PTX-like IR to its textual form.
+
+    The output round-trips through {!Parser.kernel_of_string}. *)
+
+val operand : Format.formatter -> Types.operand -> unit
+
+val instr : Format.formatter -> Types.instr -> unit
+
+val kernel : Format.formatter -> Types.kernel -> unit
+
+val kernel_to_string : Types.kernel -> string

@@ -1,0 +1,160 @@
+(** Abstract syntax of the PTX-like intermediate representation.
+
+    This is a faithful subset of NVIDIA PTX covering everything
+    BlockMaestro's kernel-launch-time analysis needs: the special registers
+    that parameterize thread/block indexing, integer arithmetic used in
+    address computations, global/shared/param loads and stores, predication
+    and branches (so kernels can contain guards and loops).  Floating-point
+    compute ops are carried opaquely; the dependency analysis never needs to
+    interpret them. *)
+
+type axis = X | Y | Z
+
+(** PTX special (read-only) registers. *)
+type special =
+  | Tid of axis      (** [%tid.x] — thread index within the block *)
+  | Ntid of axis     (** [%ntid.x] — block dimension *)
+  | Ctaid of axis    (** [%ctaid.x] — block index within the grid *)
+  | Nctaid of axis   (** [%nctaid.x] — grid dimension *)
+
+type space = Global | Shared | Local | Param_space
+
+type ty = U16 | U32 | U64 | S32 | S64 | F32 | F64 | B32 | B64 | Pred
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type operand =
+  | Reg of string      (** virtual register, e.g. ["%r1"], ["%rd3"], ["%p2"] *)
+  | Imm of int         (** integer immediate *)
+  | Fimm of float      (** floating-point immediate *)
+  | Sreg of special    (** special register *)
+  | Sym of string      (** kernel parameter name (in [ld.param]) *)
+
+type op =
+  | Mov
+  | Add
+  | Sub
+  | Mul_lo
+  | Mul_wide
+  | Mad_lo             (** d = a*b + c (low half) *)
+  | Mad_wide
+  | Div
+  | Rem
+  | Shl
+  | Shr
+  | And_
+  | Or_
+  | Xor
+  | Not_
+  | Neg
+  | Min
+  | Max
+  | Cvt of ty          (** conversion; payload is the source type *)
+  | Cvta of space      (** address-space conversion (to generic) *)
+  | Setp of cmp
+  | Selp
+  | Ld of space
+  | St of space
+  | Atom of space * string
+  | Bra of string      (** branch to label *)
+  | Bar                (** barrier ([bar.sync 0]) *)
+  | Ret
+  | Fma
+  | Funary of string   (** opaque float unary: sqrt, rcp, ex2, lg2, ... *)
+
+type instr =
+  | Label of string
+  | I of {
+      op : op;
+      ty : ty;
+      dst : operand option;  (** destination register; [None] for stores, branches *)
+      srcs : operand list;
+          (** sources.  For [Ld] the single source is the address base; for
+              [St] sources are [base; value].  For [Setp] they are the two
+              compared operands. *)
+      offset : int;          (** byte offset for [Ld]/[St] addresses *)
+      guard : (bool * string) option;
+          (** [@%p] or [@!%p] predication: (negated, predicate register) *)
+    }
+
+type param = {
+  pname : string;
+  pty : ty;
+  pptr : bool;  (** true when the parameter is a pointer into global memory *)
+}
+
+type kernel = {
+  kname : string;
+  kparams : param list;
+  kbody : instr array;
+}
+
+(** A concrete 3-D extent (block dim or grid dim). *)
+type dim3 = { dx : int; dy : int; dz : int }
+
+let dim3 ?(y = 1) ?(z = 1) x = { dx = x; dy = y; dz = z }
+
+let dim3_count { dx; dy; dz } = dx * dy * dz
+
+let axis_name = function X -> "x" | Y -> "y" | Z -> "z"
+
+let special_name = function
+  | Tid a -> "%tid." ^ axis_name a
+  | Ntid a -> "%ntid." ^ axis_name a
+  | Ctaid a -> "%ctaid." ^ axis_name a
+  | Nctaid a -> "%nctaid." ^ axis_name a
+
+let ty_name = function
+  | U16 -> "u16"
+  | U32 -> "u32"
+  | U64 -> "u64"
+  | S32 -> "s32"
+  | S64 -> "s64"
+  | F32 -> "f32"
+  | F64 -> "f64"
+  | B32 -> "b32"
+  | B64 -> "b64"
+  | Pred -> "pred"
+
+let ty_bytes = function
+  | U16 -> 2
+  | U32 | S32 | F32 | B32 -> 4
+  | U64 | S64 | F64 | B64 -> 8
+  | Pred -> 1
+
+let space_name = function
+  | Global -> "global"
+  | Shared -> "shared"
+  | Local -> "local"
+  | Param_space -> "param"
+
+let cmp_name = function
+  | Eq -> "eq"
+  | Ne -> "ne"
+  | Lt -> "lt"
+  | Le -> "le"
+  | Gt -> "gt"
+  | Ge -> "ge"
+
+(** [defined_reg i] is the register written by [i], when any. *)
+let defined_reg = function
+  | Label _ -> None
+  | I { dst = Some (Reg r); _ } -> Some r
+  | I _ -> None
+
+(** [source_regs i] lists the registers read by [i] (including the predicate
+    guard and, for stores, the address base and stored value). *)
+let source_regs = function
+  | Label _ -> []
+  | I { srcs; guard; _ } ->
+    let of_operand acc = function Reg r -> r :: acc | Imm _ | Fimm _ | Sreg _ | Sym _ -> acc in
+    let base = List.fold_left of_operand [] srcs in
+    (match guard with Some (_, p) -> p :: base | None -> base)
+
+(** Whether the instruction is a memory access to [Global] space. *)
+let is_global_access = function
+  | I { op = Ld Global; _ } | I { op = St Global; _ } | I { op = Atom (Global, _); _ } -> true
+  | Label _ | I _ -> false
+
+let instr_count body =
+  Array.fold_left (fun n i -> match i with Label _ -> n | I _ -> n + 1) 0 body

@@ -1,0 +1,1 @@
+lib/report/timeline.ml: Array Bm_gpu Buffer Bytes Char Hashtbl List Printf String

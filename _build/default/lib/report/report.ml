@@ -1,0 +1,71 @@
+let geomean xs =
+  let xs = List.filter (fun x -> x > 0.0) xs in
+  match xs with
+  | [] -> 1.0
+  | _ ->
+    let sum = List.fold_left (fun acc x -> acc +. log x) 0.0 xs in
+    exp (sum /. float_of_int (List.length xs))
+
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let percentile xs p =
+  if Array.length xs = 0 then invalid_arg "Report.percentile: empty";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  if n = 1 then sorted.(0)
+  else begin
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (floor rank) in
+    let hi = min (n - 1) (lo + 1) in
+    let frac = rank -. float_of_int lo in
+    (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+  end
+
+let quartiles xs = (percentile xs 25.0, percentile xs 50.0, percentile xs 75.0)
+
+type table = {
+  title : string;
+  columns : string list;
+  mutable rows : string list list;  (* reversed *)
+}
+
+let table ~title ~columns = { title; columns; rows = [] }
+
+let row t cells =
+  if List.length cells <> List.length t.columns then
+    invalid_arg "Report.row: cell count mismatch";
+  t.rows <- cells :: t.rows
+
+let print t =
+  let rows = List.rev t.rows in
+  let all = t.columns :: rows in
+  let ncols = List.length t.columns in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)))
+    all;
+  let line c =
+    print_string "+";
+    Array.iter (fun w -> print_string (String.make (w + 2) c ^ "+")) widths;
+    print_newline ()
+  in
+  let print_row cells =
+    print_string "|";
+    List.iteri
+      (fun i cell -> Printf.printf " %-*s |" widths.(i) cell)
+      cells;
+    print_newline ()
+  in
+  Printf.printf "\n== %s ==\n" t.title;
+  line '-';
+  print_row t.columns;
+  line '=';
+  List.iter print_row rows;
+  line '-'
+
+let pct speedup = Printf.sprintf "%+.1f%%" ((speedup -. 1.0) *. 100.0)
+
+let f2 x = Printf.sprintf "%.2f" x

@@ -1,0 +1,26 @@
+(** Formatting and summary statistics for the experiment harness. *)
+
+val geomean : float list -> float
+(** Geometric mean.  Empty list -> 1.0; non-positive entries are skipped. *)
+
+val mean : float list -> float
+
+val quartiles : float array -> float * float * float
+(** (q1, median, q3) by linear interpolation; the array is sorted
+    internally.  @raise Invalid_argument on an empty array. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] for p in [0, 100]. *)
+
+type table
+
+val table : title:string -> columns:string list -> table
+val row : table -> string list -> unit
+val print : table -> unit
+(** Render with aligned columns to stdout. *)
+
+val pct : float -> string
+(** "+51.8%" style formatting of a speedup factor (1.518 -> "+51.8%"). *)
+
+val f2 : float -> string
+(** Two-decimal float. *)

@@ -1,0 +1,1 @@
+lib/workloads/dsl.ml: Bm_gpu Bm_ptx List

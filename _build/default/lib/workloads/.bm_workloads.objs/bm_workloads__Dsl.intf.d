@@ -1,0 +1,1 @@
+lib/workloads/dsl.mli: Bm_gpu Bm_ptx

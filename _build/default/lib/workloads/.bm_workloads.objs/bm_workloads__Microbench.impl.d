@@ -1,0 +1,1 @@
+lib/workloads/microbench.ml: Array Bm_depgraph Bm_gpu Dsl List Printf Templates

@@ -1,0 +1,1 @@
+lib/workloads/microbench.mli: Bm_depgraph Bm_gpu

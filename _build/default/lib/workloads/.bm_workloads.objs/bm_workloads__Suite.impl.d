@@ -1,0 +1,1 @@
+lib/workloads/suite.ml: Bm_gpu Dsl List Templates

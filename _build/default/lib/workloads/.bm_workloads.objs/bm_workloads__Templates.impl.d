@@ -1,0 +1,1 @@
+lib/workloads/templates.ml: Bm_ptx List

@@ -1,0 +1,1 @@
+lib/workloads/templates.mli: Bm_ptx

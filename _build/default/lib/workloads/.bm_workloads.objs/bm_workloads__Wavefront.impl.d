@@ -1,0 +1,1 @@
+lib/workloads/wavefront.ml: Bm_gpu Dsl List Templates

@@ -1,0 +1,1 @@
+lib/workloads/wavefront.mli: Bm_gpu

@@ -1,0 +1,30 @@
+module Command = Bm_gpu.Command
+module Alloc = Bm_gpu.Alloc
+
+type t = {
+  name : string;
+  alloc : Alloc.t;
+  mutable commands : Command.t list;  (* reversed *)
+}
+
+let create name = { name; alloc = Alloc.create (); commands = [] }
+
+let push t c = t.commands <- c :: t.commands
+
+let buffer t ~elems =
+  let b = Alloc.alloc t.alloc ~bytes:(elems * 4) in
+  push t (Command.Malloc b);
+  b
+
+let h2d t b = push t (Command.Memcpy_h2d b)
+let d2h t b = push t (Command.Memcpy_d2h b)
+let sync t = push t Command.Device_synchronize
+
+let launch ?(stream = 0) t kernel ~grid ~block ~args =
+  if grid <= 0 || block <= 0 then invalid_arg "Dsl.launch: empty grid or block";
+  push t
+    (Command.Kernel_launch
+       { Command.kernel; grid = Bm_ptx.Types.dim3 grid; block = Bm_ptx.Types.dim3 block; args;
+         stream })
+
+let app t = { Command.app_name = t.name; commands = List.rev t.commands }

@@ -1,0 +1,27 @@
+(** Small imperative DSL for assembling GPU applications.
+
+    Mirrors the host code of a CUDA program: allocate buffers, copy inputs,
+    launch kernels, copy results back.  Buffers get disjoint padded device
+    addresses from {!Bm_gpu.Alloc}. *)
+
+type t
+
+val create : string -> t
+
+val buffer : t -> elems:int -> Bm_gpu.Command.buffer
+(** Allocate a buffer of [elems] 32-bit elements (emits a [Malloc]). *)
+
+val h2d : t -> Bm_gpu.Command.buffer -> unit
+val d2h : t -> Bm_gpu.Command.buffer -> unit
+val sync : t -> unit
+
+val launch :
+  ?stream:int ->
+  t ->
+  Bm_ptx.Types.kernel ->
+  grid:int ->
+  block:int ->
+  args:(string * Bm_gpu.Command.arg) list ->
+  unit
+
+val app : t -> Bm_gpu.Command.app

@@ -1,0 +1,62 @@
+module Command = Bm_gpu.Command
+module Bipartite = Bm_depgraph.Bipartite
+module T = Templates
+
+let vector_add ~tbs =
+  let d = Dsl.create (Printf.sprintf "VectorAdd-%d" tbs) in
+  let block = 256 in
+  let n = tbs * block in
+  let a = Dsl.buffer d ~elems:n and b = Dsl.buffer d ~elems:n in
+  let c = Dsl.buffer d ~elems:n and e = Dsl.buffer d ~elems:n in
+  Dsl.h2d d a;
+  Dsl.h2d d b;
+  let k1 = T.map2 ~name:"vadd1" ~work:30 in
+  let k2 = T.map2 ~name:"vadd2" ~work:30 in
+  Dsl.launch d k1 ~grid:tbs ~block
+    ~args:[ ("n", Command.Int n); ("A", Command.Buf a); ("B", Command.Buf b); ("OUT", Command.Buf c) ];
+  Dsl.launch d k2 ~grid:tbs ~block
+    ~args:[ ("n", Command.Int n); ("A", Command.Buf c); ("B", Command.Buf b); ("OUT", Command.Buf e) ];
+  Dsl.d2h d e;
+  Dsl.app d
+
+let n_group_relation ~tbs ~degree =
+  if degree <= 1 then
+    Bipartite.Graph (Bipartite.of_edges ~n_parents:tbs ~n_children:tbs (List.init tbs (fun i -> (i, i))))
+  else if degree >= tbs || degree > Bipartite.default_max_degree then
+    (* Beyond the 6-bit parent counter, the hardware conservatively encodes
+       the pair as fully connected (paper §IV-C). *)
+    Bipartite.Fully_connected
+  else begin
+    let edges = ref [] in
+    for c = 0 to tbs - 1 do
+      let g = c / degree in
+      for p = g * degree to min (tbs - 1) (((g + 1) * degree) - 1) do
+        edges := (p, c) :: !edges
+      done
+    done;
+    Bipartite.Graph (Bipartite.of_edges ~n_parents:tbs ~n_children:tbs !edges)
+  end
+
+let dual_stream ~tbs ~kernels_per_stream =
+  let d = Dsl.create "DualStream" in
+  let block = 256 in
+  let n = tbs * block in
+  let k = T.map1 ~name:"stream_step" ~work:400 in
+  let bufs stream =
+    ignore stream;
+    let bs = Array.init (kernels_per_stream + 1) (fun _ -> Dsl.buffer d ~elems:n) in
+    Dsl.h2d d bs.(0);
+    bs
+  in
+  let b0 = bufs 0 and b1 = bufs 1 in
+  (* Interleave the two chains in program order, as a host issuing work to
+     two streams would. *)
+  for i = 0 to kernels_per_stream - 1 do
+    Dsl.launch d ~stream:0 k ~grid:tbs ~block
+      ~args:[ ("n", Command.Int n); ("IN", Command.Buf b0.(i)); ("OUT", Command.Buf b0.(i + 1)) ];
+    Dsl.launch d ~stream:1 k ~grid:tbs ~block
+      ~args:[ ("n", Command.Int n); ("IN", Command.Buf b1.(i)); ("OUT", Command.Buf b1.(i + 1)) ]
+  done;
+  Dsl.d2h d b0.(kernels_per_stream);
+  Dsl.d2h d b1.(kernels_per_stream);
+  Dsl.app d

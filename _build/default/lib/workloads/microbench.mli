@@ -1,0 +1,20 @@
+(** The VectorAdd interconnectivity microbenchmark (Fig. 12).
+
+    Two equal-size kernels with a 1-to-1 dependency by default; the sweep
+    artificially raises each TB's dependency degree by replacing the pair's
+    relation with an n-group fully-connected graph of the given degree
+    (degree d: children in group g depend on all parents in group g). *)
+
+val vector_add : tbs:int -> Bm_gpu.Command.app
+(** Two chained elementwise kernels of [tbs] thread blocks each. *)
+
+val n_group_relation : tbs:int -> degree:int -> Bm_depgraph.Bipartite.relation
+(** The artificial relation injected for a sweep point: groups of [degree]
+    parents fully connected to groups of [degree] children.  [degree] of 1
+    is the natural 1-to-1 graph. *)
+
+val dual_stream : tbs:int -> kernels_per_stream:int -> Bm_gpu.Command.app
+(** Two dependent kernel chains issued to two CUDA streams (paper SIII-C:
+    BlockMaestro pre-launches within each stream while streams execute
+    concurrently).  Interleaved in program order so only stream-aware
+    dependency tracking can overlap them. *)

@@ -1,0 +1,422 @@
+module Command = Bm_gpu.Command
+module T = Templates
+
+let barg b = Command.Buf b
+let iarg v = Command.Int v
+
+(* ------------------------------------------------------------------ *)
+(* 3MM: E = A*B; F = C*D; G = E (.) reduce-tiles(F).                   *)
+(* Patterns: (K1,K2) independent; (K2,K3) n-group over F's tiles.      *)
+
+let threemm () =
+  let d = Dsl.create "3MM" in
+  let size = 256 in
+  let elems = size * size in
+  let a = Dsl.buffer d ~elems and bb = Dsl.buffer d ~elems in
+  let c = Dsl.buffer d ~elems and dd = Dsl.buffer d ~elems in
+  let e = Dsl.buffer d ~elems and f = Dsl.buffer d ~elems and g = Dsl.buffer d ~elems in
+  List.iter (Dsl.h2d d) [ a; bb; c; dd ];
+  let mm = T.matmul ~name:"mm3_matmul" ~work:1 in
+  let block = 128 in
+  let grid = elems / block in
+  Dsl.launch d mm ~grid ~block
+    ~args:
+      [ ("m", iarg size); ("n", iarg size); ("kdim", iarg 64); ("A", barg a); ("B", barg bb); ("C", barg e) ];
+  Dsl.launch d mm ~grid ~block
+    ~args:
+      [ ("m", iarg size); ("n", iarg size); ("kdim", iarg 64); ("A", barg c); ("B", barg dd); ("C", barg f) ];
+  (* Tile combine: each output tile of 256 elements reduces one 256-element
+     tile of F (= two producer TBs), two consumer TBs per tile: n-group. *)
+  let k3 = T.map1_group ~name:"mm3_combine" ~work:4 in
+  Dsl.launch d k3 ~grid ~block
+    ~args:
+      [ ("n", iarg elems); ("opg", iarg 256); ("gs", iarg 256); ("A", barg e); ("G", barg f); ("OUT", barg g) ];
+  Dsl.d2h d g;
+  Dsl.app d
+
+(* ------------------------------------------------------------------ *)
+(* BICG: two independent matrix-vector products.                      *)
+
+let bicg () =
+  let d = Dsl.create "BICG" in
+  let rows = 2048 and kdim = 512 in
+  let a = Dsl.buffer d ~elems:(rows * kdim) in
+  let at = Dsl.buffer d ~elems:(rows * kdim) in
+  let p = Dsl.buffer d ~elems:kdim and r = Dsl.buffer d ~elems:kdim in
+  let q = Dsl.buffer d ~elems:rows and s = Dsl.buffer d ~elems:rows in
+  List.iter (Dsl.h2d d) [ a; at; p; r ];
+  let mv = T.matvec ~name:"bicg_mv" ~work:1 in
+  Dsl.launch d mv ~grid:(rows / 256) ~block:256
+    ~args:[ ("n", iarg rows); ("kdim", iarg kdim); ("A", barg a); ("X", barg p); ("Y", barg q) ];
+  Dsl.launch d mv ~grid:(rows / 256) ~block:256
+    ~args:[ ("n", iarg rows); ("kdim", iarg kdim); ("A", barg at); ("X", barg r); ("Y", barg s) ];
+  Dsl.d2h d q;
+  Dsl.d2h d s;
+  Dsl.app d
+
+(* ------------------------------------------------------------------ *)
+(* MVT: x1 = A*y1; x2 = A^T*y2 — independent.                          *)
+
+let mvt () =
+  let d = Dsl.create "MVT" in
+  let rows = 2048 and kdim = 512 in
+  let a = Dsl.buffer d ~elems:(rows * kdim) in
+  let at = Dsl.buffer d ~elems:(rows * kdim) in
+  let y1 = Dsl.buffer d ~elems:kdim and y2 = Dsl.buffer d ~elems:kdim in
+  let x1 = Dsl.buffer d ~elems:rows and x2 = Dsl.buffer d ~elems:rows in
+  List.iter (Dsl.h2d d) [ a; at; y1; y2 ];
+  let mv = T.matvec ~name:"mvt_mv" ~work:1 in
+  Dsl.launch d mv ~grid:(rows / 256) ~block:256
+    ~args:[ ("n", iarg rows); ("kdim", iarg kdim); ("A", barg a); ("X", barg y1); ("Y", barg x1) ];
+  Dsl.launch d mv ~grid:(rows / 256) ~block:256
+    ~args:[ ("n", iarg rows); ("kdim", iarg kdim); ("A", barg at); ("X", barg y2); ("Y", barg x2) ];
+  Dsl.d2h d x1;
+  Dsl.d2h d x2;
+  Dsl.app d
+
+(* ------------------------------------------------------------------ *)
+(* FDTD-2D: 8 iterations x (ey, ex, hz) on a halved Yee grid.          *)
+
+let fdtd_2d () =
+  let d = Dsl.create "FDTD-2D" in
+  let n = 262144 in
+  let ey = Dsl.buffer d ~elems:n and ex = Dsl.buffer d ~elems:n in
+  let hz = Dsl.buffer d ~elems:(n / 2) in
+  List.iter (Dsl.h2d d) [ ey; ex; hz ];
+  let upsample = T.group_gather ~name:"fdtd_e_update" ~work:350 in
+  let downsample = T.group_gather ~name:"fdtd_hz_update" ~work:350 in
+  for _ = 1 to 8 do
+    (* ey[i] += f(hz[i/2]) *)
+    Dsl.launch d upsample ~grid:(n / 256) ~block:256
+      ~args:[ ("n", iarg n); ("opg", iarg 2); ("gs", iarg 1); ("IN", barg hz); ("OUT", barg ey) ];
+    (* ex[i] += f(hz[i/2]) — independent of the ey update *)
+    Dsl.launch d upsample ~grid:(n / 256) ~block:256
+      ~args:[ ("n", iarg n); ("opg", iarg 2); ("gs", iarg 1); ("IN", barg hz); ("OUT", barg ex) ];
+    (* hz[i] = f(ex[2i], ex[2i+1]); each hz TB covers two ex TBs: n-to-1 *)
+    Dsl.launch d downsample ~grid:(n / 2 / 256) ~block:256
+      ~args:[ ("n", iarg (n / 2)); ("opg", iarg 1); ("gs", iarg 2); ("IN", barg ex); ("OUT", barg hz) ]
+  done;
+  Dsl.d2h d hz;
+  Dsl.app d
+
+(* ------------------------------------------------------------------ *)
+(* FFT: 5 batches x (10 in-block stage kernels + partial reduce +      *)
+(* twiddle combine).                                                   *)
+
+let fft () =
+  let d = Dsl.create "FFT" in
+  let n = 16384 in
+  let batches = 5 in
+  let stage = T.map1 ~name:"fft_stage" ~work:280 in
+  let partial = T.reduce_partial ~name:"fft_partial" ~work:280 in
+  let combine = T.group_gather ~name:"fft_combine" ~work:200 in
+  for b = 0 to batches - 1 do
+    ignore b;
+    let input = Dsl.buffer d ~elems:n in
+    let w1 = Dsl.buffer d ~elems:n and w2 = Dsl.buffer d ~elems:n in
+    let partials = Dsl.buffer d ~elems:64 in
+    let out = Dsl.buffer d ~elems:64 in
+    Dsl.h2d d input;
+    let src = ref input in
+    for s = 0 to 9 do
+      let dst = if s mod 2 = 0 then w1 else w2 in
+      Dsl.launch d stage ~grid:(n / 256) ~block:256
+        ~args:[ ("n", iarg n); ("IN", barg !src); ("OUT", barg dst) ];
+      src := dst
+    done;
+    Dsl.launch d partial ~grid:(n / 256) ~block:256
+      ~args:[ ("n", iarg n); ("IN", barg !src); ("OUT", barg partials) ];
+    Dsl.launch d combine ~grid:1 ~block:64
+      ~args:
+        [ ("n", iarg 64); ("opg", iarg 64); ("gs", iarg 64); ("IN", barg partials); ("OUT", barg out) ];
+    Dsl.d2h d out
+  done;
+  Dsl.app d
+
+(* ------------------------------------------------------------------ *)
+(* GAUSSIAN: 255 iterations x (fan1, fan2) on a 256x256 system.        *)
+
+let gaussian () =
+  let d = Dsl.create "GAUSSIAN" in
+  let size = 256 in
+  let a = Dsl.buffer d ~elems:(size * size) in
+  let m = Dsl.buffer d ~elems:(size * size) in
+  Dsl.h2d d a;
+  Dsl.h2d d m;
+  let f1 = T.fan1 ~name:"gauss_fan1" in
+  let f2 = T.fan2 ~name:"gauss_fan2" in
+  for t = 0 to size - 2 do
+    let rows = size - 1 - t in
+    (* Single-TB fan1: its reads span up to 255 fan2 writers, so early
+       iterations exceed the 64-parent counter and conservatively degrade
+       to fully-connected; later iterations classify n-to-1 (see
+       EXPERIMENTS.md). *)
+    Dsl.launch d f1 ~grid:1 ~block:256
+      ~args:[ ("n", iarg rows); ("size", iarg size); ("t", iarg t); ("A", barg a); ("M", barg m) ];
+    let cells = rows * (size - t) in
+    Dsl.launch d f2
+      ~grid:((cells + 255) / 256)
+      ~block:256
+      ~args:[ ("n", iarg cells); ("size", iarg size); ("t", iarg t); ("A", barg a); ("M", barg m) ]
+  done;
+  Dsl.d2h d a;
+  Dsl.d2h d m;
+  Dsl.app d
+
+(* ------------------------------------------------------------------ *)
+(* GRAMSCHM: 64 columns x (norm reduce, normalize, project-update).    *)
+
+let gramschm () =
+  let d = Dsl.create "GRAMSCHM" in
+  let cols = 64 and len = 1024 in
+  let a = Dsl.buffer d ~elems:(cols * len) in
+  let q = Dsl.buffer d ~elems:(cols * len) in
+  let norms = Dsl.buffer d ~elems:cols in
+  Dsl.h2d d a;
+  let norm_k = T.reduce_partial_off ~name:"gs_norm" ~work:100 in
+  let scale_k = T.scale_off ~name:"gs_normalize" ~work:400 in
+  let update_k = T.update_off ~name:"gs_update" ~work:220 in
+  for k = 0 to cols - 1 do
+    (* One 1024-thread TB reduces column k to its norm: n-to-1. *)
+    Dsl.launch d norm_k ~grid:1 ~block:1024
+      ~args:
+        [ ("n", iarg len); ("off", iarg (k * len)); ("oidx", iarg k); ("IN", barg a); ("OUT", barg norms) ];
+    (* q_k = a_k / norm: 1-to-n from the single norm TB. *)
+    Dsl.launch d scale_k ~grid:(len / 256) ~block:256
+      ~args:
+        [
+          ("n", iarg len); ("off", iarg (k * len)); ("sidx", iarg k); ("IN", barg a); ("S", barg norms);
+          ("OUT", barg q);
+        ];
+    (* Project q_k out of the remaining columns: every TB scans q_k
+       (strided): fully connected. *)
+    let rem_cols = max 1 (cols - 1 - k) in
+    Dsl.launch d update_k
+      ~grid:(rem_cols * len / 256)
+      ~block:256
+      ~args:
+        [
+          ("n", iarg (rem_cols * len)); ("aoff", iarg (min ((k + 1) * len) ((cols - 1) * len)));
+          ("qoff", iarg (k * len)); ("nred", iarg 16); ("qstride", iarg 64); ("A", barg a); ("Q", barg q);
+        ]
+  done;
+  Dsl.d2h d q;
+  Dsl.app d
+
+(* ------------------------------------------------------------------ *)
+(* HS (Hotspot): 10 ping-pong stencil iterations.                      *)
+
+let hotspot () =
+  let d = Dsl.create "HS" in
+  let n = 262144 in
+  let t1 = Dsl.buffer d ~elems:n and t2 = Dsl.buffer d ~elems:n in
+  Dsl.h2d d t1;
+  let k = T.stencil1d ~name:"hotspot_step" ~halo:2 ~work:500 in
+  let src = ref t1 and dst = ref t2 in
+  for _ = 1 to 10 do
+    Dsl.launch d k ~grid:(n / 256) ~block:256
+      ~args:[ ("n", iarg n); ("IN", barg !src); ("OUT", barg !dst) ];
+    let tmp = !src in
+    src := !dst;
+    dst := tmp
+  done;
+  Dsl.d2h d !src;
+  Dsl.app d
+
+(* ------------------------------------------------------------------ *)
+(* LUD: 15 iterations x (diagonal, perimeter, internal) + final diag.  *)
+
+let lud () =
+  let d = Dsl.create "LUD" in
+  let m = Dsl.buffer d ~elems:131072 in
+  Dsl.h2d d m;
+  let diag = T.map1_off ~name:"lud_diagonal" ~work:400 in
+  let perim = T.update_off ~name:"lud_perimeter" ~work:300 in
+  let inter = T.map1_off ~name:"lud_internal" ~work:350 in
+  let region t = t * 4096 in
+  for t = 0 to 14 do
+    (* Diagonal tile: one 512-thread TB whose reads span the last two
+       internal tiles of the previous iteration: n-to-1. *)
+    Dsl.launch d diag ~grid:1 ~block:512
+      ~args:
+        [
+          ("n", iarg 512); ("srcoff", iarg (max 0 (region t - 256))); ("dstoff", iarg (region t));
+          ("smax", iarg 511); ("IN", barg m); ("OUT", barg m);
+        ];
+    (* Perimeter tiles scan the diagonal tile (strided): 1-to-n. *)
+    Dsl.launch d perim ~grid:8 ~block:256
+      ~args:
+        [
+          ("n", iarg 2048); ("aoff", iarg (region t + 256)); ("qoff", iarg (region t)); ("nred", iarg 8);
+          ("qstride", iarg 32); ("A", barg m); ("Q", barg m);
+        ];
+    (* Internal tiles read the perimeter element-wise: 1-to-1. *)
+    Dsl.launch d inter ~grid:8 ~block:256
+      ~args:
+        [
+          ("n", iarg 2048); ("srcoff", iarg (region t + 256)); ("dstoff", iarg (region t + 2304));
+          ("smax", iarg 2047); ("IN", barg m); ("OUT", barg m);
+        ]
+  done;
+  Dsl.launch d diag ~grid:1 ~block:256
+    ~args:
+      [
+        ("n", iarg 256); ("srcoff", iarg (region 15)); ("dstoff", iarg (region 15)); ("smax", iarg 255);
+        ("IN", barg m); ("OUT", barg m);
+      ];
+  Dsl.d2h d m;
+  Dsl.app d
+
+(* ------------------------------------------------------------------ *)
+(* NW: 255 anti-diagonal sweeps with alternating block sizes, so       *)
+(* consecutive kernels alternate 1-to-n and n-to-1.                    *)
+
+let nw () =
+  let d = Dsl.create "NW" in
+  let len = 4096 in
+  let d1 = Dsl.buffer d ~elems:len and d2 = Dsl.buffer d ~elems:len in
+  Dsl.h2d d d1;
+  let k32 = T.map1_off ~name:"nw_diag_a" ~work:800 in
+  let k64 = T.map1_off ~name:"nw_diag_b" ~work:800 in
+  let src = ref d1 and dst = ref d2 in
+  for i = 0 to 254 do
+    let kern, block = if i mod 2 = 0 then (k64, 64) else (k32, 32) in
+    Dsl.launch d kern ~grid:(len / block) ~block
+      ~args:
+        [
+          ("n", iarg len); ("srcoff", iarg 0); ("dstoff", iarg 0); ("smax", iarg (len - 1));
+          ("IN", barg !src); ("OUT", barg !dst);
+        ];
+    let tmp = !src in
+    src := !dst;
+    dst := tmp
+  done;
+  Dsl.d2h d !src;
+  Dsl.app d
+
+(* ------------------------------------------------------------------ *)
+(* PATH (PathFinder): 5 pyramid stencil iterations.                    *)
+
+let pathfinder () =
+  let d = Dsl.create "PATH" in
+  let n = 262144 in
+  let r1 = Dsl.buffer d ~elems:n and r2 = Dsl.buffer d ~elems:n in
+  Dsl.h2d d r1;
+  let k = T.stencil1d ~name:"path_step" ~halo:1 ~work:420 in
+  let src = ref r1 and dst = ref r2 in
+  for _ = 1 to 5 do
+    Dsl.launch d k ~grid:(n / 256) ~block:256
+      ~args:[ ("n", iarg n); ("IN", barg !src); ("OUT", barg !dst) ];
+    let tmp = !src in
+    src := !dst;
+    dst := tmp
+  done;
+  Dsl.d2h d !src;
+  Dsl.app d
+
+(* ------------------------------------------------------------------ *)
+(* AlexNet: 22 layers; convolutions/fully-connected layers scan their  *)
+(* whole input (fully connected pattern), activations are fine-grain.  *)
+
+let alexnet () =
+  let d = Dsl.create "AlexNet" in
+  let conv = T.full_read ~name:"alex_conv" ~work:1 in
+  let fc = T.full_read ~name:"alex_fc" ~work:1 in
+  let relu = T.map1 ~name:"alex_relu" ~work:8 in
+  let pool = T.group_gather ~name:"alex_pool" ~work:8 in
+  let norm = T.map1 ~name:"alex_norm" ~work:12 in
+  let summ = T.reduce_partial ~name:"alex_softmax_sum" ~work:8 in
+  let softmax = T.scale_by_scalar ~name:"alex_softmax" ~work:8 in
+  let input = Dsl.buffer d ~elems:262144 in
+  Dsl.h2d d input;
+  let conv_layer ~src ~src_elems ~out_elems ~nred =
+    let out = Dsl.buffer d ~elems:out_elems in
+    Dsl.launch d conv ~grid:(out_elems / 256) ~block:256
+      ~args:
+        [
+          ("n", iarg out_elems); ("nred", iarg nred); ("qstride", iarg (src_elems / nred));
+          ("IN", barg src); ("OUT", barg out);
+        ];
+    out
+  in
+  let relu_layer ~src ~elems =
+    let out = Dsl.buffer d ~elems in
+    Dsl.launch d relu ~grid:(elems / 64) ~block:64
+      ~args:[ ("n", iarg elems); ("IN", barg src); ("OUT", barg out) ];
+    out
+  in
+  let pool_layer ~src ~elems =
+    (* halves the activation count; each 32-thread TB reads one 64-span
+       producer block *)
+    let out_elems = elems / 2 in
+    let out = Dsl.buffer d ~elems:out_elems in
+    Dsl.launch d pool ~grid:(out_elems / 32) ~block:32
+      ~args:
+        [ ("n", iarg out_elems); ("opg", iarg 1); ("gs", iarg 2); ("IN", barg src); ("OUT", barg out) ];
+    out
+  in
+  let norm_layer ~src ~elems =
+    let out = Dsl.buffer d ~elems in
+    Dsl.launch d norm ~grid:(elems / 32) ~block:32
+      ~args:[ ("n", iarg elems); ("IN", barg src); ("OUT", barg out) ];
+    out
+  in
+  (* conv1 .. norm2 *)
+  let c1 = conv_layer ~src:input ~src_elems:262144 ~out_elems:524288 ~nred:1024 in
+  let r1 = relu_layer ~src:c1 ~elems:524288 in
+  let p1 = pool_layer ~src:r1 ~elems:524288 in
+  let n1 = norm_layer ~src:p1 ~elems:262144 in
+  let c2 = conv_layer ~src:n1 ~src_elems:262144 ~out_elems:262144 ~nred:1024 in
+  let r2 = relu_layer ~src:c2 ~elems:262144 in
+  let p2 = pool_layer ~src:r2 ~elems:262144 in
+  let n2 = norm_layer ~src:p2 ~elems:131072 in
+  (* conv3..conv5 *)
+  let c3 = conv_layer ~src:n2 ~src_elems:131072 ~out_elems:131072 ~nred:1024 in
+  let r3 = relu_layer ~src:c3 ~elems:131072 in
+  let c4 = conv_layer ~src:r3 ~src_elems:131072 ~out_elems:131072 ~nred:1024 in
+  let r4 = relu_layer ~src:c4 ~elems:131072 in
+  let c5 = conv_layer ~src:r4 ~src_elems:131072 ~out_elems:131072 ~nred:1024 in
+  let r5 = relu_layer ~src:c5 ~elems:131072 in
+  let p5 = pool_layer ~src:r5 ~elems:131072 in
+  (* fully connected layers *)
+  let fc_layer ~src ~src_elems ~out_elems ~nred =
+    let out = Dsl.buffer d ~elems:out_elems in
+    Dsl.launch d fc ~grid:(max 1 (out_elems / 256)) ~block:256
+      ~args:
+        [
+          ("n", iarg out_elems); ("nred", iarg nred); ("qstride", iarg (src_elems / nred));
+          ("IN", barg src); ("OUT", barg out);
+        ];
+    out
+  in
+  let f6 = fc_layer ~src:p5 ~src_elems:65536 ~out_elems:4096 ~nred:2048 in
+  let r6 = relu_layer ~src:f6 ~elems:4096 in
+  let f7 = fc_layer ~src:r6 ~src_elems:4096 ~out_elems:4096 ~nred:2048 in
+  let r7 = relu_layer ~src:f7 ~elems:4096 in
+  let f8 = fc_layer ~src:r7 ~src_elems:4096 ~out_elems:256 ~nred:2048 in
+  let sum_out = Dsl.buffer d ~elems:1 in
+  Dsl.launch d summ ~grid:1 ~block:256
+    ~args:[ ("n", iarg 256); ("IN", barg f8); ("OUT", barg sum_out) ];
+  let probs = Dsl.buffer d ~elems:256 in
+  Dsl.launch d softmax ~grid:1 ~block:256
+    ~args:[ ("n", iarg 256); ("IN", barg f8); ("S", barg sum_out); ("OUT", barg probs) ];
+  Dsl.d2h d probs;
+  Dsl.app d
+
+let all =
+  [
+    ("3MM", threemm);
+    ("AlexNet", alexnet);
+    ("BICG", bicg);
+    ("FDTD-2D", fdtd_2d);
+    ("FFT", fft);
+    ("GAUSSIAN", gaussian);
+    ("GRAMSCHM", gramschm);
+    ("HS", hotspot);
+    ("LUD", lud);
+    ("MVT", mvt);
+    ("NW", nw);
+    ("PATH", pathfinder);
+  ]
+
+let by_name name = List.assoc name all

@@ -1,0 +1,27 @@
+(** The twelve multi-kernel applications of Table II.
+
+    Each generator emits the application's full host command stream with
+    kernels built from {!Templates}; kernel counts match the paper
+    (3MM: 3, AlexNet: 22, BICG: 2, FDTD-2D: 24, FFT: 60, GAUSSIAN: 510,
+    GRAMSCHM: 192, HS: 10, LUD: 46, MVT: 2, NW: 255, PATH: 5) and the
+    emitted PTX realizes the same dependency-pattern classes.  Any pattern
+    classified differently from Table II is noted in EXPERIMENTS.md. *)
+
+val threemm : unit -> Bm_gpu.Command.app
+val alexnet : unit -> Bm_gpu.Command.app
+val bicg : unit -> Bm_gpu.Command.app
+val fdtd_2d : unit -> Bm_gpu.Command.app
+val fft : unit -> Bm_gpu.Command.app
+val gaussian : unit -> Bm_gpu.Command.app
+val gramschm : unit -> Bm_gpu.Command.app
+val hotspot : unit -> Bm_gpu.Command.app
+val lud : unit -> Bm_gpu.Command.app
+val mvt : unit -> Bm_gpu.Command.app
+val nw : unit -> Bm_gpu.Command.app
+val pathfinder : unit -> Bm_gpu.Command.app
+
+val all : (string * (unit -> Bm_gpu.Command.app)) list
+(** In the paper's Table II order, keyed by the paper's names. *)
+
+val by_name : string -> unit -> Bm_gpu.Command.app
+(** @raise Not_found for unknown names. *)

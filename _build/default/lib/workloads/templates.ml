@@ -1,0 +1,300 @@
+open Bm_ptx.Types
+module B = Bm_ptx.Builder
+
+let addr_at b base index = B.elem_addr b ~base ~index ~scale:4
+
+let ld b base index = B.ld_global_f32 b ~addr:(addr_at b base index) ~offset:0
+let st b base index value = B.st_global_f32 b ~addr:(addr_at b base index) ~offset:0 ~value
+
+let map1 ~name ~work =
+  let b = B.create name in
+  let i = B.global_linear_index b in
+  let n = B.param_u32 b "n" in
+  B.guard_return_if_ge b i n;
+  let inp = B.param_ptr b "IN" and out = B.param_ptr b "OUT" in
+  let x = ld b inp i in
+  let v = B.fcompute b work [ x ] in
+  st b out i v;
+  B.finish b
+
+let map2 ~name ~work =
+  let b = B.create name in
+  let i = B.global_linear_index b in
+  let n = B.param_u32 b "n" in
+  B.guard_return_if_ge b i n;
+  let pa = B.param_ptr b "A" and pb = B.param_ptr b "B" and out = B.param_ptr b "OUT" in
+  let x = ld b pa i in
+  let y = ld b pb i in
+  let v = B.fcompute b work [ x; y ] in
+  st b out i v;
+  B.finish b
+
+let map1_off ~name ~work =
+  let b = B.create name in
+  let i = B.global_linear_index b in
+  let n = B.param_u32 b "n" in
+  B.guard_return_if_ge b i n;
+  let srcoff = B.param_u32 b "srcoff" in
+  let dstoff = B.param_u32 b "dstoff" in
+  let smax = B.param_u32 b "smax" in
+  let inp = B.param_ptr b "IN" and out = B.param_ptr b "OUT" in
+  let clamped = B.min_u32 b i smax in
+  let src_idx = B.add_u32 b srcoff clamped in
+  let addr = addr_at b inp src_idx in
+  (* Three reads of the same cell model the multiple per-cell fields real
+     diagonal sweeps load (score + two gap penalties in NW) without
+     widening the footprint past the producer block. *)
+  let x = B.ld_global_f32 b ~addr ~offset:0 in
+  let x1 = B.ld_global_f32 b ~addr ~offset:0 in
+  let x2 = B.ld_global_f32 b ~addr ~offset:0 in
+  let v = B.fcompute b work [ x; x1; x2 ] in
+  let dst_idx = B.add_u32 b dstoff i in
+  st b out dst_idx v;
+  B.finish b
+
+let stencil1d ~name ~halo ~work =
+  let b = B.create name in
+  let i = B.global_linear_index b in
+  let n = B.param_u32 b "n" in
+  B.guard_return_if_ge b i n;
+  let inp = B.param_ptr b "IN" and out = B.param_ptr b "OUT" in
+  let vals = ref [] in
+  for d = -halo to halo do
+    let idx = B.add_u32 b i (Imm d) in
+    vals := ld b inp idx :: !vals
+  done;
+  let v = B.fcompute b (work + (2 * halo)) (List.rev !vals) in
+  st b out i v;
+  B.finish b
+
+let group_gather ~name ~work =
+  let b = B.create name in
+  let i = B.global_linear_index b in
+  let n = B.param_u32 b "n" in
+  B.guard_return_if_ge b i n;
+  let opg = B.param_u32 b "opg" in
+  let gs = B.param_u32 b "gs" in
+  let inp = B.param_ptr b "IN" and out = B.param_ptr b "OUT" in
+  let g = B.div_u32 b i opg in
+  let base_idx = B.mul_lo_u32 b g gs in
+  B.loop b ~init:(Imm 0) ~bound:gs ~step:1 (fun k ->
+      let idx = B.add_u32 b base_idx k in
+      let x = ld b inp idx in
+      ignore (B.fcompute b 1 [ x ]));
+  let v = B.fcompute b work [] in
+  st b out i v;
+  B.finish b
+
+let map1_group ~name ~work =
+  let b = B.create name in
+  let i = B.global_linear_index b in
+  let n = B.param_u32 b "n" in
+  B.guard_return_if_ge b i n;
+  let opg = B.param_u32 b "opg" in
+  let gs = B.param_u32 b "gs" in
+  let pa = B.param_ptr b "A" and pg = B.param_ptr b "G" and out = B.param_ptr b "OUT" in
+  let x = ld b pa i in
+  let g = B.div_u32 b i opg in
+  let base_idx = B.mul_lo_u32 b g gs in
+  B.loop b ~init:(Imm 0) ~bound:gs ~step:1 (fun k ->
+      let idx = B.add_u32 b base_idx k in
+      let y = ld b pg idx in
+      ignore (B.fcompute b 1 [ y ]));
+  let v = B.fcompute b work [ x ] in
+  st b out i v;
+  B.finish b
+
+let matvec ~name ~work =
+  let b = B.create name in
+  let i = B.global_linear_index b in
+  let n = B.param_u32 b "n" in
+  B.guard_return_if_ge b i n;
+  let kdim = B.param_u32 b "kdim" in
+  let pa = B.param_ptr b "A" and px = B.param_ptr b "X" and py = B.param_ptr b "Y" in
+  let row_base = B.mul_lo_u32 b i kdim in
+  B.loop b ~init:(Imm 0) ~bound:kdim ~step:1 (fun k ->
+      let a_idx = B.add_u32 b row_base k in
+      let xa = ld b pa a_idx in
+      let xx = ld b px k in
+      ignore (B.fcompute b (1 + work) [ xa; xx ]));
+  let v = B.fcompute b 1 [] in
+  st b py i v;
+  B.finish b
+
+let matmul ~name ~work =
+  let b = B.create name in
+  let i = B.global_linear_index b in
+  let m = B.param_u32 b "m" in
+  let n = B.param_u32 b "n" in
+  let total = B.mul_lo_u32 b m n in
+  B.guard_return_if_ge b i total;
+  let kdim = B.param_u32 b "kdim" in
+  let pa = B.param_ptr b "A" and pb = B.param_ptr b "B" and pc = B.param_ptr b "C" in
+  let row = B.div_u32 b i n in
+  let col = B.rem_u32 b i n in
+  let row_base = B.mul_lo_u32 b row kdim in
+  B.loop b ~init:(Imm 0) ~bound:kdim ~step:1 (fun kk ->
+      let a_idx = B.add_u32 b row_base kk in
+      let b_idx = B.mad_lo_u32 b kk n col in
+      let xa = ld b pa a_idx in
+      let xb = ld b pb b_idx in
+      ignore (B.fcompute b (1 + work) [ xa; xb ]));
+  let v = B.fcompute b 1 [] in
+  st b pc i v;
+  B.finish b
+
+let reduce_partial ~name ~work =
+  let b = B.create name in
+  let i = B.global_linear_index b in
+  let n = B.param_u32 b "n" in
+  B.guard_return_if_ge b i n;
+  let inp = B.param_ptr b "IN" and out = B.param_ptr b "OUT" in
+  let x = ld b inp i in
+  let v = B.fcompute b (work + 2) [ x ] in
+  (* Every thread of the block stores the block result to OUT[ctaid]: the
+     footprint is one element per TB. *)
+  let cta = B.block_index b in
+  st b out cta v;
+  B.finish b
+
+let scale_by_scalar ~name ~work =
+  let b = B.create name in
+  let i = B.global_linear_index b in
+  let n = B.param_u32 b "n" in
+  B.guard_return_if_ge b i n;
+  let inp = B.param_ptr b "IN" and ps = B.param_ptr b "S" and out = B.param_ptr b "OUT" in
+  let x = ld b inp i in
+  let s = ld b ps (Imm 0) in
+  let v = B.fcompute b (work + 1) [ x; s ] in
+  st b out i v;
+  B.finish b
+
+let fan1 ~name =
+  let b = B.create name in
+  let i = B.global_linear_index b in
+  let n = B.param_u32 b "n" in
+  B.guard_return_if_ge b i n;
+  let size = B.param_u32 b "size" in
+  let t = B.param_u32 b "t" in
+  let pa = B.param_ptr b "A" and pm = B.param_ptr b "M" in
+  (* row = t + 1 + i *)
+  let row = B.add_u32 b t (Imm 1) in
+  let row = B.add_u32 b row i in
+  let pivot_idx = B.mad_lo_u32 b t size t in
+  let col_idx = B.mad_lo_u32 b row size t in
+  let pivot = ld b pa pivot_idx in
+  let below = ld b pa col_idx in
+  let v = B.fcompute b 380 [ pivot; below ] in
+  st b pm col_idx v;
+  B.finish b
+
+let fan2 ~name =
+  (* One thread per updated cell (the Rodinia kernel is 2-D; we linearize):
+     row = t+1 + i/ncols, col = t + i%ncols with ncols = size - t. *)
+  let b = B.create name in
+  let i = B.global_linear_index b in
+  let n = B.param_u32 b "n" in
+  B.guard_return_if_ge b i n;
+  let size = B.param_u32 b "size" in
+  let t = B.param_u32 b "t" in
+  let pa = B.param_ptr b "A" and pm = B.param_ptr b "M" in
+  let ncols = B.sub_u32 b size t in
+  let drow = B.div_u32 b i ncols in
+  let dcol = B.rem_u32 b i ncols in
+  let row = B.add_u32 b t (Imm 1) in
+  let row = B.add_u32 b row drow in
+  let col = B.add_u32 b t dcol in
+  let row_base = B.mul_lo_u32 b row size in
+  let m_idx = B.add_u32 b row_base t in
+  let pivot_idx = B.mad_lo_u32 b t size col in
+  let cell_idx = B.add_u32 b row_base col in
+  let mult = ld b pm m_idx in
+  let pivot_row = ld b pa pivot_idx in
+  let cell = ld b pa cell_idx in
+  let v = B.fcompute b 380 [ mult; pivot_row; cell ] in
+  st b pa cell_idx v;
+  B.finish b
+
+let reduce_partial_off ~name ~work =
+  let b = B.create name in
+  let i = B.global_linear_index b in
+  let n = B.param_u32 b "n" in
+  B.guard_return_if_ge b i n;
+  let off = B.param_u32 b "off" in
+  let oidx = B.param_u32 b "oidx" in
+  let inp = B.param_ptr b "IN" and out = B.param_ptr b "OUT" in
+  let idx = B.add_u32 b off i in
+  let x = ld b inp idx in
+  let v = B.fcompute b (work + 2) [ x ] in
+  let cta = B.block_index b in
+  let o = B.add_u32 b oidx cta in
+  st b out o v;
+  B.finish b
+
+let scale_off ~name ~work =
+  let b = B.create name in
+  let i = B.global_linear_index b in
+  let n = B.param_u32 b "n" in
+  B.guard_return_if_ge b i n;
+  let off = B.param_u32 b "off" in
+  let sidx = B.param_u32 b "sidx" in
+  let inp = B.param_ptr b "IN" and ps = B.param_ptr b "S" and out = B.param_ptr b "OUT" in
+  let idx = B.add_u32 b off i in
+  let x = ld b inp idx in
+  let s = ld b ps sidx in
+  let v = B.fcompute b (work + 1) [ x; s ] in
+  st b out idx v;
+  B.finish b
+
+let update_off ~name ~work =
+  let b = B.create name in
+  let i = B.global_linear_index b in
+  let n = B.param_u32 b "n" in
+  B.guard_return_if_ge b i n;
+  let aoff = B.param_u32 b "aoff" in
+  let qoff = B.param_u32 b "qoff" in
+  let nred = B.param_u32 b "nred" in
+  let qstride = B.param_u32 b "qstride" in
+  let pa = B.param_ptr b "A" and pq = B.param_ptr b "Q" in
+  let a_idx = B.add_u32 b aoff i in
+  let x = ld b pa a_idx in
+  B.loop b ~init:(Imm 0) ~bound:nred ~step:1 (fun k ->
+      let q_idx = B.mad_lo_u32 b k qstride qoff in
+      let q = ld b pq q_idx in
+      ignore (B.fcompute b 1 [ q ]));
+  let v = B.fcompute b (work + 1) [ x ] in
+  st b pa a_idx v;
+  B.finish b
+
+let full_read ~name ~work =
+  let b = B.create name in
+  let i = B.global_linear_index b in
+  let n = B.param_u32 b "n" in
+  B.guard_return_if_ge b i n;
+  let nred = B.param_u32 b "nred" in
+  let qstride = B.param_u32 b "qstride" in
+  let inp = B.param_ptr b "IN" and out = B.param_ptr b "OUT" in
+  B.loop b ~init:(Imm 0) ~bound:nred ~step:1 (fun k ->
+      let idx = B.mul_lo_u32 b k qstride in
+      let x = ld b inp idx in
+      ignore (B.fcompute b (1 + work) [ x ]));
+  let v = B.fcompute b 1 [] in
+  st b out i v;
+  B.finish b
+
+let wave ~name ~halo ~work =
+  let b = B.create name in
+  let i = B.global_linear_index b in
+  let n = B.param_u32 b "n" in
+  B.guard_return_if_ge b i n;
+  let smax = B.param_u32 b "smax" in
+  let inp = B.param_ptr b "IN" and out = B.param_ptr b "OUT" in
+  let vals = ref [] in
+  for h = 0 to halo do
+    let shifted = if h = 0 then i else B.max_u32 b (B.sub_u32 b i (Imm h)) (Imm 0) in
+    let clamped = B.min_u32 b shifted smax in
+    vals := ld b inp clamped :: !vals
+  done;
+  let v = B.fcompute b (work + halo) (List.rev !vals) in
+  st b out i v;
+  B.finish b

@@ -1,0 +1,88 @@
+(** Parameterized kernel generators.
+
+    Every template emits a complete PTX kernel through {!Bm_ptx.Builder};
+    the analysis pipeline extracts all dependency information from the
+    emitted code, never from the template's intent — so these are the
+    "existing SIMT applications" BlockMaestro must handle transparently.
+
+    Parameter naming is uniform: [n] guards the linear thread index;
+    pointer parameters are upper-case.  The [work] argument pads each
+    thread with that many dependent [fma] instructions to control compute
+    intensity (and hence TB execution time in the cost model). *)
+
+open Bm_ptx.Types
+
+val map1 : name:string -> work:int -> kernel
+(** OUT[i] = f(IN[i]).  Params: n, IN, OUT.  Pattern vs same-shape
+    producer: 1-to-1. *)
+
+val map2 : name:string -> work:int -> kernel
+(** OUT[i] = f(A[i], B[i]).  Params: n, A, B, OUT. *)
+
+val map1_off : name:string -> work:int -> kernel
+(** OUT[dstoff + i] = f(IN[srcoff + min(i, smax)]).  Params: n, srcoff,
+    dstoff, smax, IN, OUT.  Used for diagonal/wavefront sweeps over one
+    arena buffer (NW): each TB reads a single producer block. *)
+
+val stencil1d : name:string -> halo:int -> work:int -> kernel
+(** OUT[i] = f(IN[i-halo] ... IN[i+halo]).  Params: n, IN, OUT.
+    Pattern: overlapped. *)
+
+val group_gather : name:string -> work:int -> kernel
+(** OUT[i] = reduce(IN[g*gs ... g*gs+gs-1]) with g = i / opg.
+    Params: n, opg, gs, IN, OUT.  Pattern: n-group / n-to-1 depending on
+    how groups align with producer blocks. *)
+
+val map1_group : name:string -> work:int -> kernel
+(** OUT[i] = f(A[i], reduce(G[g*gs ... +gs-1])), g = i / opg.
+    Params: n, opg, gs, A, G, OUT.  With gs covering the whole of G this
+    reads everything the producer wrote: fully connected. *)
+
+val matvec : name:string -> work:int -> kernel
+(** Y[i] = sum_k A[i*kdim + k] * X[k].  Params: n, kdim, A, X, Y.
+    Reads all of X: fully connected towards X's producer. *)
+
+val matmul : name:string -> work:int -> kernel
+(** C[i] with i < m*n; row = i/n, col = i%n; inner loop over kdim.
+    Params: m, n, kdim, A, B, C. *)
+
+val reduce_partial : name:string -> work:int -> kernel
+(** OUT[ctaid] = reduce over this TB's segment of IN.  Params: n, IN, OUT.
+    The writes are one element per TB, so a following whole-read kernel
+    sees an n-to-1 pattern. *)
+
+val scale_by_scalar : name:string -> work:int -> kernel
+(** OUT[i] = IN[i] * S[0].  Params: n, IN, S, OUT.  Pattern towards S's
+    (single-TB) producer: 1-to-n. *)
+
+val fan1 : name:string -> kernel
+(** Gaussian-elimination multiplier kernel for iteration [t]:
+    M[row*size + t] = A[row*size + t] / A[t*size + t], row = t+1+i.
+    Params: size, t, n, A, M. *)
+
+val fan2 : name:string -> kernel
+(** Gaussian-elimination row-update kernel for iteration [t]: for each
+    column c in [t, size): A[row*size + c] -= M[row*size + t] * A[t*size + c].
+    Params: size, t, n, A, M. *)
+
+val reduce_partial_off : name:string -> work:int -> kernel
+(** Like {!reduce_partial} over the slice IN[off ...], writing
+    OUT[oidx + ctaid].  Params: n, off, oidx, IN, OUT. *)
+
+val scale_off : name:string -> work:int -> kernel
+(** OUT[off + i] = IN[off + i] * S[sidx].  Params: n, off, sidx, IN, S, OUT. *)
+
+val update_off : name:string -> work:int -> kernel
+(** In-place region update with a strided whole-vector read:
+    A[aoff+i] = f(A[aoff+i], sum_k Q[qoff + k*qstride]) for k < nred.
+    Params: n, aoff, qoff, nred, qstride, A, Q.  The strided read spans
+    [qoff, qoff + nred*qstride): fully connected towards Q's producer. *)
+
+val full_read : name:string -> work:int -> kernel
+(** OUT[i] = reduce_k IN[k * qstride] for k < nred: a strided scan over the
+    producer's whole output (convolution/fully-connected layers).
+    Params: n, nred, qstride, IN, OUT. *)
+
+val wave : name:string -> halo:int -> work:int -> kernel
+(** Wavefront diagonal update: OUT[i] = f(IN[min(max(i-h,0),smax)] for
+    h in 0..halo).  Params: n, smax, IN, OUT.  Pattern: overlapped. *)

@@ -1,0 +1,48 @@
+module Command = Bm_gpu.Command
+module T = Templates
+
+(* A diamond of 15 diagonals whose width doubles up to 1024 TBs of 32
+   threads and halves back down: 4088 tasks (~the paper's 4K).  Task
+   durations are heterogeneous (wavefront cells do data-dependent work), so
+   Fig. 14 runs use an elevated jitter configuration. *)
+let widths =
+  (* 29 diagonals ramping 16..224..16 by 16: 4032 tasks. *)
+  List.init 29 (fun i -> 16 * (1 + min i (28 - i)))
+let block = 32
+
+let task_count = List.fold_left ( + ) 0 widths
+
+let make ~name ~work ~halo () =
+  let d = Dsl.create name in
+  let max_len = 224 * block in
+  let d1 = Dsl.buffer d ~elems:max_len and d2 = Dsl.buffer d ~elems:max_len in
+  Dsl.h2d d d1;
+  let k = T.wave ~name:(name ^ "_diag") ~halo ~work in
+  let src = ref d1 and dst = ref d2 in
+  let prev_width = ref (List.hd widths) in
+  List.iter
+    (fun w ->
+      let n = w * block in
+      Dsl.launch d k ~grid:w ~block
+        ~args:
+          [
+            ("n", Command.Int n); ("smax", Command.Int ((!prev_width * block) - 1));
+            ("IN", Command.Buf !src); ("OUT", Command.Buf !dst);
+          ];
+      prev_width := w;
+      let tmp = !src in
+      src := !dst;
+      dst := tmp)
+    widths;
+  Dsl.d2h d !src;
+  Dsl.app d
+
+let apps =
+  [
+    ("sor", make ~name:"sor" ~work:2800 ~halo:1);
+    ("sw", make ~name:"sw" ~work:3400 ~halo:2);
+    ("dtw", make ~name:"dtw" ~work:3800 ~halo:2);
+    ("heat", make ~name:"heat" ~work:2800 ~halo:1);
+    ("lcs", make ~name:"lcs" ~work:2400 ~halo:1);
+    ("seidel", make ~name:"seidel" ~work:4200 ~halo:2);
+  ]

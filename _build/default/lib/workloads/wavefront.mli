@@ -1,0 +1,15 @@
+(** Wavefront applications for the comparison with CDP and Wireframe
+    (Fig. 14): six apps of ~4K tasks each, every kernel an anti-diagonal
+    with an overlapped dependency on its predecessor; the number of TBs
+    grows to the middle of the dependency graph and then declines. *)
+
+val apps : (string * (unit -> Bm_gpu.Command.app)) list
+(** sor, sw, dtw, heat, lcs, seidel. *)
+
+val task_count : int
+(** Total tasks per app (~4K). *)
+
+val widths : int list
+(** Per-diagonal TB counts (the diamond shape). *)
+
+val make : name:string -> work:int -> halo:int -> unit -> Bm_gpu.Command.app

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Array Bm_analysis Bm_depgraph Bm_ptx Builder List Printf QCheck2 QCheck_alcotest String Test_ptx Types

@@ -1,0 +1,1 @@
+test/test_depgraph.ml: Alcotest Array Bipartite Bm_analysis Bm_depgraph Encode List Pattern QCheck2 QCheck_alcotest

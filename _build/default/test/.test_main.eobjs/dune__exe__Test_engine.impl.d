@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Bm_engine List QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_gpu.ml: Alcotest Alloc Array Bm_analysis Bm_gpu Bm_ptx Bm_workloads Command Config Costmodel List QCheck2 QCheck_alcotest Stats

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Bm_analysis Bm_depgraph Bm_gpu Bm_maestro Bm_ptx Bm_report Bm_workloads Builder Interp Lazy List Printf Types

@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Array Bm_analysis Bm_ptx Bm_workloads Builder Float Interp List QCheck2 QCheck_alcotest String Test_ptx Types

@@ -1,0 +1,1 @@
+test/test_maestro.ml: Alcotest Array Bm_depgraph Bm_gpu Bm_maestro Bm_ptx Bm_workloads Hashtbl List QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_ptx.ml: Alcotest Array Bm_ptx Builder Cfg List Parser Printer Printf QCheck2 QCheck_alcotest Types

@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Array Bm_baselines Bm_gpu Bm_maestro Bm_report Bm_workloads Lazy List QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_sinterval.ml: Alcotest Bm_analysis Bm_ptx List QCheck2 QCheck_alcotest

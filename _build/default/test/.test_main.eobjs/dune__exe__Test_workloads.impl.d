@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Bm_analysis Bm_depgraph Bm_gpu Bm_maestro Bm_ptx Bm_workloads Hashtbl List Printf

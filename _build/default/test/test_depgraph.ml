@@ -1,0 +1,325 @@
+(* Tests for bipartite dependency graphs, Table I pattern classification
+   and the encoding/storage model. *)
+
+open Bm_depgraph
+module Footprint = Bm_analysis.Footprint
+module I = Bm_analysis.Sinterval
+
+let graph ~n edges = Bipartite.Graph (Bipartite.of_edges ~n_parents:n ~n_children:n edges)
+
+let pairs n f =
+  let edges = ref [] in
+  for c = 0 to n - 1 do
+    List.iter (fun p -> if p >= 0 && p < n then edges := (p, c) :: !edges) (f c)
+  done;
+  graph ~n !edges
+
+let classify rel = Pattern.classify rel
+
+let test_of_edges_dedup () =
+  let g =
+    Bipartite.of_edges ~n_parents:2 ~n_children:2 [ (0, 0); (0, 0); (1, 1) ]
+  in
+  Alcotest.(check int) "no duplicate edges" 1 (Array.length g.Bipartite.parents_of.(0));
+  Alcotest.(check int) "children mirror parents" 1 (Array.length g.Bipartite.children_of.(1))
+
+let test_of_edges_bounds () =
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Bipartite.of_edges: node out of range")
+    (fun () -> ignore (Bipartite.of_edges ~n_parents:2 ~n_children:2 [ (2, 0) ]))
+
+let test_classify_one_to_one () =
+  Alcotest.(check string) "1-1" "1-to-1"
+    (Pattern.name (classify (pairs 16 (fun c -> [ c ]))))
+
+let test_classify_one_to_n () =
+  Alcotest.(check string) "1-n" "1-to-n"
+    (Pattern.name (classify (pairs 16 (fun c -> [ c / 4 ]))))
+
+let test_classify_n_to_one () =
+  let n = 16 in
+  let edges = ref [] in
+  for p = 0 to n - 1 do
+    edges := (p, p / 4) :: !edges
+  done;
+  Alcotest.(check string) "n-1" "n-to-1" (Pattern.name (classify (graph ~n !edges)))
+
+let test_classify_n_group () =
+  Alcotest.(check string) "n-group" "n-group"
+    (Pattern.name (classify (pairs 16 (fun c -> List.init 4 (fun i -> (c / 4 * 4) + i)))))
+
+let test_classify_overlapped () =
+  Alcotest.(check string) "overlapped" "overlapped"
+    (Pattern.name (classify (pairs 16 (fun c -> [ c - 1; c; c + 1 ]))))
+
+let test_classify_full_and_independent () =
+  Alcotest.(check string) "full" "fully-connected" (Pattern.name (classify Bipartite.Fully_connected));
+  Alcotest.(check string) "indep" "independent" (Pattern.name (classify Bipartite.Independent))
+
+let test_classify_irregular () =
+  (* Non-contiguous multi-parent sets that differ per child. *)
+  let rel = pairs 16 (fun c -> [ c; (c + 5) mod 16 ]) in
+  Alcotest.(check string) "irregular" "irregular" (Pattern.name (classify rel))
+
+let test_table1_ids () =
+  Alcotest.(check (list int)) "table1 numbering" [ 1; 2; 3; 4; 5; 6; 7 ]
+    (List.map Pattern.table1_id
+       [
+         Pattern.Fully_connected; Pattern.N_group; Pattern.One_to_one; Pattern.One_to_n;
+         Pattern.N_to_one; Pattern.Overlapped; Pattern.Independent;
+       ])
+
+(* --- relate: construction from footprints ------------------------- *)
+
+(* Fabricate per-TB footprints directly. *)
+let fp_of_intervals reads writes = { Footprint.freads = reads; fwrites = writes }
+
+let elementwise_fps ~tbs ~span ~base =
+  Footprint.Per_tb
+    (Array.init tbs (fun b ->
+         let lo = base + (b * span) in
+         let iv = I.range lo (lo + span - 1) in
+         fp_of_intervals [ iv ] [ iv ]))
+
+let test_relate_one_to_one () =
+  let parent = elementwise_fps ~tbs:8 ~span:1024 ~base:0 in
+  let child = elementwise_fps ~tbs:8 ~span:1024 ~base:0 in
+  match Bipartite.relate parent child with
+  | Bipartite.Graph g ->
+    Alcotest.(check string) "pattern" "1-to-1" (Pattern.name (Pattern.classify (Bipartite.Graph g)))
+  | Bipartite.Independent | Bipartite.Fully_connected -> Alcotest.fail "expected graph"
+
+let test_relate_independent () =
+  let parent = elementwise_fps ~tbs:8 ~span:1024 ~base:0 in
+  let child = elementwise_fps ~tbs:8 ~span:1024 ~base:1_000_000 in
+  Alcotest.(check bool) "independent" true (Bipartite.relate parent child = Bipartite.Independent)
+
+let test_relate_full () =
+  (* Every child reads the parent's whole output. *)
+  let parent = elementwise_fps ~tbs:8 ~span:1024 ~base:0 in
+  let whole = I.range 0 8191 in
+  let child = Footprint.Per_tb (Array.init 8 (fun _ -> fp_of_intervals [ whole ] [])) in
+  Alcotest.(check bool) "fully connected" true (Bipartite.relate parent child = Bipartite.Fully_connected)
+
+let test_relate_degree_cap () =
+  (* 128 parents each writing one element; each child reads 127 of them:
+     exceeds the 64-parent counter -> fully connected. *)
+  let parent =
+    Footprint.Per_tb (Array.init 128 (fun b -> fp_of_intervals [] [ I.singleton b ]))
+  in
+  let child =
+    Footprint.Per_tb (Array.init 4 (fun _ -> fp_of_intervals [ I.range 0 126 ] []))
+  in
+  Alcotest.(check bool) "cap degrades" true
+    (Bipartite.relate ~max_degree:64 parent child = Bipartite.Fully_connected);
+  (match Bipartite.relate ~max_degree:128 parent child with
+  | Bipartite.Fully_connected -> Alcotest.fail "cap 128 should keep the graph"
+  | Bipartite.Graph g -> Alcotest.(check int) "in-degree" 127 (Bipartite.max_in_degree g)
+  | Bipartite.Independent -> Alcotest.fail "not independent")
+
+let test_relate_conservative () =
+  let parent = Footprint.Conservative "indirect" in
+  let child = elementwise_fps ~tbs:4 ~span:16 ~base:0 in
+  Alcotest.(check bool) "conservative -> full" true
+    (Bipartite.relate parent child = Bipartite.Fully_connected)
+
+let test_relate_single_child () =
+  (* A single-child pair must stay a graph (n-to-1), not fully-connected. *)
+  let parent = elementwise_fps ~tbs:8 ~span:64 ~base:0 in
+  let child = Footprint.Per_tb [| fp_of_intervals [ I.range 0 511 ] [] |] in
+  match Bipartite.relate parent child with
+  | Bipartite.Graph g ->
+    Alcotest.(check string) "n-to-1" "n-to-1" (Pattern.name (Pattern.classify (Bipartite.Graph g)))
+  | Bipartite.Independent | Bipartite.Fully_connected -> Alcotest.fail "expected n-to-1 graph"
+
+let test_relate_stencil_overlap () =
+  let parent = elementwise_fps ~tbs:8 ~span:64 ~base:0 in
+  let child =
+    Footprint.Per_tb
+      (Array.init 8 (fun b ->
+           let lo = max 0 ((b * 64) - 4) in
+           fp_of_intervals [ I.range lo ((b * 64) + 67) ] []))
+  in
+  match Bipartite.relate parent child with
+  | Bipartite.Graph g ->
+    Alcotest.(check string) "overlapped" "overlapped"
+      (Pattern.name (Pattern.classify (Bipartite.Graph g)))
+  | Bipartite.Independent | Bipartite.Fully_connected -> Alcotest.fail "expected graph"
+
+(* --- encode -------------------------------------------------------- *)
+
+let test_encode_full () =
+  let s = Encode.measure_full ~n_parents:64 ~n_children:64 in
+  Alcotest.(check int) "plain is MN entries" (64 * 64 * 4) s.Encode.plain_bytes;
+  Alcotest.(check int) "encoded is a flag" 4 s.Encode.encoded_bytes
+
+let test_encode_never_worse () =
+  let s = Encode.measure (pairs 16 (fun c -> [ c / 4 ])) in
+  Alcotest.(check bool) "encoded <= plain" true (s.Encode.encoded_bytes <= s.Encode.plain_bytes)
+
+let test_encode_overhead_classes () =
+  Alcotest.(check string) "full class" "O(1)" (Encode.encoded_overhead_class Pattern.Fully_connected);
+  Alcotest.(check string) "ngroup class" "O(M+N)" (Encode.encoded_overhead_class Pattern.N_group);
+  Alcotest.(check string) "overlap class" "O(N + M.deg_max)"
+    (Encode.encoded_overhead_class Pattern.Overlapped)
+
+let test_edge_count () =
+  Alcotest.(check int) "full edges" 12 (Bipartite.edge_count Bipartite.Fully_connected ~n_parents:3 ~n_children:4);
+  Alcotest.(check int) "indep edges" 0 (Bipartite.edge_count Bipartite.Independent ~n_parents:3 ~n_children:4);
+  Alcotest.(check int) "graph edges" 16
+    (Bipartite.edge_count (pairs 16 (fun c -> [ c ])) ~n_parents:16 ~n_children:16)
+
+(* --- properties ---------------------------------------------------- *)
+
+(* relate must contain an edge (p, c) exactly when some write of p
+   intersects some read of c. *)
+let prop_relate_exact =
+  QCheck2.Test.make ~name:"relate edges match concrete footprint intersections" ~count:100
+    QCheck2.Gen.(pair (int_range 2 10) (int_range 1 6))
+    (fun (tbs, spread) ->
+      let span = 16 in
+      let parent =
+        Footprint.Per_tb
+          (Array.init tbs (fun b -> fp_of_intervals [] [ I.range (b * span) ((b * span) + span - 1) ]))
+      in
+      let child =
+        Footprint.Per_tb
+          (Array.init tbs (fun b ->
+               let lo = b * span * spread mod (tbs * span) in
+               fp_of_intervals [ I.range lo (lo + span - 1) ] []))
+      in
+      let expected p c =
+        let lo = c * span * spread mod (tbs * span) in
+        let rd = I.range lo (lo + span - 1) in
+        I.intersects (I.range (p * span) ((p * span) + span - 1)) rd
+      in
+      match Bipartite.relate parent child with
+      | Bipartite.Fully_connected -> false (* small degrees: should never cap *)
+      | Bipartite.Independent ->
+        (* No pair intersects. *)
+        let any = ref false in
+        for p = 0 to tbs - 1 do
+          for c = 0 to tbs - 1 do
+            if expected p c then any := true
+          done
+        done;
+        not !any
+      | Bipartite.Graph g ->
+        let ok = ref true in
+        for p = 0 to tbs - 1 do
+          for c = 0 to tbs - 1 do
+            let has = Array.exists (fun x -> x = p) g.Bipartite.parents_of.(c) in
+            if has <> expected p c then ok := false
+          done
+        done;
+        !ok)
+
+let prop_children_mirror_parents =
+  QCheck2.Test.make ~name:"children_of is the transpose of parents_of" ~count:100
+    QCheck2.Gen.(list_size (int_range 0 40) (pair (int_range 0 9) (int_range 0 9)))
+    (fun edges ->
+      let g = Bipartite.of_edges ~n_parents:10 ~n_children:10 edges in
+      let ok = ref true in
+      Array.iteri
+        (fun c ps ->
+          Array.iter
+            (fun p ->
+              if not (Array.exists (fun x -> x = c) g.Bipartite.children_of.(p)) then ok := false)
+            ps)
+        g.Bipartite.parents_of;
+      !ok)
+
+let prop_encode_bounded =
+  QCheck2.Test.make ~name:"encoded size never exceeds plain size" ~count:100
+    QCheck2.Gen.(list_size (int_range 1 60) (pair (int_range 0 15) (int_range 0 15)))
+    (fun edges ->
+      let g = Bipartite.Graph (Bipartite.of_edges ~n_parents:16 ~n_children:16 edges) in
+      let s = Encode.measure g in
+      s.Encode.encoded_bytes <= max s.Encode.plain_bytes 4)
+
+let suite =
+  [
+    Alcotest.test_case "of_edges: dedup" `Quick test_of_edges_dedup;
+    Alcotest.test_case "of_edges: bounds" `Quick test_of_edges_bounds;
+    Alcotest.test_case "classify: 1-to-1" `Quick test_classify_one_to_one;
+    Alcotest.test_case "classify: 1-to-n" `Quick test_classify_one_to_n;
+    Alcotest.test_case "classify: n-to-1" `Quick test_classify_n_to_one;
+    Alcotest.test_case "classify: n-group" `Quick test_classify_n_group;
+    Alcotest.test_case "classify: overlapped" `Quick test_classify_overlapped;
+    Alcotest.test_case "classify: full/independent" `Quick test_classify_full_and_independent;
+    Alcotest.test_case "classify: irregular" `Quick test_classify_irregular;
+    Alcotest.test_case "table1 numbering" `Quick test_table1_ids;
+    Alcotest.test_case "relate: 1-to-1 from footprints" `Quick test_relate_one_to_one;
+    Alcotest.test_case "relate: independent buffers" `Quick test_relate_independent;
+    Alcotest.test_case "relate: whole-read is full" `Quick test_relate_full;
+    Alcotest.test_case "relate: 64-parent counter cap" `Quick test_relate_degree_cap;
+    Alcotest.test_case "relate: conservative fallback" `Quick test_relate_conservative;
+    Alcotest.test_case "relate: single child stays n-to-1" `Quick test_relate_single_child;
+    Alcotest.test_case "relate: stencil overlap" `Quick test_relate_stencil_overlap;
+    Alcotest.test_case "encode: fully connected" `Quick test_encode_full;
+    Alcotest.test_case "encode: never worse than plain" `Quick test_encode_never_worse;
+    Alcotest.test_case "encode: Table I classes" `Quick test_encode_overhead_classes;
+    Alcotest.test_case "edge counts" `Quick test_edge_count;
+    QCheck_alcotest.to_alcotest prop_relate_exact;
+    QCheck_alcotest.to_alcotest prop_children_mirror_parents;
+    QCheck_alcotest.to_alcotest prop_encode_bounded;
+  ]
+
+(* --- randomized pattern construction/classification consistency ------- *)
+
+let prop_one_to_one_any_size =
+  QCheck2.Test.make ~name:"identity graphs always classify 1-to-1" ~count:50
+    QCheck2.Gen.(int_range 1 64)
+    (fun n ->
+      n = 1
+      ||
+      let g = Bipartite.of_edges ~n_parents:n ~n_children:n (List.init n (fun i -> (i, i))) in
+      Pattern.classify (Bipartite.Graph g) = Pattern.One_to_one)
+
+let prop_one_to_n_any_fan =
+  QCheck2.Test.make ~name:"single-parent graphs classify 1-to-n (or 1-to-1)" ~count:50
+    QCheck2.Gen.(pair (int_range 2 32) (int_range 2 6))
+    (fun (parents, fan) ->
+      let children = parents * fan in
+      let g =
+        Bipartite.of_edges ~n_parents:parents ~n_children:children
+          (List.init children (fun c -> (c / fan, c)))
+      in
+      Pattern.classify (Bipartite.Graph g) = Pattern.One_to_n)
+
+let prop_n_group_any_shape =
+  QCheck2.Test.make ~name:"disjoint full groups classify n-group" ~count:50
+    QCheck2.Gen.(pair (int_range 2 6) (int_range 2 8))
+    (fun (group, groups) ->
+      let n = group * groups in
+      let edges = ref [] in
+      for c = 0 to n - 1 do
+        for p = c / group * group to ((c / group) + 1) * group - 1 do
+          edges := (p, c) :: !edges
+        done
+      done;
+      let g = Bipartite.of_edges ~n_parents:n ~n_children:n !edges in
+      Pattern.classify (Bipartite.Graph g) = Pattern.N_group)
+
+let prop_overlapped_windows =
+  QCheck2.Test.make ~name:"contiguous sliding windows classify overlapped" ~count:50
+    QCheck2.Gen.(pair (int_range 8 40) (int_range 1 3))
+    (fun (n, halo) ->
+      let edges = ref [] in
+      for c = 0 to n - 1 do
+        for p = max 0 (c - halo) to min (n - 1) (c + halo) do
+          edges := (p, c) :: !edges
+        done
+      done;
+      let g = Bipartite.of_edges ~n_parents:n ~n_children:n !edges in
+      Pattern.classify (Bipartite.Graph g) = Pattern.Overlapped)
+
+let pattern_props =
+  [
+    QCheck_alcotest.to_alcotest prop_one_to_one_any_size;
+    QCheck_alcotest.to_alcotest prop_one_to_n_any_fan;
+    QCheck_alcotest.to_alcotest prop_n_group_any_shape;
+    QCheck_alcotest.to_alcotest prop_overlapped_windows;
+  ]
+
+let suite = suite @ pattern_props

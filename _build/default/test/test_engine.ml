@@ -1,0 +1,87 @@
+(* Unit and property tests for the simulation-engine substrate. *)
+
+module Heap = Bm_engine.Heap
+module Rng = Bm_engine.Rng
+
+let test_heap_empty () =
+  let h = Heap.create () in
+  Alcotest.(check bool) "fresh heap empty" true (Heap.is_empty h);
+  Alcotest.(check (option (pair (float 0.0) int))) "pop empty" None (Heap.pop h)
+
+let test_heap_order () =
+  let h = Heap.create () in
+  List.iter (fun (k, v) -> Heap.push h k v) [ (3.0, "c"); (1.0, "a"); (2.0, "b") ];
+  let popped = List.init 3 (fun _ -> match Heap.pop h with Some (_, v) -> v | None -> "?") in
+  Alcotest.(check (list string)) "min first" [ "a"; "b"; "c" ] popped
+
+let test_heap_fifo_ties () =
+  let h = Heap.create () in
+  List.iter (fun v -> Heap.push h 1.0 v) [ 1; 2; 3; 4 ];
+  let popped = List.init 4 (fun _ -> match Heap.pop h with Some (_, v) -> v | None -> -1) in
+  Alcotest.(check (list int)) "insertion order on ties" [ 1; 2; 3; 4 ] popped
+
+let test_heap_peek () =
+  let h = Heap.create () in
+  Heap.push h 5.0 ();
+  Heap.push h 2.0 ();
+  Alcotest.(check (option (float 0.0))) "peek min" (Some 2.0) (Heap.peek_key h);
+  Alcotest.(check int) "size" 2 (Heap.size h)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next_int64 a) (Rng.next_int64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  Alcotest.(check bool) "different seeds differ" true (Rng.next_int64 a <> Rng.next_int64 b)
+
+let test_jitter_stable () =
+  Alcotest.(check (float 0.0)) "jitter is a pure function" (Rng.jitter 7 13) (Rng.jitter 7 13);
+  let j = Rng.jitter 3 5 in
+  Alcotest.(check bool) "jitter in [0,1)" true (j >= 0.0 && j < 1.0)
+
+let prop_heap_sorted =
+  QCheck2.Test.make ~name:"heap pops in nondecreasing key order" ~count:200
+    QCheck2.Gen.(list (pair (float_bound_exclusive 1000.0) small_int))
+    (fun entries ->
+      let h = Heap.create () in
+      List.iter (fun (k, v) -> Heap.push h k v) entries;
+      let rec drain last =
+        match Heap.pop h with
+        | None -> true
+        | Some (k, _) -> k >= last && drain k
+      in
+      drain neg_infinity)
+
+let prop_heap_conserves =
+  QCheck2.Test.make ~name:"heap returns exactly what was pushed" ~count:200
+    QCheck2.Gen.(list (pair (float_bound_exclusive 100.0) small_int))
+    (fun entries ->
+      let h = Heap.create () in
+      List.iter (fun (k, v) -> Heap.push h k v) entries;
+      let rec drain acc = match Heap.pop h with None -> acc | Some (_, v) -> drain (v :: acc) in
+      let out = drain [] in
+      List.sort compare out = List.sort compare (List.map snd entries))
+
+let prop_float01_range =
+  QCheck2.Test.make ~name:"float_01 stays in [0,1)" ~count:500 QCheck2.Gen.small_int
+    (fun seed ->
+      let r = Rng.create seed in
+      let x = Rng.float_01 r in
+      x >= 0.0 && x < 1.0)
+
+let suite =
+  [
+    Alcotest.test_case "heap: empty" `Quick test_heap_empty;
+    Alcotest.test_case "heap: ordering" `Quick test_heap_order;
+    Alcotest.test_case "heap: fifo on ties" `Quick test_heap_fifo_ties;
+    Alcotest.test_case "heap: peek and size" `Quick test_heap_peek;
+    Alcotest.test_case "rng: determinism" `Quick test_rng_deterministic;
+    Alcotest.test_case "rng: seed sensitivity" `Quick test_rng_seed_sensitivity;
+    Alcotest.test_case "rng: jitter stable" `Quick test_jitter_stable;
+    QCheck_alcotest.to_alcotest prop_heap_sorted;
+    QCheck_alcotest.to_alcotest prop_heap_conserves;
+    QCheck_alcotest.to_alcotest prop_float01_range;
+  ]

@@ -1,0 +1,569 @@
+(* Tests for BlockMaestro proper: command reordering, launch preparation,
+   the hardware model, and simulator invariants. *)
+
+module Command = Bm_gpu.Command
+module Config = Bm_gpu.Config
+module Stats = Bm_gpu.Stats
+module Mode = Bm_maestro.Mode
+module Reorder = Bm_maestro.Reorder
+module Prep = Bm_maestro.Prep
+module Hardware = Bm_maestro.Hardware
+module Sim = Bm_maestro.Sim
+module Runner = Bm_maestro.Runner
+module Bipartite = Bm_depgraph.Bipartite
+module Dsl = Bm_workloads.Dsl
+module Templates = Bm_workloads.Templates
+
+let cfg = Config.titan_x_pascal
+
+(* --- reorder -------------------------------------------------------- *)
+
+let rw reads writes = { Reorder.reads; writes }
+
+let test_conflicts () =
+  Alcotest.(check bool) "RAW" true (Reorder.conflicts (rw [] [ 1 ]) (rw [ 1 ] []));
+  Alcotest.(check bool) "WAR" true (Reorder.conflicts (rw [ 1 ] []) (rw [] [ 1 ]));
+  Alcotest.(check bool) "WAW" true (Reorder.conflicts (rw [] [ 1 ]) (rw [] [ 1 ]));
+  Alcotest.(check bool) "RAR is no hazard" false (Reorder.conflicts (rw [ 1 ] []) (rw [ 1 ] []));
+  Alcotest.(check bool) "disjoint" false (Reorder.conflicts (rw [ 1 ] [ 2 ]) (rw [ 3 ] [ 4 ]))
+
+let buf id = { Command.buf_id = id; base = 0x1000000 * (id + 1); bytes = 1024 }
+
+let dummy_kernel = Templates.map1 ~name:"reorder_probe" ~work:1
+
+let launch_cmd input output =
+  Command.Kernel_launch
+    {
+      Command.kernel = dummy_kernel;
+      grid = Bm_ptx.Types.dim3 4;
+      block = Bm_ptx.Types.dim3 256;
+      args = [ ("n", Command.Int 1024); ("IN", Command.Buf input); ("OUT", Command.Buf output) ];
+      stream = 0;
+    }
+
+let test_reorder_hoists_memops () =
+  (* malloc B / memcpy B sit between K1 and K2 (Fig. 5a); reordering must
+     hoist them above K1 so the kernels pack together (Fig. 5c). *)
+  let a = buf 0 and b = buf 1 and c = buf 2 in
+  let k1 = launch_cmd a c and k2 = launch_cmd b c in
+  let cmds =
+    [|
+      (Command.Malloc a, rw [] [ 0 ]);
+      (Command.Memcpy_h2d a, rw [] [ 0 ]);
+      (k1, rw [ 0 ] [ 2 ]);
+      (Command.Malloc b, rw [] [ 1 ]);
+      (Command.Memcpy_h2d b, rw [] [ 1 ]);
+      (k2, rw [ 1 ] [ 2 ]);
+    |]
+  in
+  let out = Reorder.reorder cmds in
+  let kernel_positions =
+    List.filteri (fun _ c -> match c with Command.Kernel_launch _ -> true | _ -> false) out
+  in
+  Alcotest.(check int) "both kernels kept" 2 (List.length kernel_positions);
+  (* The two kernels must now be adjacent at the end. *)
+  let rec last_two = function
+    | [ x; y ] -> (x, y)
+    | _ :: rest -> last_two rest
+    | [] -> Alcotest.fail "empty"
+  in
+  let x, y = last_two out in
+  let is_kernel = function Command.Kernel_launch _ -> true | _ -> false in
+  Alcotest.(check bool) "kernels adjacent" true (is_kernel x && is_kernel y)
+
+let test_reorder_drops_sync () =
+  let a = buf 0 in
+  let cmds =
+    [| (Command.Malloc a, rw [] [ 0 ]); (Command.Device_synchronize, rw [] []) |]
+  in
+  Alcotest.(check int) "sync dropped" 1 (List.length (Reorder.reorder cmds))
+
+let test_reorder_preserves_kernel_order () =
+  let a = buf 0 and b = buf 1 and c = buf 2 in
+  let k1 = launch_cmd a b and k2 = launch_cmd a c in
+  (* Independent kernels: order must still be preserved. *)
+  let cmds = [| (k1, rw [ 0 ] [ 1 ]); (k2, rw [ 0 ] [ 2 ]) |] in
+  let out = Reorder.reorder cmds in
+  Alcotest.(check bool) "k1 before k2" true (out = [ k1; k2 ])
+
+let prop_reorder_preserves_hazards =
+  (* Any pair of commands with a hazard keeps its relative order. *)
+  QCheck2.Test.make ~name:"reordering preserves every RAW/WAR/WAW pair" ~count:200
+    QCheck2.Gen.(list_size (int_range 1 12) (pair (int_range 0 3) (pair (int_range 0 3) bool)))
+    (fun specs ->
+      let a = buf 9 in
+      let cmds =
+        List.map
+          (fun (r, (w, is_kernel)) ->
+            let rw = rw [ r ] [ w ] in
+            let c = if is_kernel then launch_cmd (buf r) (buf w) else Command.Memcpy_h2d a in
+            (c, rw))
+          specs
+        |> Array.of_list
+      in
+      let out = Reorder.reorder cmds in
+      (* Tag commands with their original index via physical equality of the
+         array cells; commands may repeat, so compare multisets and check
+         hazard order using the original rw list. *)
+      List.length out = Array.length cmds
+      &&
+      let order = Array.map (fun (c, _) -> List.length (List.filter (fun x -> x == c) out)) cmds in
+      Array.for_all (fun n -> n = 1) order)
+
+let prop_reorder_hazard_pairs_ordered =
+  QCheck2.Test.make ~name:"hazardous pairs keep relative order" ~count:200
+    QCheck2.Gen.(list_size (int_range 2 10) (pair (int_range 0 2) (int_range 0 2)))
+    (fun specs ->
+      (* Build distinct physical commands so we can find them again. *)
+      let cmds =
+        List.map
+          (fun (r, w) ->
+            (Command.Memcpy_h2d { Command.buf_id = 100 + r + w; base = 0; bytes = r + (10 * w) + 1 },
+             rw [ r ] [ w ]))
+          specs
+        |> Array.of_list
+      in
+      let out = Array.of_list (Reorder.reorder (Array.map (fun (c, x) -> (c, x)) cmds)) in
+      let pos c = ref (-1) |> fun p -> (Array.iteri (fun i x -> if x == c then p := i) out; !p) in
+      let ok = ref true in
+      Array.iteri
+        (fun i (ci, rwi) ->
+          Array.iteri
+            (fun j (cj, rwj) ->
+              if i < j && Reorder.conflicts rwi rwj && pos ci > pos cj then ok := false)
+            cmds)
+        cmds;
+      !ok)
+
+(* --- prep ----------------------------------------------------------- *)
+
+let chain_app ~work ~kernels ~tbs () =
+  let d = Dsl.create "chain" in
+  let n = tbs * 256 in
+  let bufs = Array.init (kernels + 1) (fun _ -> Dsl.buffer d ~elems:n) in
+  Dsl.h2d d bufs.(0);
+  let k = Templates.map1 ~name:"chain_step" ~work in
+  for i = 0 to kernels - 1 do
+    Dsl.launch d k ~grid:tbs ~block:256
+      ~args:[ ("n", Command.Int n); ("IN", Command.Buf bufs.(i)); ("OUT", Command.Buf bufs.(i + 1)) ]
+  done;
+  Dsl.d2h d bufs.(kernels);
+  Dsl.app d
+
+let test_prep_relations () =
+  let prep = Prep.prepare cfg (chain_app ~work:50 ~kernels:4 ~tbs:8 ()) in
+  Alcotest.(check int) "4 launches" 4 (Array.length prep.Prep.p_launches);
+  Array.iteri
+    (fun i (li : Prep.launch_info) ->
+      if i = 0 then
+        Alcotest.(check bool) "first independent" true (li.Prep.li_relation = Bipartite.Independent)
+      else
+        match li.Prep.li_relation with
+        | Bipartite.Graph _ ->
+          Alcotest.(check string) "chain is 1-to-1" "1-to-1"
+            (Bm_depgraph.Pattern.name li.Prep.li_pattern)
+        | Bipartite.Independent | Bipartite.Fully_connected -> Alcotest.fail "expected graph")
+    prep.Prep.p_launches
+
+let test_prep_copy_deps () =
+  let prep = Prep.prepare cfg (chain_app ~work:50 ~kernels:2 ~tbs:4 ()) in
+  (* Kernel 0 reads the H2D'd buffer: it must have a copy dependency. *)
+  Alcotest.(check bool) "k0 waits for its upload" true
+    (prep.Prep.p_launches.(0).Prep.li_copy_deps <> []);
+  Alcotest.(check bool) "k1 has no uploads" true (prep.Prep.p_launches.(1).Prep.li_copy_deps = [])
+
+let test_prep_d2h_gate () =
+  let prep = Prep.prepare cfg (chain_app ~work:50 ~kernels:2 ~tbs:4 ()) in
+  let gates = Array.to_list prep.Prep.p_d2h_wait |> List.filter_map (fun x -> x) in
+  Alcotest.(check (list int)) "D2H gated on the last kernel" [ 1 ] gates
+
+let test_with_relation () =
+  let prep = Prep.prepare cfg (chain_app ~work:50 ~kernels:2 ~tbs:4 ()) in
+  let prep' = Prep.with_relation prep ~seq:1 Bipartite.Fully_connected in
+  Alcotest.(check bool) "relation replaced" true
+    (prep'.Prep.p_launches.(1).Prep.li_relation = Bipartite.Fully_connected);
+  Alcotest.(check bool) "other launches untouched" true
+    (prep'.Prep.p_launches.(0).Prep.li_relation = Bipartite.Independent)
+
+(* --- hardware ------------------------------------------------------- *)
+
+let test_area () =
+  let bytes = Hardware.area_bytes cfg in
+  (* Paper reports ~22 KB. *)
+  Alcotest.(check bool) "about 22KB" true (bytes > 20_000 && bytes < 26_000)
+
+let test_dep_traffic () =
+  Alcotest.(check (float 1e-9)) "independent" 1.0
+    (Hardware.dep_mem_requests cfg ~n_parents:100 ~n_children:100 Bipartite.Independent);
+  Alcotest.(check (float 1e-9)) "full" 2.0
+    (Hardware.dep_mem_requests cfg ~n_parents:100 ~n_children:100 Bipartite.Fully_connected);
+  let g =
+    Bipartite.Graph (Bipartite.of_edges ~n_parents:8 ~n_children:8 (List.init 8 (fun i -> (i, i))))
+  in
+  let reqs = Hardware.dep_mem_requests cfg ~n_parents:8 ~n_children:8 g in
+  (* O(V) with 32-byte transactions: install + batched descriptor fetch +
+     packed counters — a handful of transactions for an 8-node pair. *)
+  Alcotest.(check bool) "order V, packed" true (reqs >= 3.0 && reqs <= 8.0);
+  let big =
+    Bipartite.Graph
+      (Bipartite.of_edges ~n_parents:512 ~n_children:512 (List.init 512 (fun i -> (i, i))))
+  in
+  let big_reqs = Hardware.dep_mem_requests cfg ~n_parents:512 ~n_children:512 big in
+  Alcotest.(check bool) "scales with V" true (big_reqs > 8.0 *. reqs)
+
+(* --- sim invariants -------------------------------------------------- *)
+
+let run_mode mode app = Runner.simulate ~cfg mode app
+
+let test_sim_deterministic () =
+  let app = chain_app ~work:200 ~kernels:5 ~tbs:32 () in
+  let a = run_mode Mode.Producer_priority app in
+  let b = run_mode Mode.Producer_priority app in
+  Alcotest.(check (float 0.0)) "identical totals" a.Stats.total_us b.Stats.total_us
+
+let test_sim_ideal_not_slower () =
+  let app = chain_app ~work:200 ~kernels:5 ~tbs:32 () in
+  let base = run_mode Mode.Baseline app in
+  let ideal = run_mode Mode.Ideal app in
+  Alcotest.(check bool) "ideal <= baseline" true (ideal.Stats.total_us <= base.Stats.total_us)
+
+let test_sim_prelaunch_not_slower () =
+  let app = chain_app ~work:200 ~kernels:6 ~tbs:32 () in
+  let base = run_mode Mode.Baseline app in
+  let pre = run_mode Mode.Prelaunch_only app in
+  Alcotest.(check bool) "pre-launch helps a serialized chain" true
+    (pre.Stats.total_us < base.Stats.total_us)
+
+let test_sim_no_start_before_dep () =
+  (* In fine-grain modes a child TB never starts before its last parent
+     finished (Graph relations). *)
+  let app = chain_app ~work:400 ~kernels:4 ~tbs:16 () in
+  let prep = Runner.prepare ~cfg Mode.Producer_priority app in
+  let stats = Sim.run cfg Mode.Producer_priority prep in
+  let finish = Hashtbl.create 64 in
+  Array.iter (fun r -> Hashtbl.replace finish (r.Stats.r_kernel, r.Stats.r_tb) r.Stats.r_finish)
+    stats.Stats.records;
+  Array.iter
+    (fun r ->
+      let k = r.Stats.r_kernel in
+      if k > 0 then
+        match prep.Prep.p_launches.(k).Prep.li_relation with
+        | Bipartite.Graph g ->
+          Array.iter
+            (fun p ->
+              let pf = Hashtbl.find finish (k - 1, p) in
+              if r.Stats.r_start +. 1e-9 < pf then
+                Alcotest.failf "TB %d of kernel %d started %.3f before parent %d finished %.3f"
+                  r.Stats.r_tb k r.Stats.r_start p pf)
+            g.Bipartite.parents_of.(r.Stats.r_tb)
+        | Bipartite.Independent | Bipartite.Fully_connected -> ())
+    stats.Stats.records;
+  Alcotest.(check pass) "dependency order respected" () ()
+
+let test_sim_baseline_serializes () =
+  (* In the baseline no TB of kernel k starts before all of kernel k-1
+     finished. *)
+  let app = chain_app ~work:300 ~kernels:3 ~tbs:8 () in
+  let stats = run_mode Mode.Baseline app in
+  let last_finish = Array.make 3 0.0 in
+  Array.iter
+    (fun r ->
+      if r.Stats.r_finish > last_finish.(r.Stats.r_kernel) then
+        last_finish.(r.Stats.r_kernel) <- r.Stats.r_finish)
+    stats.Stats.records;
+  Array.iter
+    (fun r ->
+      if r.Stats.r_kernel > 0 then
+        Alcotest.(check bool) "kernel barrier" true
+          (r.Stats.r_start +. 1e-9 >= last_finish.(r.Stats.r_kernel - 1)))
+    stats.Stats.records
+
+let test_sim_dep_ready_consistent () =
+  (* dep_ready of a child TB equals the max finish time of its parents,
+     in every mode (Fig. 11 uses this across modes). *)
+  let app = chain_app ~work:300 ~kernels:3 ~tbs:8 () in
+  let prep = Runner.prepare ~cfg Mode.Baseline app in
+  let stats = Sim.run cfg Mode.Baseline prep in
+  let finish = Hashtbl.create 64 in
+  Array.iter (fun r -> Hashtbl.replace finish (r.Stats.r_kernel, r.Stats.r_tb) r.Stats.r_finish)
+    stats.Stats.records;
+  Array.iter
+    (fun r ->
+      let k = r.Stats.r_kernel in
+      if k > 0 then
+        match prep.Prep.p_launches.(k).Prep.li_relation with
+        | Bipartite.Graph g when Array.length g.Bipartite.parents_of.(r.Stats.r_tb) > 0 ->
+          let expect =
+            Array.fold_left
+              (fun acc p -> max acc (Hashtbl.find finish (k - 1, p)))
+              0.0 g.Bipartite.parents_of.(r.Stats.r_tb)
+          in
+          Alcotest.(check (float 1e-6)) "dep_ready = max parent finish" expect r.Stats.r_dep_ready
+        | Bipartite.Graph _ | Bipartite.Independent | Bipartite.Fully_connected -> ())
+    stats.Stats.records
+
+let test_sim_independent_kernels_overlap () =
+  let d = Dsl.create "indep" in
+  let n = 2048 in
+  let a = Dsl.buffer d ~elems:n and b = Dsl.buffer d ~elems:n in
+  let c = Dsl.buffer d ~elems:n and e = Dsl.buffer d ~elems:n in
+  let k = Templates.map1 ~name:"indep_step" ~work:2000 in
+  Dsl.launch d k ~grid:8 ~block:256 ~args:[ ("n", Command.Int n); ("IN", Command.Buf a); ("OUT", Command.Buf c) ];
+  Dsl.launch d k ~grid:8 ~block:256 ~args:[ ("n", Command.Int n); ("IN", Command.Buf b); ("OUT", Command.Buf e) ];
+  let app = Dsl.app d in
+  let base = run_mode Mode.Baseline app in
+  let bm = run_mode Mode.Producer_priority app in
+  Alcotest.(check bool) "independent kernels run concurrently" true
+    (Stats.speedup ~baseline:base bm > 1.5)
+
+let test_sim_slot_capacity_respected () =
+  (* Concurrency can never exceed the machine's TB slots. *)
+  let app = chain_app ~work:300 ~kernels:2 ~tbs:2048 () in
+  let stats = run_mode (Mode.Consumer_priority 2) app in
+  (* Reconstruct max concurrency from records. *)
+  let events = ref [] in
+  Array.iter
+    (fun r ->
+      events := (r.Stats.r_start, 1) :: (r.Stats.r_finish, -1) :: !events)
+    stats.Stats.records;
+  let sorted = List.sort compare !events in
+  let peak = ref 0 and cur = ref 0 in
+  List.iter
+    (fun (_, d) ->
+      cur := !cur + d;
+      if !cur > !peak then peak := !cur)
+    sorted;
+  Alcotest.(check bool) "never above 896 slots" true (!peak <= Config.total_tb_slots cfg)
+
+let test_sim_window_monotone_on_chain () =
+  (* For a launch-dominated dependent chain, deeper pre-launch windows never
+     hurt. *)
+  let app = chain_app ~work:50 ~kernels:40 ~tbs:4 () in
+  let t w = (run_mode (Mode.Consumer_priority w) app).Stats.total_us in
+  let t2 = t 2 and t3 = t 3 and t4 = t 4 in
+  Alcotest.(check bool) "3 <= 2" true (t3 <= t2 +. 1e-6);
+  Alcotest.(check bool) "4 <= 3" true (t4 <= t3 +. 1e-6)
+
+let test_sim_mem_overhead_small () =
+  (* A synthetic chain has very little data traffic, so the relative
+     overhead is far above the paper's real-workload 1.36% average; assert
+     the bookkeeping instead: traffic present only in fine-grain modes and
+     still bounded. *)
+  let app = chain_app ~work:100 ~kernels:8 ~tbs:64 () in
+  let fine = run_mode Mode.Producer_priority app in
+  let base = run_mode Mode.Baseline app in
+  Alcotest.(check bool) "fine-grain pays dependency traffic" true
+    (fine.Stats.dep_mem_requests > 0.0);
+  Alcotest.(check (float 1e-9)) "baseline pays none" 0.0 base.Stats.dep_mem_requests;
+  Alcotest.(check bool) "bounded" true (Stats.mem_overhead_pct fine < 15.0)
+
+let test_modes () =
+  Alcotest.(check int) "baseline window" 1 (Mode.window Mode.Baseline);
+  Alcotest.(check int) "prelaunch window" 2 (Mode.window Mode.Prelaunch_only);
+  Alcotest.(check int) "consumer window" 4 (Mode.window (Mode.Consumer_priority 4));
+  Alcotest.(check bool) "baseline not fine" false (Mode.fine_grain Mode.Baseline);
+  Alcotest.(check bool) "producer fine" true (Mode.fine_grain Mode.Producer_priority);
+  Alcotest.(check (float 1e-9)) "ideal free launches" 0.0
+    (Mode.launch_overhead cfg Mode.Ideal)
+
+let suite =
+  [
+    Alcotest.test_case "reorder: hazard matrix" `Quick test_conflicts;
+    Alcotest.test_case "reorder: hoists memory ops (Fig. 5)" `Quick test_reorder_hoists_memops;
+    Alcotest.test_case "reorder: drops syncs" `Quick test_reorder_drops_sync;
+    Alcotest.test_case "reorder: kernel order kept" `Quick test_reorder_preserves_kernel_order;
+    Alcotest.test_case "prep: chain relations" `Quick test_prep_relations;
+    Alcotest.test_case "prep: H2D gating" `Quick test_prep_copy_deps;
+    Alcotest.test_case "prep: D2H gating" `Quick test_prep_d2h_gate;
+    Alcotest.test_case "prep: relation injection" `Quick test_with_relation;
+    Alcotest.test_case "hardware: ~22KB area" `Quick test_area;
+    Alcotest.test_case "hardware: dependency traffic" `Quick test_dep_traffic;
+    Alcotest.test_case "sim: deterministic" `Quick test_sim_deterministic;
+    Alcotest.test_case "sim: ideal not slower" `Quick test_sim_ideal_not_slower;
+    Alcotest.test_case "sim: pre-launch helps chains" `Quick test_sim_prelaunch_not_slower;
+    Alcotest.test_case "sim: TBs wait for parents" `Quick test_sim_no_start_before_dep;
+    Alcotest.test_case "sim: baseline kernel barriers" `Quick test_sim_baseline_serializes;
+    Alcotest.test_case "sim: dep_ready bookkeeping" `Quick test_sim_dep_ready_consistent;
+    Alcotest.test_case "sim: independent kernels overlap" `Quick test_sim_independent_kernels_overlap;
+    Alcotest.test_case "sim: slot capacity" `Quick test_sim_slot_capacity_respected;
+    Alcotest.test_case "sim: deeper window monotone" `Quick test_sim_window_monotone_on_chain;
+    Alcotest.test_case "sim: small dependency traffic" `Quick test_sim_mem_overhead_small;
+    Alcotest.test_case "modes: parameters" `Quick test_modes;
+    QCheck_alcotest.to_alcotest prop_reorder_preserves_hazards;
+    QCheck_alcotest.to_alcotest prop_reorder_hazard_pairs_ordered;
+  ]
+
+(* --- streams ---------------------------------------------------------- *)
+
+let test_streams_relations_per_stream () =
+  (* Two interleaved chains in two streams: each launch's relation must be
+     with its own stream's predecessor, not the program-order predecessor. *)
+  let app = Bm_workloads.Microbench.dual_stream ~tbs:8 ~kernels_per_stream:3 in
+  let prep = Runner.prepare ~cfg Mode.Producer_priority app in
+  Array.iter
+    (fun (li : Prep.launch_info) ->
+      match li.Prep.li_prev with
+      | None ->
+        Alcotest.(check bool) "stream head independent" true
+          (li.Prep.li_relation = Bipartite.Independent)
+      | Some p ->
+        Alcotest.(check int) "predecessor in same stream"
+          prep.Prep.p_launches.(p).Prep.li_spec.Command.stream li.Prep.li_spec.Command.stream;
+        Alcotest.(check string) "chain pair is 1-to-1" "1-to-1"
+          (Bm_depgraph.Pattern.name li.Prep.li_pattern))
+    prep.Prep.p_launches
+
+let test_streams_overlap () =
+  (* BlockMaestro runs the two streams concurrently; total time approaches
+     one chain's time instead of both chains back to back. *)
+  let app = Bm_workloads.Microbench.dual_stream ~tbs:64 ~kernels_per_stream:4 in
+  let base = run_mode Mode.Baseline app in
+  let bm = run_mode Mode.Producer_priority app in
+  Alcotest.(check bool) "streams overlap under BlockMaestro" true
+    (Stats.speedup ~baseline:base bm > 1.5)
+
+let test_streams_inorder_completion_per_stream () =
+  (* A slow stream must not block the other stream's pre-launch window. *)
+  let d = Dsl.create "mixed" in
+  let n = 64 * 256 in
+  let slow = Templates.map1 ~name:"slow_step" ~work:8000 in
+  let fast = Templates.map1 ~name:"fast_step" ~work:20 in
+  let s0 = Array.init 2 (fun _ -> Dsl.buffer d ~elems:n) in
+  let s1 = Array.init 7 (fun _ -> Dsl.buffer d ~elems:n) in
+  Dsl.h2d d s0.(0);
+  Dsl.h2d d s1.(0);
+  Dsl.launch d ~stream:0 slow ~grid:64 ~block:256
+    ~args:[ ("n", Command.Int n); ("IN", Command.Buf s0.(0)); ("OUT", Command.Buf s0.(1)) ];
+  for i = 0 to 5 do
+    Dsl.launch d ~stream:1 fast ~grid:64 ~block:256
+      ~args:[ ("n", Command.Int n); ("IN", Command.Buf s1.(i)); ("OUT", Command.Buf s1.(i + 1)) ]
+  done;
+  Dsl.d2h d s0.(1);
+  Dsl.d2h d s1.(6);
+  let app = Dsl.app d in
+  let stats = run_mode (Mode.Consumer_priority 2) app in
+  (* The fast chain finishes while the slow kernel still runs: its last TB
+     must not wait for the slow kernel. *)
+  let slow_finish = ref 0.0 and fast_finish = ref 0.0 in
+  Array.iter
+    (fun r ->
+      if r.Stats.r_kernel = 0 then slow_finish := max !slow_finish r.Stats.r_finish
+      else fast_finish := max !fast_finish r.Stats.r_finish)
+    stats.Stats.records;
+  Alcotest.(check bool) "fast stream not serialized behind slow stream" true
+    (!fast_finish < !slow_finish)
+
+let stream_suite =
+  [
+    Alcotest.test_case "streams: per-stream relations" `Quick test_streams_relations_per_stream;
+    Alcotest.test_case "streams: concurrent execution" `Quick test_streams_overlap;
+    Alcotest.test_case "streams: windows independent" `Quick test_streams_inorder_completion_per_stream;
+  ]
+
+let suite = suite @ stream_suite
+
+(* --- simulator edge cases --------------------------------------------- *)
+
+let test_sim_single_kernel_app () =
+  let d = Dsl.create "single" in
+  let b = Dsl.buffer d ~elems:1024 in
+  let o = Dsl.buffer d ~elems:1024 in
+  Dsl.h2d d b;
+  Dsl.launch d (Templates.map1 ~name:"one_step" ~work:50) ~grid:4 ~block:256
+    ~args:[ ("n", Command.Int 1024); ("IN", Command.Buf b); ("OUT", Command.Buf o) ];
+  Dsl.d2h d o;
+  let app = Dsl.app d in
+  List.iter
+    (fun mode ->
+      let s = run_mode mode app in
+      Alcotest.(check bool) (Mode.name mode ^ " completes") true (s.Stats.total_us > 0.0);
+      Alcotest.(check int) "4 records" 4 (Array.length s.Stats.records))
+    [ Mode.Baseline; Mode.Ideal; Mode.Prelaunch_only; Mode.Producer_priority; Mode.Consumer_priority 4 ]
+
+let test_sim_no_kernels () =
+  let d = Dsl.create "copies-only" in
+  let b = Dsl.buffer d ~elems:4096 in
+  Dsl.h2d d b;
+  Dsl.d2h d b;
+  let app = Dsl.app d in
+  let s = run_mode Mode.Producer_priority app in
+  Alcotest.(check int) "no TB records" 0 (Array.length s.Stats.records);
+  Alcotest.(check bool) "copies took time" true (s.Stats.total_us > 0.0)
+
+let test_sim_sync_in_baseline () =
+  (* Device_synchronize must be harmless in the serialized baseline and
+     dropped by BlockMaestro's reordering. *)
+  let d = Dsl.create "with-sync" in
+  let b = Dsl.buffer d ~elems:1024 and o = Dsl.buffer d ~elems:1024 in
+  Dsl.h2d d b;
+  Dsl.launch d (Templates.map1 ~name:"sync_step" ~work:50) ~grid:4 ~block:256
+    ~args:[ ("n", Command.Int 1024); ("IN", Command.Buf b); ("OUT", Command.Buf o) ];
+  Dsl.sync d;
+  Dsl.launch d (Templates.map1 ~name:"sync_step" ~work:50) ~grid:4 ~block:256
+    ~args:[ ("n", Command.Int 1024); ("IN", Command.Buf o); ("OUT", Command.Buf b) ];
+  Dsl.d2h d b;
+  let app = Dsl.app d in
+  let base = run_mode Mode.Baseline app in
+  let bm = run_mode Mode.Producer_priority app in
+  Alcotest.(check bool) "both complete" true (base.Stats.total_us > 0.0 && bm.Stats.total_us > 0.0);
+  Alcotest.(check bool) "sync bypassed by BlockMaestro" true
+    (bm.Stats.total_us < base.Stats.total_us)
+
+let test_sim_busy_bounded () =
+  let app = chain_app ~work:200 ~kernels:4 ~tbs:16 () in
+  List.iter
+    (fun mode ->
+      let s = run_mode mode app in
+      Alcotest.(check bool) "busy <= total" true (s.Stats.busy_us <= s.Stats.total_us +. 1e-9);
+      Alcotest.(check bool) "busy positive" true (s.Stats.busy_us > 0.0))
+    [ Mode.Baseline; Mode.Consumer_priority 3 ]
+
+let test_sim_records_complete () =
+  (* Every TB of every kernel appears exactly once in the records with
+     coherent timestamps. *)
+  let app = chain_app ~work:100 ~kernels:3 ~tbs:8 () in
+  let s = run_mode Mode.Producer_priority app in
+  Alcotest.(check int) "24 records" 24 (Array.length s.Stats.records);
+  let seen = Hashtbl.create 32 in
+  Array.iter
+    (fun r ->
+      let key = (r.Stats.r_kernel, r.Stats.r_tb) in
+      Alcotest.(check bool) "unique" false (Hashtbl.mem seen key);
+      Hashtbl.add seen key ();
+      Alcotest.(check bool) "start <= finish" true (r.Stats.r_start <= r.Stats.r_finish);
+      Alcotest.(check bool) "dep_ready <= start" true (r.Stats.r_dep_ready <= r.Stats.r_start +. 1e-9))
+    s.Stats.records
+
+let test_sim_host_blocking_slower () =
+  (* Synchronous copies can never make the app faster. *)
+  let d = Dsl.create "blocky" in
+  let k = Templates.map1 ~name:"blk_step" ~work:100 in
+  let prev = ref (Dsl.buffer d ~elems:65536) in
+  Dsl.h2d d !prev;
+  for _ = 1 to 4 do
+    let next = Dsl.buffer d ~elems:65536 in
+    Dsl.launch d k ~grid:256 ~block:256
+      ~args:[ ("n", Command.Int 65536); ("IN", Command.Buf !prev); ("OUT", Command.Buf next) ];
+    let aux = Dsl.buffer d ~elems:262144 in
+    Dsl.h2d d aux;
+    prev := next
+  done;
+  Dsl.d2h d !prev;
+  let app = Dsl.app d in
+  let prep = Prep.prepare ~reorder:false cfg app in
+  let async = Sim.run cfg Mode.Producer_priority prep in
+  let blocking = Sim.run ~host_blocking_copies:true cfg Mode.Producer_priority prep in
+  Alcotest.(check bool) "blocking copies cost time" true
+    (blocking.Stats.total_us >= async.Stats.total_us -. 1e-9)
+
+let edge_suite =
+  [
+    Alcotest.test_case "sim: single-kernel app" `Quick test_sim_single_kernel_app;
+    Alcotest.test_case "sim: copies-only app" `Quick test_sim_no_kernels;
+    Alcotest.test_case "sim: explicit sync handling" `Quick test_sim_sync_in_baseline;
+    Alcotest.test_case "sim: busy time bounded" `Quick test_sim_busy_bounded;
+    Alcotest.test_case "sim: records complete" `Quick test_sim_records_complete;
+    Alcotest.test_case "sim: blocking copies never faster" `Quick test_sim_host_blocking_slower;
+  ]
+
+let suite = suite @ edge_suite

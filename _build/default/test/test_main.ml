@@ -1,0 +1,15 @@
+let () =
+  Alcotest.run "blockmaestro"
+    [
+      ("engine", Test_engine.suite);
+      ("ptx", Test_ptx.suite);
+      ("sinterval", Test_sinterval.suite);
+      ("analysis", Test_analysis.suite);
+      ("interp", Test_interp.suite);
+      ("depgraph", Test_depgraph.suite);
+      ("gpu", Test_gpu.suite);
+      ("maestro", Test_maestro.suite);
+      ("workloads", Test_workloads.suite);
+      ("report", Test_report.suite);
+      ("integration", Test_integration.suite);
+    ]

@@ -1,0 +1,161 @@
+(* Tests for reporting helpers and the baseline comparison models. *)
+
+module Report = Bm_report.Report
+module Stats = Bm_gpu.Stats
+module Mode = Bm_maestro.Mode
+module Runner = Bm_maestro.Runner
+module Cdp = Bm_baselines.Cdp
+module Wireframe = Bm_baselines.Wireframe
+module Wavefront = Bm_workloads.Wavefront
+
+let test_geomean () =
+  Alcotest.(check (float 1e-9)) "geomean of equal" 2.0 (Report.geomean [ 2.0; 2.0; 2.0 ]);
+  Alcotest.(check (float 1e-9)) "geomean 1x4" 2.0 (Report.geomean [ 1.0; 4.0 ]);
+  Alcotest.(check (float 1e-9)) "empty" 1.0 (Report.geomean []);
+  Alcotest.(check (float 1e-9)) "skips non-positive" 3.0 (Report.geomean [ 3.0; 0.0; -1.0 ])
+
+let test_mean () =
+  Alcotest.(check (float 1e-9)) "mean" 2.0 (Report.mean [ 1.0; 2.0; 3.0 ]);
+  Alcotest.(check (float 1e-9)) "empty mean" 0.0 (Report.mean [])
+
+let test_quartiles () =
+  let q1, med, q3 = Report.quartiles [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  Alcotest.(check (float 1e-9)) "q1" 2.0 q1;
+  Alcotest.(check (float 1e-9)) "median" 3.0 med;
+  Alcotest.(check (float 1e-9)) "q3" 4.0 q3
+
+let test_percentile_edges () =
+  let xs = [| 10.0; 20.0 |] in
+  Alcotest.(check (float 1e-9)) "p0" 10.0 (Report.percentile xs 0.0);
+  Alcotest.(check (float 1e-9)) "p100" 20.0 (Report.percentile xs 100.0);
+  Alcotest.(check (float 1e-9)) "p50 interpolates" 15.0 (Report.percentile xs 50.0);
+  Alcotest.(check (float 1e-9)) "singleton" 7.0 (Report.percentile [| 7.0 |] 75.0);
+  Alcotest.check_raises "empty" (Invalid_argument "Report.percentile: empty") (fun () ->
+      ignore (Report.percentile [||] 50.0))
+
+let test_percentile_unsorted_input () =
+  Alcotest.(check (float 1e-9)) "sorts internally" 3.0
+    (Report.percentile [| 5.0; 1.0; 3.0 |] 50.0)
+
+let test_pct_format () =
+  Alcotest.(check string) "positive" "+51.8%" (Report.pct 1.518);
+  Alcotest.(check string) "negative" "-10.0%" (Report.pct 0.9)
+
+let test_table_mismatch () =
+  let t = Report.table ~title:"t" ~columns:[ "a"; "b" ] in
+  Alcotest.check_raises "cell count" (Invalid_argument "Report.row: cell count mismatch") (fun () ->
+      Report.row t [ "only one" ])
+
+let prop_quartiles_ordered =
+  QCheck2.Test.make ~name:"quartiles are ordered and within range" ~count:200
+    QCheck2.Gen.(list_size (int_range 1 50) (float_bound_exclusive 100.0))
+    (fun xs ->
+      let arr = Array.of_list xs in
+      let q1, med, q3 = Report.quartiles arr in
+      let lo = List.fold_left min infinity xs and hi = List.fold_left max neg_infinity xs in
+      q1 <= med && med <= q3 && q1 >= lo -. 1e-9 && q3 <= hi +. 1e-9)
+
+let prop_geomean_bounds =
+  QCheck2.Test.make ~name:"geomean lies between min and max" ~count:200
+    QCheck2.Gen.(list_size (int_range 1 20) (float_range 0.1 10.0))
+    (fun xs ->
+      let g = Report.geomean xs in
+      let lo = List.fold_left min infinity xs and hi = List.fold_left max neg_infinity xs in
+      g >= lo -. 1e-9 && g <= hi +. 1e-9)
+
+(* --- baselines -------------------------------------------------------- *)
+
+let wavefront_app = lazy (Wavefront.make ~name:"cmp" ~work:2800 ~halo:1 ())
+
+let test_cdp_beats_host_baseline () =
+  (* CDP's 3us device launches beat the 5us host-side serialized baseline. *)
+  let app = Lazy.force wavefront_app in
+  let host = Runner.simulate Mode.Baseline app in
+  let cdp = Cdp.simulate app in
+  Alcotest.(check bool) "cdp faster" true (cdp.Stats.total_us < host.Stats.total_us)
+
+let test_fig14_ordering () =
+  let cfg = { Bm_gpu.Config.titan_x_pascal with Bm_gpu.Config.jitter_frac = 0.35 } in
+  let app = Lazy.force wavefront_app in
+  let cdp = (Cdp.simulate ~cfg app).Stats.total_us in
+  let wf = (Wireframe.simulate ~cfg app).Stats.total_us in
+  let prod = (Runner.simulate ~cfg Mode.Producer_priority app).Stats.total_us in
+  let cons = (Runner.simulate ~cfg (Mode.Consumer_priority 4) app).Stats.total_us in
+  Alcotest.(check bool) "producer beats CDP" true (prod < cdp);
+  Alcotest.(check bool) "wireframe beats producer" true (wf < prod);
+  Alcotest.(check bool) "consumer run-ahead is best" true (cons < wf)
+
+let test_wireframe_buffer_limit () =
+  Alcotest.(check bool) "pending buffer is small" true (Wireframe.pending_update_slots <= 512)
+
+let suite =
+  [
+    Alcotest.test_case "geomean" `Quick test_geomean;
+    Alcotest.test_case "mean" `Quick test_mean;
+    Alcotest.test_case "quartiles" `Quick test_quartiles;
+    Alcotest.test_case "percentile edges" `Quick test_percentile_edges;
+    Alcotest.test_case "percentile sorts" `Quick test_percentile_unsorted_input;
+    Alcotest.test_case "pct formatting" `Quick test_pct_format;
+    Alcotest.test_case "table row mismatch" `Quick test_table_mismatch;
+    Alcotest.test_case "baselines: CDP vs host" `Slow test_cdp_beats_host_baseline;
+    Alcotest.test_case "baselines: Fig. 14 ordering" `Slow test_fig14_ordering;
+    Alcotest.test_case "baselines: wireframe buffers" `Quick test_wireframe_buffer_limit;
+    QCheck_alcotest.to_alcotest prop_quartiles_ordered;
+    QCheck_alcotest.to_alcotest prop_geomean_bounds;
+  ]
+
+(* --- timeline --------------------------------------------------------- *)
+
+module Timeline = Bm_report.Timeline
+
+let timeline_stats () =
+  Runner.simulate Mode.Producer_priority
+    (Bm_workloads.Microbench.vector_add ~tbs:16)
+
+let test_timeline_spans () =
+  let s = timeline_stats () in
+  let sp = Timeline.spans s in
+  Alcotest.(check int) "two kernels" 2 (Array.length sp);
+  Array.iter
+    (fun k ->
+      Alcotest.(check int) "16 TBs" 16 k.Timeline.ks_tbs;
+      Alcotest.(check bool) "span ordered" true (k.Timeline.ks_first_start < k.Timeline.ks_last_finish))
+    sp;
+  Alcotest.(check bool) "k1 does not finish before k0 starts" true
+    (sp.(1).Timeline.ks_last_finish > sp.(0).Timeline.ks_first_start)
+
+let test_timeline_ascii () =
+  let s = timeline_stats () in
+  let out = Timeline.ascii ~width:40 s in
+  Alcotest.(check bool) "mentions totals" true
+    (String.length out > 0 && String.sub out 0 8 = "timeline");
+  (* One row per kernel + header + occupancy track. *)
+  let lines = String.split_on_char '\n' out |> List.filter (fun l -> l <> "") in
+  Alcotest.(check int) "4 lines" 4 (List.length lines)
+
+let test_timeline_ascii_elision () =
+  let app = Bm_workloads.Suite.pathfinder () in
+  let s = Runner.simulate Mode.Baseline app in
+  let out = Timeline.ascii ~max_rows:3 s in
+  Alcotest.(check bool) "elides with ellipsis" true
+    (List.exists
+       (fun l -> String.length l > 4 && String.sub l 2 3 = "...")
+       (String.split_on_char '\n' out))
+
+let test_timeline_csv () =
+  let s = timeline_stats () in
+  let out = Timeline.csv s in
+  let lines = String.split_on_char '\n' out |> List.filter (fun l -> l <> "") in
+  (* Header + 32 TBs. *)
+  Alcotest.(check int) "rows" 33 (List.length lines);
+  Alcotest.(check string) "header" "kernel,tb,dep_ready,start,finish" (List.hd lines)
+
+let timeline_suite =
+  [
+    Alcotest.test_case "timeline: spans" `Quick test_timeline_spans;
+    Alcotest.test_case "timeline: ascii" `Quick test_timeline_ascii;
+    Alcotest.test_case "timeline: elision" `Quick test_timeline_ascii_elision;
+    Alcotest.test_case "timeline: csv" `Quick test_timeline_csv;
+  ]
+
+let suite = suite @ timeline_suite

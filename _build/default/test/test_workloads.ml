@@ -1,0 +1,168 @@
+(* Tests for the benchmark suite: Table II kernel counts, static
+   analyzability of every emitted kernel, and dependency patterns. *)
+
+module Command = Bm_gpu.Command
+module Config = Bm_gpu.Config
+module Mode = Bm_maestro.Mode
+module Prep = Bm_maestro.Prep
+module Runner = Bm_maestro.Runner
+module Pattern = Bm_depgraph.Pattern
+module Bipartite = Bm_depgraph.Bipartite
+module Symeval = Bm_analysis.Symeval
+module Suite = Bm_workloads.Suite
+module Microbench = Bm_workloads.Microbench
+module Wavefront = Bm_workloads.Wavefront
+
+let table2_kernel_counts =
+  [
+    ("3MM", 3); ("AlexNet", 22); ("BICG", 2); ("FDTD-2D", 24); ("FFT", 60); ("GAUSSIAN", 510);
+    ("GRAMSCHM", 192); ("HS", 10); ("LUD", 46); ("MVT", 2); ("NW", 255); ("PATH", 5);
+  ]
+
+let test_kernel_counts () =
+  List.iter
+    (fun (name, expected) ->
+      let app = Suite.by_name name () in
+      Alcotest.(check int) (name ^ " kernel count") expected (List.length (Command.launches app)))
+    table2_kernel_counts
+
+let test_all_kernels_static () =
+  (* Every kernel in the suite must be analyzable by Algorithm 1: no
+     indirect accesses. *)
+  List.iter
+    (fun (name, gen) ->
+      let app = gen () in
+      List.iter
+        (fun (spec : Command.launch_spec) ->
+          let r = Symeval.analyze spec.Command.kernel in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s/%s static" name spec.Command.kernel.Bm_ptx.Types.kname)
+            true r.Symeval.static)
+        (Command.launches app))
+    Suite.all
+
+let test_all_kernels_roundtrip () =
+  (* Every emitted kernel survives a print/parse round trip. *)
+  let seen = Hashtbl.create 32 in
+  List.iter
+    (fun (_, gen) ->
+      let app = gen () in
+      List.iter
+        (fun (spec : Command.launch_spec) ->
+          let k = spec.Command.kernel in
+          if not (Hashtbl.mem seen k.Bm_ptx.Types.kname) then begin
+            Hashtbl.add seen k.Bm_ptx.Types.kname ();
+            let text = Bm_ptx.Printer.kernel_to_string k in
+            let k' = Bm_ptx.Parser.kernel_of_string text in
+            Alcotest.(check string) (k.Bm_ptx.Types.kname ^ " round trip") text
+              (Bm_ptx.Printer.kernel_to_string k')
+          end)
+        (Command.launches app))
+    Suite.all
+
+let patterns_of name =
+  let app = Suite.by_name name () in
+  let prep = Runner.prepare Mode.Producer_priority app in
+  Array.to_list prep.Prep.p_launches
+  |> List.filter (fun li -> li.Prep.li_seq > 0)
+  |> List.map (fun li -> Pattern.table1_id li.Prep.li_pattern)
+  |> List.sort_uniq compare
+
+let test_patterns_independent_apps () =
+  Alcotest.(check (list int)) "BICG independent" [ 7 ] (patterns_of "BICG");
+  Alcotest.(check (list int)) "MVT independent" [ 7 ] (patterns_of "MVT")
+
+let test_patterns_stencils () =
+  Alcotest.(check (list int)) "HS overlapped" [ 6 ] (patterns_of "HS");
+  Alcotest.(check (list int)) "PATH overlapped" [ 6 ] (patterns_of "PATH")
+
+let test_patterns_3mm () = Alcotest.(check (list int)) "3MM" [ 2; 7 ] (patterns_of "3MM")
+let test_patterns_nw () = Alcotest.(check (list int)) "NW" [ 4; 5 ] (patterns_of "NW")
+let test_patterns_fft () = Alcotest.(check (list int)) "FFT" [ 3; 5; 7 ] (patterns_of "FFT")
+let test_patterns_lud () = Alcotest.(check (list int)) "LUD" [ 3; 4; 5 ] (patterns_of "LUD")
+let test_patterns_gramschm () =
+  Alcotest.(check (list int)) "GRAMSCHM" [ 1; 4; 5 ] (patterns_of "GRAMSCHM")
+
+let test_patterns_contain_paper_core () =
+  (* AlexNet / GAUSSIAN / FDTD: the paper's pattern classes must be present
+     (extras from boundary iterations are documented in EXPERIMENTS.md). *)
+  let contains name required =
+    let ps = patterns_of name in
+    List.iter
+      (fun p ->
+        Alcotest.(check bool) (Printf.sprintf "%s has pattern %d" name p) true (List.mem p ps))
+      required
+  in
+  contains "AlexNet" [ 1; 3; 4 ];
+  contains "GAUSSIAN" [ 4; 5 ];
+  contains "FDTD-2D" [ 5; 7 ]
+
+let test_by_name_unknown () =
+  Alcotest.check_raises "unknown app" Not_found (fun () ->
+      let (_ : unit -> Command.app) = Suite.by_name "NOPE" in
+      ())
+
+let test_microbench_default_1to1 () =
+  let app = Microbench.vector_add ~tbs:16 in
+  let prep = Runner.prepare Mode.Producer_priority app in
+  Alcotest.(check string) "natural relation" "1-to-1"
+    (Pattern.name prep.Prep.p_launches.(1).Prep.li_pattern)
+
+let test_microbench_relations () =
+  (match Microbench.n_group_relation ~tbs:64 ~degree:1 with
+  | Bipartite.Graph g ->
+    Alcotest.(check int) "degree 1 is 1-to-1" 1 (Bipartite.max_in_degree g)
+  | Bipartite.Independent | Bipartite.Fully_connected -> Alcotest.fail "expected graph");
+  (match Microbench.n_group_relation ~tbs:256 ~degree:16 with
+  | Bipartite.Graph g ->
+    Alcotest.(check int) "degree 16 groups" 16 (Bipartite.max_in_degree g);
+    Alcotest.(check string) "n-group" "n-group" (Pattern.name (Pattern.classify (Bipartite.Graph g)))
+  | Bipartite.Independent | Bipartite.Fully_connected -> Alcotest.fail "expected graph");
+  Alcotest.(check bool) "degree above counter cap collapses" true
+    (Microbench.n_group_relation ~tbs:256 ~degree:128 = Bipartite.Fully_connected)
+
+let test_wavefront_shape () =
+  Alcotest.(check bool) "~4K tasks" true
+    (Wavefront.task_count > 3500 && Wavefront.task_count < 4700);
+  let app = Wavefront.make ~name:"wftest" ~work:50 ~halo:1 () in
+  Alcotest.(check int) "one kernel per diagonal" (List.length Wavefront.widths)
+    (List.length (Command.launches app));
+  let prep = Runner.prepare Mode.Producer_priority app in
+  (* Interior diagonals show the overlapped wavefront pattern. *)
+  Alcotest.(check string) "overlapped" "overlapped"
+    (Pattern.name prep.Prep.p_launches.(3).Prep.li_pattern)
+
+let test_wavefront_diamond () =
+  let up = List.filteri (fun i _ -> i < List.length Wavefront.widths / 2) Wavefront.widths in
+  let rec nondecreasing = function
+    | a :: (b :: _ as rest) -> a <= b && nondecreasing rest
+    | [ _ ] | [] -> true
+  in
+  Alcotest.(check bool) "width ramps up to the middle" true (nondecreasing up)
+
+let test_dsl_rejects_empty () =
+  let d = Bm_workloads.Dsl.create "x" in
+  let k = Bm_workloads.Templates.map1 ~name:"x" ~work:1 in
+  Alcotest.check_raises "empty grid" (Invalid_argument "Dsl.launch: empty grid or block") (fun () ->
+      Bm_workloads.Dsl.launch d k ~grid:0 ~block:256 ~args:[])
+
+let suite =
+  [
+    Alcotest.test_case "Table II kernel counts" `Slow test_kernel_counts;
+    Alcotest.test_case "every kernel is static" `Slow test_all_kernels_static;
+    Alcotest.test_case "every kernel round-trips" `Slow test_all_kernels_roundtrip;
+    Alcotest.test_case "patterns: BICG/MVT" `Quick test_patterns_independent_apps;
+    Alcotest.test_case "patterns: HS/PATH" `Quick test_patterns_stencils;
+    Alcotest.test_case "patterns: 3MM" `Quick test_patterns_3mm;
+    Alcotest.test_case "patterns: NW" `Slow test_patterns_nw;
+    Alcotest.test_case "patterns: FFT" `Quick test_patterns_fft;
+    Alcotest.test_case "patterns: LUD" `Quick test_patterns_lud;
+    Alcotest.test_case "patterns: GRAMSCHM" `Quick test_patterns_gramschm;
+    Alcotest.test_case "patterns: paper core present" `Slow test_patterns_contain_paper_core;
+    Alcotest.test_case "by_name: unknown" `Quick test_by_name_unknown;
+    Alcotest.test_case "microbench: natural 1-to-1" `Quick test_microbench_default_1to1;
+    Alcotest.test_case "microbench: injected relations" `Quick test_microbench_relations;
+    Alcotest.test_case "wavefront: shape" `Quick test_wavefront_shape;
+    Alcotest.test_case "wavefront: diamond widths" `Quick test_wavefront_diamond;
+    Alcotest.test_case "dsl: rejects empty launches" `Quick test_dsl_rejects_empty;
+  ]
