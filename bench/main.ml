@@ -6,7 +6,9 @@
    with one Test per experiment measuring the cost of the BlockMaestro
    machinery that experiment exercises (launch-time analysis, graph
    construction, encoding, simulation).  Pass --no-bechamel to skip the
-   micro-benchmarks, --only SECTION to print a single experiment. *)
+   micro-benchmarks, --only SECTION to print a single experiment, --trace
+   to run the traced invariant-check pass over every (app, mode) pair
+   instead of the experiments. *)
 
 open Blockmaestro
 open Bechamel
@@ -74,6 +76,37 @@ let bechamel_tests =
            Sys.opaque_identity (Runner.simulate (Mode.Consumer_priority 4) (stencil_app ()))));
   ]
 
+(* --trace: re-run the full Fig. 9 grid with event tracing on and the
+   invariant checker validating every trace.  Slower than the plain
+   experiments (every event is recorded), which is why it is opt-in. *)
+let run_traced () =
+  let cfg = Config.titan_x_pascal in
+  let slots = Config.total_tb_slots cfg in
+  let failures = ref 0 in
+  List.iter
+    (fun (name, gen) ->
+      let app = gen () in
+      List.iter
+        (fun mode ->
+          let trace = Trace.create () in
+          ignore (Runner.simulate ~cfg ~trace:(Trace.sink trace) mode app);
+          match Trace.check ~window:(Mode.window mode) ~slots trace with
+          | Ok () ->
+            Printf.printf "  %-10s %-20s %6d events  OK\n" name (Mode.name mode)
+              (Trace.length trace)
+          | Error msgs ->
+            incr failures;
+            Printf.printf "  %-10s %-20s %6d events  FAILED (%d violations)\n" name
+              (Mode.name mode) (Trace.length trace) (List.length msgs);
+            List.iter (fun m -> Printf.printf "      %s\n" m) msgs)
+        Mode.all_fig9)
+    Suite.all;
+  if !failures > 0 then begin
+    Printf.eprintf "trace check failed for %d (app, mode) pairs\n" !failures;
+    exit 1
+  end
+  else print_endline "all traces passed the invariant checker"
+
 let run_bechamel () =
   print_endline "\n== Bechamel micro-benchmarks (one per experiment) ==";
   let instances = Instance.[ monotonic_clock ] in
@@ -96,10 +129,14 @@ let () =
   let args = Array.to_list Sys.argv in
   let only = ref None in
   let bechamel_enabled = ref true in
+  let traced = ref false in
   let rec parse = function
     | [] -> ()
     | "--no-bechamel" :: rest ->
       bechamel_enabled := false;
+      parse rest
+    | "--trace" :: rest ->
+      traced := true;
       parse rest
     | "--only" :: s :: rest ->
       only := Some s;
@@ -107,6 +144,11 @@ let () =
     | _ :: rest -> parse rest
   in
   parse (List.tl args);
+  if !traced then begin
+    print_endline "== traced invariant-check pass (every app x mode) ==";
+    run_traced ();
+    exit 0
+  end;
   (match !only with
   | Some s -> (
     match List.assoc_opt s sections with

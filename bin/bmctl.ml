@@ -5,6 +5,7 @@
      run APP [-m MODE]       simulate one application under one mode
      speedup APP             all Fig. 9 modes for one application
      analyze APP             per-kernel-pair dependency analysis
+     trace APP [-m MODE]     record, validate and export an event trace
      ptx APP                 dump the PTX of the application's kernels *)
 
 open Blockmaestro
@@ -22,22 +23,14 @@ let app_conv =
   Arg.conv (parse, fun ppf (name, _) -> Format.pp_print_string ppf name)
 
 let mode_conv =
-  let table =
-    [
-      ("baseline", Mode.Baseline);
-      ("ideal", Mode.Ideal);
-      ("prelaunch", Mode.Prelaunch_only);
-      ("producer", Mode.Producer_priority);
-      ("consumer2", Mode.Consumer_priority 2);
-      ("consumer3", Mode.Consumer_priority 3);
-      ("consumer4", Mode.Consumer_priority 4);
-    ]
-  in
   let parse s =
-    match List.assoc_opt s table with
+    match Mode.of_string s with
     | Some m -> Ok m
     | None ->
-      Error (`Msg (Printf.sprintf "unknown mode %S (try: %s)" s (String.concat ", " (List.map fst table))))
+      Error
+        (`Msg
+          (Printf.sprintf "unknown mode %S (try: %s)" s
+             (String.concat ", " (List.map fst Mode.known))))
   in
   Arg.conv (parse, fun ppf m -> Format.pp_print_string ppf (Mode.name m))
 
@@ -142,6 +135,53 @@ let timeline_cmd =
   in
   Cmd.v (Cmd.info "timeline" ~doc) Term.(const run $ app_arg $ mode $ csv)
 
+let trace_cmd =
+  let doc = "Record an event trace, validate it, and export it." in
+  let mode =
+    Arg.(value & opt mode_conv Mode.Producer_priority & info [ "m"; "mode" ] ~docv:"MODE" ~doc:"Execution mode.")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Write the trace to $(docv) (Chrome trace_event JSON, or CSV with $(b,--csv)).")
+  in
+  let csv = Arg.(value & flag & info [ "csv" ] ~doc:"Export CSV instead of Chrome JSON.") in
+  let no_check = Arg.(value & flag & info [ "no-check" ] ~doc:"Skip the invariant checker.") in
+  let run (name, gen) mode out csv no_check =
+    let app = gen () in
+    let cfg = Config.titan_x_pascal in
+    let trace = Trace.create () in
+    let stats = Runner.simulate ~cfg ~trace:(Trace.sink trace) mode app in
+    Printf.printf "%s under %s: %d events, %.2f us simulated\n" name (Mode.name mode)
+      (Trace.length trace) stats.Stats.total_us;
+    print_string (Trace.render stats trace);
+    (match out with
+    | Some file ->
+      let data =
+        if csv then Trace.to_csv trace
+        else
+          Trace.to_chrome_json
+            ~meta:(("app", name) :: ("mode", Mode.name mode) :: Config.to_assoc cfg)
+            trace
+      in
+      (try
+         let oc = open_out file in
+         output_string oc data;
+         close_out oc;
+         Printf.printf "wrote %s (%d bytes)\n" file (String.length data)
+       with Sys_error msg ->
+         Printf.eprintf "bmctl: cannot write trace: %s\n" msg;
+         exit 2)
+    | None -> ());
+    if not no_check then
+      match Trace.check ~window:(Mode.window mode) ~slots:(Config.total_tb_slots cfg) trace with
+      | Ok () -> Printf.printf "trace check: OK\n"
+      | Error msgs ->
+        Printf.eprintf "trace check: %d violation(s)\n" (List.length msgs);
+        List.iter (Printf.eprintf "  %s\n") msgs;
+        exit 1
+  in
+  Cmd.v (Cmd.info "trace" ~doc) Term.(const run $ app_arg $ mode $ out $ csv $ no_check)
+
 let ptx_cmd =
   let doc = "Print the PTX of the application's distinct kernels." in
   let run (_, gen) =
@@ -162,6 +202,6 @@ let ptx_cmd =
 let main =
   let doc = "BlockMaestro: programmer-transparent task-based GPU execution (simulator)" in
   Cmd.group (Cmd.info "bmctl" ~doc ~version:"1.0.0")
-    [ list_cmd; run_cmd; speedup_cmd; analyze_cmd; timeline_cmd; ptx_cmd ]
+    [ list_cmd; run_cmd; speedup_cmd; analyze_cmd; timeline_cmd; trace_cmd; ptx_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -63,7 +63,13 @@ let rem_const a c =
   if c = 0 then invalid_arg "Sinterval.rem_const: zero";
   let c' = abs c in
   if a.lo >= 0 && a.hi < c' then a
-  else if a.lo >= 0 then make ~lo:0 ~hi:(c' - 1) ~stride:(let g = gcd a.stride c' in if g = 0 then 1 else g)
+  else if a.lo >= 0 then begin
+    (* Residues stay congruent to [a.lo] modulo gcd(stride, c'), so anchor
+       the strided result at [a.lo mod g] rather than 0. *)
+    let g = gcd a.stride c' in
+    let g = if g = 0 then 1 else g in
+    make ~lo:(a.lo mod g) ~hi:(c' - 1) ~stride:g
+  end
   else make ~lo:(-(c' - 1)) ~hi:(c' - 1) ~stride:1
 
 let shl a k = mul_const a (1 lsl k)

@@ -66,3 +66,4 @@ module Wireframe = Bm_baselines.Wireframe
 
 module Report = Bm_report.Report
 module Timeline = Bm_report.Timeline
+module Trace = Bm_report.Trace

@@ -44,4 +44,21 @@ let titan_x_pascal =
 
 let total_tb_slots t = t.num_sms * t.max_tbs_per_sm
 
+let to_assoc t =
+  [
+    ("num_sms", string_of_int t.num_sms);
+    ("max_tbs_per_sm", string_of_int t.max_tbs_per_sm);
+    ("clock_ghz", Printf.sprintf "%.3f" t.clock_ghz);
+    ("kernel_launch_us", Printf.sprintf "%.1f" t.kernel_launch_us);
+    ("malloc_us", Printf.sprintf "%.1f" t.malloc_us);
+    ("memcpy_latency_us", Printf.sprintf "%.1f" t.memcpy_latency_us);
+    ("memcpy_gb_per_s", Printf.sprintf "%.1f" t.memcpy_gb_per_s);
+    ("jitter_frac", Printf.sprintf "%.2f" t.jitter_frac);
+    ("max_parent_degree", string_of_int t.max_parent_degree);
+    ("dlb_entries", string_of_int t.dlb_entries);
+    ("dlb_children_per_entry", string_of_int t.dlb_children_per_entry);
+    ("pcb_entries", string_of_int t.pcb_entries);
+    ("seed", string_of_int t.seed);
+  ]
+
 let cycles_to_us t cycles = cycles /. (t.clock_ghz *. 1000.0)

@@ -31,3 +31,7 @@ val total_tb_slots : t -> int
 (** [num_sms * max_tbs_per_sm] — concurrent TB capacity of the device. *)
 
 val cycles_to_us : t -> float -> float
+
+val to_assoc : t -> (string * string) list
+(** The machine parameters as printable key/value pairs, embedded as
+    metadata in exported traces so a trace file is self-describing. *)

@@ -1,3 +1,35 @@
+(* Structured simulation events.  The simulator emits these through an
+   optional sink; the type lives here (not in bm_report) so both the
+   simulator and the trace collector can see it without a dependency
+   cycle. *)
+type event =
+  | Kernel_enqueue of { seq : int; stream : int; tbs : int }
+  | Kernel_launched of { seq : int; stream : int }
+  | Kernel_drained of { seq : int; stream : int }
+  | Kernel_completed of { seq : int; stream : int }
+  | Tb_dispatch of { seq : int; tb : int }
+  | Tb_finish of { seq : int; tb : int }
+  | Dep_satisfied of { seq : int; tb : int }
+  | Copy_start of { cmd : int; bytes : int; d2h : bool; blocking : bool }
+  | Copy_finish of { cmd : int; bytes : int; d2h : bool; blocking : bool }
+  | Dlb_spill of { seq : int; needed : int; capacity : int }
+  | Pcb_spill of { seq : int; needed : int; capacity : int }
+
+type sink = float -> event -> unit
+
+let event_name = function
+  | Kernel_enqueue _ -> "kernel_enqueue"
+  | Kernel_launched _ -> "kernel_launched"
+  | Kernel_drained _ -> "kernel_drained"
+  | Kernel_completed _ -> "kernel_completed"
+  | Tb_dispatch _ -> "tb_dispatch"
+  | Tb_finish _ -> "tb_finish"
+  | Dep_satisfied _ -> "dep_satisfied"
+  | Copy_start _ -> "copy_start"
+  | Copy_finish _ -> "copy_finish"
+  | Dlb_spill _ -> "dlb_spill"
+  | Pcb_spill _ -> "pcb_spill"
+
 type tb_record = {
   r_kernel : int;
   r_tb : int;

@@ -5,6 +5,44 @@
     per-TB dependency-stall records (Fig. 11), and memory request counts
     (Fig. 13). *)
 
+(** Structured simulation events, emitted by the simulator through an
+    optional {!sink} (see [Bm_maestro.Sim.run]'s [?trace] argument).
+    Timestamps are passed alongside the event; copy-engine events may be
+    future-dated (the engine start time is decided when the copy is
+    scheduled), so consumers must order entries by timestamp before
+    analysis — [Bm_report.Trace] does this. *)
+type event =
+  | Kernel_enqueue of { seq : int; stream : int; tbs : int }
+      (** The host issued the launch; the kernel occupies a slot of its
+          stream's pre-launch window from this point. *)
+  | Kernel_launched of { seq : int; stream : int }
+      (** Launch processing finished; the kernel's TBs may be scheduled. *)
+  | Kernel_drained of { seq : int; stream : int }
+      (** Every TB of the kernel finished executing. *)
+  | Kernel_completed of { seq : int; stream : int }
+      (** The kernel retired (drained + stream predecessor completed):
+          in-order completion, paper §III-B.1. *)
+  | Tb_dispatch of { seq : int; tb : int }  (** TB began executing on an SM slot. *)
+  | Tb_finish of { seq : int; tb : int }
+  | Dep_satisfied of { seq : int; tb : int }
+      (** The TB's last fine-grain parent dependency was satisfied.  Not
+          emitted for TBs with no parents (their dependencies are vacuously
+          satisfied at time 0). *)
+  | Copy_start of { cmd : int; bytes : int; d2h : bool; blocking : bool }
+      (** [blocking] marks synchronous host-stalling copies (baseline
+          stream semantics); otherwise the copy engine ran it. *)
+  | Copy_finish of { cmd : int; bytes : int; d2h : bool; blocking : bool }
+  | Dlb_spill of { seq : int; needed : int; capacity : int }
+      (** The kernel pair's dependency lists exceed the Dependency List
+          Buffer; entries fall back to global memory. *)
+  | Pcb_spill of { seq : int; needed : int; capacity : int }
+      (** Child TB count exceeds the Parent Counter Buffer. *)
+
+type sink = float -> event -> unit
+
+val event_name : event -> string
+(** Stable snake_case tag, used by the CSV exporter and error messages. *)
+
 type tb_record = {
   r_kernel : int;      (** launch sequence number *)
   r_tb : int;

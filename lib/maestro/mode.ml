@@ -40,6 +40,21 @@ let name = function
   | Producer_priority -> "producer-priority"
   | Consumer_priority w -> Printf.sprintf "consumer-priority-%dk" w
 
+(* Stable short names for command-line parsing, shared by bmctl and the
+   bench harness so the two never drift. *)
+let known =
+  [
+    ("baseline", Baseline);
+    ("ideal", Ideal);
+    ("prelaunch", Prelaunch_only);
+    ("producer", Producer_priority);
+    ("consumer2", Consumer_priority 2);
+    ("consumer3", Consumer_priority 3);
+    ("consumer4", Consumer_priority 4);
+  ]
+
+let of_string s = List.assoc_opt s known
+
 let all_fig9 =
   [
     Baseline;

@@ -39,5 +39,13 @@ val policy : t -> policy
 val launch_overhead : Bm_gpu.Config.t -> t -> float
 
 val name : t -> string
+
+val known : (string * t) list
+(** Short command-line names ("baseline", "producer", "consumer3", ...)
+    in Fig. 9 order, shared by every CLI front end. *)
+
+val of_string : string -> t option
+(** Look up a mode by its {!known} short name. *)
+
 val all_fig9 : t list
 val pp : Format.formatter -> t -> unit

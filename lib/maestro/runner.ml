@@ -4,9 +4,9 @@ module Stats = Bm_gpu.Stats
 let prepare ?(cfg = Config.titan_x_pascal) mode app =
   Prep.prepare ~reorder:(Mode.reorders mode) cfg app
 
-let simulate ?(cfg = Config.titan_x_pascal) mode app =
+let simulate ?(cfg = Config.titan_x_pascal) ?trace mode app =
   let prep = prepare ~cfg mode app in
-  Sim.run cfg mode prep
+  Sim.run ?trace cfg mode prep
 
 let simulate_all ?(cfg = Config.titan_x_pascal) ?(modes = Mode.all_fig9) app =
   (* The two reordering variants share their preparation. *)

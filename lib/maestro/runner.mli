@@ -10,7 +10,14 @@
 val prepare : ?cfg:Bm_gpu.Config.t -> Mode.t -> Bm_gpu.Command.app -> Prep.t
 (** Launch-time analysis with the mode's reordering policy. *)
 
-val simulate : ?cfg:Bm_gpu.Config.t -> Mode.t -> Bm_gpu.Command.app -> Bm_gpu.Stats.t
+val simulate :
+  ?cfg:Bm_gpu.Config.t ->
+  ?trace:Bm_gpu.Stats.sink ->
+  Mode.t ->
+  Bm_gpu.Command.app ->
+  Bm_gpu.Stats.t
+(** [trace] is forwarded to {!Sim.run}: pass [Bm_report.Trace.sink] to
+    record structured events while simulating. *)
 
 val simulate_all :
   ?cfg:Bm_gpu.Config.t ->

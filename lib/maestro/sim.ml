@@ -31,7 +31,45 @@ type ev =
 let memcpy_us (cfg : Config.t) bytes =
   cfg.Config.memcpy_latency_us +. (float_of_int bytes /. (cfg.Config.memcpy_gb_per_s *. 1000.0))
 
-let run ?(host_blocking_copies = false) (cfg : Config.t) mode (prep : Prep.t) =
+let copy_event ~start ~blocking cmd ci =
+  let bytes, d2h =
+    match cmd with
+    | Command.Memcpy_h2d b -> (b.Command.bytes, false)
+    | Command.Memcpy_d2h b -> (b.Command.bytes, true)
+    | Command.Malloc _ | Command.Kernel_launch _ | Command.Device_synchronize -> (0, false)
+  in
+  if start then Stats.Copy_start { cmd = ci; bytes; d2h; blocking }
+  else Stats.Copy_finish { cmd = ci; bytes; d2h; blocking }
+
+(* Hardware-table pressure for one launched kernel pair: DLB entries hold
+   [dlb_children_per_entry] children each, the PCB holds one counter per
+   child TB; anything beyond the table sizes spills to global memory. *)
+let table_spills (cfg : Config.t) seq relation ~n_children =
+  match relation with
+  | Bipartite.Independent | Bipartite.Fully_connected -> []
+  | Bipartite.Graph g ->
+    let needed_dlb =
+      Array.fold_left
+        (fun acc cs ->
+          acc
+          + ((Array.length cs + cfg.Config.dlb_children_per_entry - 1)
+            / cfg.Config.dlb_children_per_entry))
+        0 g.Bipartite.children_of
+    in
+    let spills = ref [] in
+    if n_children > cfg.Config.pcb_entries then
+      spills :=
+        Stats.Pcb_spill { seq; needed = n_children; capacity = cfg.Config.pcb_entries } :: !spills;
+    if needed_dlb > cfg.Config.dlb_entries then
+      spills :=
+        Stats.Dlb_spill { seq; needed = needed_dlb; capacity = cfg.Config.dlb_entries } :: !spills;
+    !spills
+
+let run ?(host_blocking_copies = false) ?trace (cfg : Config.t) mode (prep : Prep.t) =
+  (* Observability hook: a no-op closure when disabled, so the hot path
+     pays one indirect call per event and nothing else. *)
+  let tracing = trace <> None in
+  let emit = match trace with Some f -> f | None -> fun _ _ -> () in
   let launches = prep.Prep.p_launches in
   let nk = Array.length launches in
   let commands = prep.Prep.p_commands in
@@ -193,6 +231,7 @@ let run ?(host_blocking_copies = false) (cfg : Config.t) mode (prep : Prep.t) =
         st.started_tbs <- st.started_tbs + 1;
         decr free_slots;
         incr running;
+        if tracing then emit !now (Stats.Tb_dispatch { seq = k; tb });
         let dur = st.info.Prep.li_cost.Bm_gpu.Costmodel.tb_us.(tb) in
         Heap.push heap (!now +. dur) (Tb_done (k, tb))
     done
@@ -206,11 +245,14 @@ let run ?(host_blocking_copies = false) (cfg : Config.t) mode (prep : Prep.t) =
     then begin
       ks.(k).completed <- true;
       decr (resident_of stream_of.(k));
+      if tracing then emit !now (Stats.Kernel_completed { seq = k; stream = stream_of.(k) });
       (* Release the copies gated on this kernel. *)
       List.iter
         (fun (ci, dur) ->
           let start = max !now !copy_engine_free in
           copy_engine_free := start +. dur;
+          if tracing then
+            emit start (copy_event ~start:true ~blocking:false commands.(ci) ci);
           Heap.push heap (start +. dur) (Copy_done ci))
         (List.rev pending_d2h.(k));
       pending_d2h.(k) <- [];
@@ -248,6 +290,7 @@ let run ?(host_blocking_copies = false) (cfg : Config.t) mode (prep : Prep.t) =
             (* Synchronous cudaMemcpy: the host stalls until it returns
                (the default CUDA behaviour BlockMaestro's non-blocking
                treatment removes, paper SIII-C). *)
+            if tracing then emit !now (copy_event ~start:true ~blocking:true commands.(ci) ci);
             Heap.push heap (!now +. dur) (Cmd_done ci);
             serial_blocked := true;
             blocked := true
@@ -255,6 +298,7 @@ let run ?(host_blocking_copies = false) (cfg : Config.t) mode (prep : Prep.t) =
           else begin
             let start = max !now !copy_engine_free in
             copy_engine_free := start +. dur;
+            if tracing then emit start (copy_event ~start:true ~blocking:false commands.(ci) ci);
             Heap.push heap (start +. dur) (Copy_done ci);
             incr next_cmd
           end;
@@ -264,6 +308,7 @@ let run ?(host_blocking_copies = false) (cfg : Config.t) mode (prep : Prep.t) =
           let dur = memcpy_us cfg b.Command.bytes in
           if serial then
             if kernel_completed gate then begin
+              if tracing then emit !now (copy_event ~start:true ~blocking:true commands.(ci) ci);
               Heap.push heap (!now +. dur) (Cmd_done ci);
               serial_blocked := true;
               blocked := true;
@@ -273,6 +318,7 @@ let run ?(host_blocking_copies = false) (cfg : Config.t) mode (prep : Prep.t) =
           else if kernel_completed gate then begin
             let start = max !now !copy_engine_free in
             copy_engine_free := start +. dur;
+            if tracing then emit start (copy_event ~start:true ~blocking:false commands.(ci) ci);
             Heap.push heap (start +. dur) (Copy_done ci);
             incr next_cmd;
             progressed := true
@@ -294,6 +340,10 @@ let run ?(host_blocking_copies = false) (cfg : Config.t) mode (prep : Prep.t) =
             (* Baseline stream: the kernel is the only device work. *)
             if copies_ok then begin
               incr (resident_of stream_of.(seq));
+              if tracing then
+                emit !now
+                  (Stats.Kernel_enqueue
+                     { seq; stream = stream_of.(seq); tbs = st.info.Prep.li_tbs });
               let start = max !now !launch_engine_free in
               launch_engine_free := start +. launch_us;
               Heap.push heap (start +. launch_us) (Launch_done seq);
@@ -309,6 +359,10 @@ let run ?(host_blocking_copies = false) (cfg : Config.t) mode (prep : Prep.t) =
                per-stream residency window, not a serial engine, is the
                limit. *)
             incr (resident_of stream_of.(seq));
+            if tracing then
+              emit !now
+                (Stats.Kernel_enqueue
+                   { seq; stream = stream_of.(seq); tbs = st.info.Prep.li_tbs });
             Heap.push heap (!now +. launch_us) (Launch_done seq);
             incr next_cmd;
             progressed := true
@@ -333,6 +387,7 @@ let run ?(host_blocking_copies = false) (cfg : Config.t) mode (prep : Prep.t) =
     incr free_slots;
     decr running;
     bump !now;
+    if tracing then emit !now (Stats.Tb_finish { seq = k; tb });
     (* Fine-grain child updates (tracked in every mode for Fig. 11). *)
     let kc = next_of.(k) in
     if kc >= 0 then begin
@@ -343,6 +398,7 @@ let run ?(host_blocking_copies = false) (cfg : Config.t) mode (prep : Prep.t) =
           (fun c ->
             child.pc.(c) <- child.pc.(c) - 1;
             if !now > child.dep_ready_time.(c) then child.dep_ready_time.(c) <- !now;
+            if tracing && child.pc.(c) = 0 then emit !now (Stats.Dep_satisfied { seq = kc; tb = c });
             if fine && child.pc.(c) = 0 && child.launched then queue_tb kc c)
           g.Bipartite.children_of.(tb)
       | Bipartite.Independent | Bipartite.Fully_connected -> ()
@@ -350,12 +406,16 @@ let run ?(host_blocking_copies = false) (cfg : Config.t) mode (prep : Prep.t) =
     if st.done_tbs = st.info.Prep.li_tbs then begin
       st.drained <- true;
       st.drained_at <- !now;
+      if tracing then emit !now (Stats.Kernel_drained { seq = k; stream = stream_of.(k) });
       (* A fully-connected child's dependencies are all satisfied now. *)
       if kc >= 0 then begin
         let child = ks.(kc) in
         match child.info.Prep.li_relation with
         | Bipartite.Fully_connected ->
-          Array.iteri (fun c t -> if t < !now then child.dep_ready_time.(c) <- !now) child.dep_ready_time
+          Array.iteri (fun c t -> if t < !now then child.dep_ready_time.(c) <- !now) child.dep_ready_time;
+          if tracing then
+            Array.iteri (fun c _ -> emit !now (Stats.Dep_satisfied { seq = kc; tb = c }))
+              child.dep_ready_time
         | Bipartite.Independent | Bipartite.Graph _ -> ()
       end;
       (* The consumer kernel may now be gated only on our drain. *)
@@ -384,9 +444,18 @@ let run ?(host_blocking_copies = false) (cfg : Config.t) mode (prep : Prep.t) =
       (match ev with
       | Launch_done seq ->
         ks.(seq).launched <- true;
+        if tracing then begin
+          emit t (Stats.Kernel_launched { seq; stream = stream_of.(seq) });
+          (* The DLB/PCB are only consulted under fine-grain resolution. *)
+          if fine then
+            List.iter (emit t)
+              (table_spills cfg seq ks.(seq).info.Prep.li_relation
+                 ~n_children:ks.(seq).info.Prep.li_tbs)
+        end;
         if ks.(seq).info.Prep.li_tbs = 0 then begin
           ks.(seq).drained <- true;
           ks.(seq).drained_at <- t;
+          if tracing then emit t (Stats.Kernel_drained { seq; stream = stream_of.(seq) });
           cascade_completions_from seq
         end
         else refresh_ready seq;
@@ -395,12 +464,15 @@ let run ?(host_blocking_copies = false) (cfg : Config.t) mode (prep : Prep.t) =
       | Copy_done ci ->
         if ci >= 0 then begin
           copy_done.(ci) <- true;
+          if tracing then emit t (copy_event ~start:false ~blocking:false commands.(ci) ci);
           bump t
         end
       | Cmd_done ci ->
         serial_blocked := false;
         (match commands.(ci) with
-        | Command.Memcpy_h2d _ | Command.Memcpy_d2h _ -> copy_done.(ci) <- true
+        | Command.Memcpy_h2d _ | Command.Memcpy_d2h _ ->
+          copy_done.(ci) <- true;
+          if tracing then emit t (copy_event ~start:false ~blocking:true commands.(ci) ci)
         | Command.Malloc _ | Command.Kernel_launch _ | Command.Device_synchronize -> ());
         bump t;
         incr next_cmd);

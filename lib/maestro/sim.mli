@@ -18,7 +18,19 @@
     mode (including the baseline) so Fig. 11's stall distributions compare
     like for like. *)
 
-val run : ?host_blocking_copies:bool -> Bm_gpu.Config.t -> Mode.t -> Prep.t -> Bm_gpu.Stats.t
+val run :
+  ?host_blocking_copies:bool ->
+  ?trace:Bm_gpu.Stats.sink ->
+  Bm_gpu.Config.t ->
+  Mode.t ->
+  Prep.t ->
+  Bm_gpu.Stats.t
 (** [host_blocking_copies] (default false) restores the synchronous
     behaviour of host-to-device copies, for ablating BlockMaestro's
-    treatment of blocking APIs as non-blocking. *)
+    treatment of blocking APIs as non-blocking.
+
+    [trace] receives every structured simulation event with its timestamp
+    (see {!Bm_gpu.Stats.event}); when absent the simulator emits nothing
+    and pays no cost.  Copy-engine [Copy_start] events can be future-dated
+    relative to surrounding events — consumers must sort by timestamp
+    ([Bm_report.Trace] does).  Tracing never alters simulation results. *)

@@ -39,7 +39,8 @@ let row t cells =
     invalid_arg "Report.row: cell count mismatch";
   t.rows <- cells :: t.rows
 
-let print t =
+let to_string t =
+  let buf = Buffer.create 1024 in
   let rows = List.rev t.rows in
   let all = t.columns :: rows in
   let ncols = List.length t.columns in
@@ -48,23 +49,26 @@ let print t =
     (List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)))
     all;
   let line c =
-    print_string "+";
-    Array.iter (fun w -> print_string (String.make (w + 2) c ^ "+")) widths;
-    print_newline ()
+    Buffer.add_char buf '+';
+    Array.iter (fun w -> Buffer.add_string buf (String.make (w + 2) c ^ "+")) widths;
+    Buffer.add_char buf '\n'
   in
-  let print_row cells =
-    print_string "|";
+  let add_row cells =
+    Buffer.add_char buf '|';
     List.iteri
-      (fun i cell -> Printf.printf " %-*s |" widths.(i) cell)
+      (fun i cell -> Buffer.add_string buf (Printf.sprintf " %-*s |" widths.(i) cell))
       cells;
-    print_newline ()
+    Buffer.add_char buf '\n'
   in
-  Printf.printf "\n== %s ==\n" t.title;
+  Buffer.add_string buf (Printf.sprintf "\n== %s ==\n" t.title);
   line '-';
-  print_row t.columns;
+  add_row t.columns;
   line '=';
-  List.iter print_row rows;
-  line '-'
+  List.iter add_row rows;
+  line '-';
+  Buffer.contents buf
+
+let print t = print_string (to_string t)
 
 let pct speedup = Printf.sprintf "%+.1f%%" ((speedup -. 1.0) *. 100.0)
 

@@ -16,8 +16,11 @@ type table
 
 val table : title:string -> columns:string list -> table
 val row : table -> string list -> unit
+val to_string : table -> string
+(** Render with aligned columns. *)
+
 val print : table -> unit
-(** Render with aligned columns to stdout. *)
+(** [to_string] to stdout. *)
 
 val pct : float -> string
 (** "+51.8%" style formatting of a speedup factor (1.518 -> "+51.8%"). *)

@@ -323,3 +323,109 @@ let pattern_props =
   ]
 
 let suite = suite @ pattern_props
+
+(* --- encoding bounds per Table I pattern ------------------------------- *)
+
+(* Randomized relation builders, one per Table I row that [measure] can see
+   as an explicit graph.  Each property checks both that the generator hits
+   the intended pattern and that its encoding never exceeds the plain
+   adjacency list. *)
+
+let encode_ok expected rel =
+  let s = Encode.measure rel in
+  s.Encode.pattern = expected && s.Encode.encoded_bytes <= s.Encode.plain_bytes
+
+let prop_encode_one_to_one =
+  QCheck2.Test.make ~name:"encode bound: 1-to-1" ~count:50
+    QCheck2.Gen.(int_range 2 64)
+    (fun n ->
+      encode_ok Pattern.One_to_one
+        (Bipartite.Graph (Bipartite.of_edges ~n_parents:n ~n_children:n (List.init n (fun i -> (i, i))))))
+
+let prop_encode_one_to_n =
+  QCheck2.Test.make ~name:"encode bound: 1-to-n" ~count:50
+    QCheck2.Gen.(pair (int_range 2 16) (int_range 2 6))
+    (fun (parents, fan) ->
+      let children = parents * fan in
+      encode_ok Pattern.One_to_n
+        (Bipartite.Graph
+           (Bipartite.of_edges ~n_parents:parents ~n_children:children
+              (List.init children (fun c -> (c / fan, c))))))
+
+let prop_encode_n_to_one =
+  QCheck2.Test.make ~name:"encode bound: n-to-1" ~count:50
+    QCheck2.Gen.(pair (int_range 2 16) (int_range 2 6))
+    (fun (children, fan) ->
+      let parents = children * fan in
+      encode_ok Pattern.N_to_one
+        (Bipartite.Graph
+           (Bipartite.of_edges ~n_parents:parents ~n_children:children
+              (List.init parents (fun p -> (p, p / fan))))))
+
+let prop_encode_n_group =
+  QCheck2.Test.make ~name:"encode bound: n-group" ~count:50
+    QCheck2.Gen.(pair (int_range 2 6) (int_range 2 8))
+    (fun (group, groups) ->
+      let n = group * groups in
+      let edges = ref [] in
+      for c = 0 to n - 1 do
+        for p = c / group * group to ((c / group) + 1) * group - 1 do
+          edges := (p, c) :: !edges
+        done
+      done;
+      encode_ok Pattern.N_group
+        (Bipartite.Graph (Bipartite.of_edges ~n_parents:n ~n_children:n !edges)))
+
+let prop_encode_overlapped =
+  QCheck2.Test.make ~name:"encode bound: overlapped" ~count:50
+    QCheck2.Gen.(pair (int_range 8 40) (int_range 1 3))
+    (fun (n, halo) ->
+      let edges = ref [] in
+      for c = 0 to n - 1 do
+        for p = max 0 (c - halo) to min (n - 1) (c + halo) do
+          edges := (p, c) :: !edges
+        done
+      done;
+      encode_ok Pattern.Overlapped
+        (Bipartite.Graph (Bipartite.of_edges ~n_parents:n ~n_children:n !edges)))
+
+let prop_encode_irregular =
+  (* Arbitrary random edge soups: whatever they classify as, the encoding
+     stays within the plain representation (modulo the 4-byte floor for
+     empty edge lists). *)
+  QCheck2.Test.make ~name:"encode bound: random graphs" ~count:200
+    QCheck2.Gen.(list_size (int_range 1 80) (pair (int_range 0 19) (int_range 0 19)))
+    (fun edges ->
+      let g = Bipartite.Graph (Bipartite.of_edges ~n_parents:20 ~n_children:20 edges) in
+      let s = Encode.measure g in
+      s.Encode.encoded_bytes <= max s.Encode.plain_bytes Encode.entry_bytes)
+
+(* An explicitly materialized all-pairs graph classifies as n-group (every
+   child reads one group: all parents), so [measure] keeps an O(M+N)
+   encoding; [measure_full] knows the pair is fully connected and collapses
+   it to a flag.  Their plain sizes must agree exactly, and the dedicated
+   encoding can only be smaller. *)
+let prop_measure_full_consistent =
+  QCheck2.Test.make ~name:"measure_full agrees with explicit all-pairs measure" ~count:50
+    QCheck2.Gen.(pair (int_range 1 12) (int_range 1 12))
+    (fun (m, n) ->
+      let edges = List.concat_map (fun p -> List.init n (fun c -> (p, c))) (List.init m Fun.id) in
+      let explicit = Encode.measure (Bipartite.Graph (Bipartite.of_edges ~n_parents:m ~n_children:n edges)) in
+      let full = Encode.measure_full ~n_parents:m ~n_children:n in
+      full.Encode.plain_bytes = m * n * Encode.entry_bytes
+      && explicit.Encode.plain_bytes = full.Encode.plain_bytes
+      && full.Encode.encoded_bytes <= explicit.Encode.encoded_bytes
+      && full.Encode.pattern = Pattern.Fully_connected)
+
+let encode_props =
+  [
+    QCheck_alcotest.to_alcotest prop_encode_one_to_one;
+    QCheck_alcotest.to_alcotest prop_encode_one_to_n;
+    QCheck_alcotest.to_alcotest prop_encode_n_to_one;
+    QCheck_alcotest.to_alcotest prop_encode_n_group;
+    QCheck_alcotest.to_alcotest prop_encode_overlapped;
+    QCheck_alcotest.to_alcotest prop_encode_irregular;
+    QCheck_alcotest.to_alcotest prop_measure_full_consistent;
+  ]
+
+let suite = suite @ encode_props

@@ -11,5 +11,6 @@ let () =
       ("maestro", Test_maestro.suite);
       ("workloads", Test_workloads.suite);
       ("report", Test_report.suite);
+      ("trace", Test_trace.suite);
       ("integration", Test_integration.suite);
     ]

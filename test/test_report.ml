@@ -150,12 +150,47 @@ let test_timeline_csv () =
   Alcotest.(check int) "rows" 33 (List.length lines);
   Alcotest.(check string) "header" "kernel,tb,dep_ready,start,finish" (List.hd lines)
 
+(* Golden outputs: the renderers feed scripts and docs, so their exact
+   byte-for-byte output is part of the interface.  The fixture is the
+   4-TB vector-add microbenchmark under the (deterministic) baseline; if a
+   legitimate rendering or cost-model change lands, regenerate with
+     Timeline.ascii ~width:40 / Timeline.csv
+   over Runner.simulate Mode.Baseline (Microbench.vector_add ~tbs:4). *)
+
+let golden_stats = lazy (Runner.simulate Mode.Baseline (Bm_workloads.Microbench.vector_add ~tbs:4))
+
+let golden_ascii =
+  "timeline: 20.96 us total, 2 kernels\n\
+   k0        4 TB |                        ##              |\n\
+   k1        4 TB |                                   ##   |\n\
+   TBs active per column (max 4)|                        99         92   |\n"
+
+let golden_csv =
+  "kernel,tb,dep_ready,start,finish\n\
+   0,0,0.0000,13.0410,13.4480\n\
+   0,1,0.0000,13.0410,13.4290\n\
+   0,2,0.0000,13.0410,13.4215\n\
+   0,3,0.0000,13.0410,13.4177\n\
+   1,0,13.4480,18.4480,18.8246\n\
+   1,1,13.4290,18.4480,18.8252\n\
+   1,2,13.4215,18.4480,18.9435\n\
+   1,3,13.4177,18.4480,18.8465\n"
+
+let test_timeline_ascii_golden () =
+  Alcotest.(check string) "ascii golden" golden_ascii
+    (Timeline.ascii ~width:40 (Lazy.force golden_stats))
+
+let test_timeline_csv_golden () =
+  Alcotest.(check string) "csv golden" golden_csv (Timeline.csv (Lazy.force golden_stats))
+
 let timeline_suite =
   [
     Alcotest.test_case "timeline: spans" `Quick test_timeline_spans;
     Alcotest.test_case "timeline: ascii" `Quick test_timeline_ascii;
     Alcotest.test_case "timeline: elision" `Quick test_timeline_ascii_elision;
     Alcotest.test_case "timeline: csv" `Quick test_timeline_csv;
+    Alcotest.test_case "timeline: ascii golden" `Quick test_timeline_ascii_golden;
+    Alcotest.test_case "timeline: csv golden" `Quick test_timeline_csv_golden;
   ]
 
 let suite = suite @ timeline_suite

@@ -119,6 +119,51 @@ let prop_count_matches =
   QCheck2.Test.make ~name:"count equals number of concrete elements" ~count:300 gen_small_interval
     (fun a -> I.count a = List.length (elements a))
 
+let prop_neg_sound =
+  QCheck2.Test.make ~name:"neg over-approximates pointwise negation" ~count:300 gen_small_interval
+    (fun a ->
+      let s = I.neg a in
+      List.for_all (fun x -> I.mem (-x) s) (elements a))
+
+let prop_mul_const_sound =
+  QCheck2.Test.make ~name:"mul_const over-approximates" ~count:300
+    QCheck2.Gen.(pair gen_small_interval (int_range (-9) 9))
+    (fun (a, c) ->
+      let s = I.mul_const a c in
+      List.for_all (fun x -> I.mem (x * c) s) (elements a))
+
+let prop_rem_sound =
+  QCheck2.Test.make ~name:"rem_const over-approximates" ~count:300
+    QCheck2.Gen.(pair gen_small_interval (int_range 1 9))
+    (fun (a, c) ->
+      let s = I.rem_const a c in
+      List.for_all (fun x -> I.mem (x mod c) s) (elements a))
+
+let prop_shl_shr_sound =
+  QCheck2.Test.make ~name:"shl/shr over-approximate" ~count:300
+    QCheck2.Gen.(pair gen_small_interval (int_range 0 4))
+    (fun (a, k) ->
+      let sl = I.shl a k and sr = I.shr a k in
+      List.for_all (fun x -> I.mem (x lsl k) sl) (elements a)
+      && List.for_all (fun x -> I.mem (x asr k) sr) (elements a))
+
+let prop_min_max_sound =
+  QCheck2.Test.make ~name:"min_/max_ over-approximate pointwise min/max" ~count:300
+    QCheck2.Gen.(pair gen_small_interval gen_small_interval)
+    (fun (a, b) ->
+      let lo = I.min_ a b and hi = I.max_ a b in
+      List.for_all
+        (fun x ->
+          List.for_all (fun y -> I.mem (min x y) lo && I.mem (max x y) hi) (elements b))
+        (elements a))
+
+let prop_subset_exact =
+  QCheck2.Test.make ~name:"subset agrees with concrete containment" ~count:500
+    QCheck2.Gen.(pair gen_small_interval gen_small_interval)
+    (fun (a, b) ->
+      let concrete = List.for_all (fun x -> I.mem x b) (elements a) in
+      I.subset a b = concrete)
+
 let suite =
   [
     Alcotest.test_case "singleton" `Quick test_singleton;
@@ -137,6 +182,12 @@ let suite =
     QCheck_alcotest.to_alcotest prop_intersects_exact;
     QCheck_alcotest.to_alcotest prop_div_sound;
     QCheck_alcotest.to_alcotest prop_count_matches;
+    QCheck_alcotest.to_alcotest prop_neg_sound;
+    QCheck_alcotest.to_alcotest prop_mul_const_sound;
+    QCheck_alcotest.to_alcotest prop_rem_sound;
+    QCheck_alcotest.to_alcotest prop_shl_shr_sound;
+    QCheck_alcotest.to_alcotest prop_min_max_sound;
+    QCheck_alcotest.to_alcotest prop_subset_exact;
   ]
 
 (* --- symbolic expression algebra -------------------------------------- *)

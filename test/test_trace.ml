@@ -1,0 +1,403 @@
+(* The event-trace subsystem as a correctness oracle.
+
+   A seeded generator assembles random multi-stream kernel chains; every
+   Fig. 9 mode simulates each of them with tracing on, and the trace must
+   (a) satisfy Trace.check's scheduling contracts and (b) dispatch exactly
+   the same multiset of (kernel, TB) pairs as the baseline — i.e. the
+   reordering/pre-launch machinery may only change *when* work runs, never
+   *what* runs.  Exporters are validated syntactically. *)
+
+module Rng = Bm_engine.Rng
+module Command = Bm_gpu.Command
+module Config = Bm_gpu.Config
+module Stats = Bm_gpu.Stats
+module Mode = Bm_maestro.Mode
+module Runner = Bm_maestro.Runner
+module Dsl = Bm_workloads.Dsl
+module Templates = Bm_workloads.Templates
+module Suite = Bm_workloads.Suite
+module Trace = Bm_report.Trace
+
+let cfg = Config.titan_x_pascal
+let slots = Config.total_tb_slots cfg
+
+(* --- random application generator ----------------------------------- *)
+
+(* One independent kernel chain per stream (1-2 streams), 1-5 kernels per
+   chain, grids of 1-16 TBs x 64 threads, alternating map/stencil bodies,
+   with copies and an occasional device sync sprinkled in.  Small enough
+   that 50 apps x 7 modes stays fast. *)
+let gen_app rng idx =
+  let d = Dsl.create (Printf.sprintf "rand%03d" idx) in
+  let n_streams = 1 + Rng.int_below rng 2 in
+  let max_grid = 16 in
+  let block = 64 in
+  let chains =
+    Array.init n_streams (fun s ->
+        let len = 1 + Rng.int_below rng 5 in
+        let bufs =
+          Array.init (len + 1) (fun _ -> Dsl.buffer d ~elems:(max_grid * block))
+        in
+        Dsl.h2d d bufs.(0);
+        (s, len, bufs, ref 0))
+  in
+  (* Round-robin across streams so residency windows interleave. *)
+  let remaining = ref (Array.fold_left (fun acc (_, len, _, _) -> acc + len) 0 chains) in
+  while !remaining > 0 do
+    Array.iter
+      (fun (s, len, bufs, next) ->
+        if !next < len then begin
+          let i = !next in
+          incr next;
+          decr remaining;
+          let grid = 1 + Rng.int_below rng max_grid in
+          let n = grid * block in
+          let kernel =
+            if Rng.int_below rng 2 = 0 then
+              Templates.map1 ~name:(Printf.sprintf "r%d_s%d_k%d_map" idx s i)
+                ~work:(1 + Rng.int_below rng 8)
+            else
+              Templates.stencil1d ~name:(Printf.sprintf "r%d_s%d_k%d_sten" idx s i) ~halo:1
+                ~work:(1 + Rng.int_below rng 8)
+          in
+          Dsl.launch d ~stream:s kernel ~grid ~block
+            ~args:
+              [ ("n", Command.Int n); ("IN", Command.Buf bufs.(i)); ("OUT", Command.Buf bufs.(i + 1)) ];
+          if Rng.int_below rng 5 = 0 then Dsl.sync d
+        end)
+      chains
+  done;
+  Array.iter (fun (_, len, bufs, _) -> Dsl.d2h d bufs.(len)) chains;
+  Dsl.app d
+
+let traced_run mode app =
+  let trace = Trace.create () in
+  let stats = Runner.simulate ~cfg ~trace:(Trace.sink trace) mode app in
+  (stats, trace)
+
+let dispatch_multiset trace =
+  Array.to_list (Trace.events trace)
+  |> List.filter_map (fun { Trace.ev; _ } ->
+         match ev with Stats.Tb_dispatch { seq; tb } -> Some (seq, tb) | _ -> None)
+  |> List.sort compare
+
+let check_or_fail ~ctx ~mode trace =
+  match Trace.check ~window:(Mode.window mode) ~slots trace with
+  | Ok () -> ()
+  | Error msgs ->
+    Alcotest.failf "%s under %s: %d violation(s): %s" ctx (Mode.name mode) (List.length msgs)
+      (String.concat "; " msgs)
+
+(* --- the randomized cross-mode harness ------------------------------- *)
+
+let test_random_cross_mode () =
+  let rng = Rng.create 0xb10cae57 in
+  for idx = 0 to 49 do
+    let app = gen_app rng idx in
+    let ctx = Printf.sprintf "random app %d" idx in
+    let _, base_trace = traced_run Mode.Baseline app in
+    check_or_fail ~ctx ~mode:Mode.Baseline base_trace;
+    let base_work = dispatch_multiset base_trace in
+    Alcotest.(check bool) (ctx ^ ": baseline dispatched work") true (base_work <> []);
+    List.iter
+      (fun mode ->
+        if mode <> Mode.Baseline then begin
+          let _, trace = traced_run mode app in
+          check_or_fail ~ctx ~mode trace;
+          Alcotest.(check (list (pair int int)))
+            (Printf.sprintf "%s: %s runs the baseline's work" ctx (Mode.name mode))
+            base_work (dispatch_multiset trace)
+        end)
+      Mode.all_fig9
+  done
+
+(* Tracing must be an observer: identical results with the sink on/off. *)
+let test_tracing_is_transparent () =
+  let rng = Rng.create 42 in
+  for idx = 0 to 9 do
+    let app = gen_app rng idx in
+    List.iter
+      (fun mode ->
+        let plain = Runner.simulate ~cfg mode app in
+        let traced, _ = traced_run mode app in
+        Alcotest.(check (float 1e-9))
+          (Printf.sprintf "app %d %s: total time unchanged by tracing" idx (Mode.name mode))
+          plain.Stats.total_us traced.Stats.total_us;
+        Alcotest.(check (float 1e-9))
+          (Printf.sprintf "app %d %s: dep traffic unchanged by tracing" idx (Mode.name mode))
+          plain.Stats.dep_mem_requests traced.Stats.dep_mem_requests)
+      Mode.all_fig9
+  done
+
+(* --- derived counters ------------------------------------------------ *)
+
+let test_counters_consistent () =
+  let rng = Rng.create 7 in
+  let app = gen_app rng 0 in
+  let launches = List.length (Command.launches app) in
+  let _, trace = traced_run Mode.Producer_priority app in
+  let kcs = Trace.kernel_counters trace in
+  Alcotest.(check int) "one counter row per launch" launches (Array.length kcs);
+  Array.iter
+    (fun (k : Trace.kernel_counters) ->
+      Alcotest.(check int)
+        (Printf.sprintf "kernel %d dispatched all TBs" k.Trace.kc_seq)
+        k.Trace.kc_tbs k.Trace.kc_dispatched;
+      Alcotest.(check int)
+        (Printf.sprintf "kernel %d finished all TBs" k.Trace.kc_seq)
+        k.Trace.kc_tbs k.Trace.kc_finished;
+      Alcotest.(check bool)
+        (Printf.sprintf "kernel %d lifecycle timestamps ordered" k.Trace.kc_seq)
+        true
+        (k.Trace.kc_enqueue <= k.Trace.kc_launched
+        && k.Trace.kc_launched <= k.Trace.kc_drained
+        && k.Trace.kc_drained <= k.Trace.kc_completed))
+    kcs;
+  let tot = Trace.totals trace in
+  Alcotest.(check int) "totals kernel count" launches tot.Trace.tot_kernels;
+  Alcotest.(check int) "totals TB count"
+    (Array.fold_left (fun acc k -> acc + k.Trace.kc_tbs) 0 kcs)
+    tot.Trace.tot_tbs;
+  Alcotest.(check int) "event count matches length" (Trace.length trace) tot.Trace.tot_events
+
+let test_events_sorted () =
+  let rng = Rng.create 11 in
+  let app = gen_app rng 3 in
+  let _, trace = traced_run (Mode.Consumer_priority 4) app in
+  let evs = Trace.events trace in
+  Alcotest.(check int) "events preserved" (Trace.length trace) (Array.length evs);
+  for i = 1 to Array.length evs - 1 do
+    if evs.(i - 1).Trace.ts > evs.(i).Trace.ts then
+      Alcotest.failf "events out of order at %d: %.4f > %.4f" i evs.(i - 1).Trace.ts evs.(i).Trace.ts
+  done
+
+(* --- checker sensitivity --------------------------------------------- *)
+
+(* The checker must actually reject broken traces, not just accept good
+   ones: feed it hand-built violations. *)
+let test_checker_rejects () =
+  let expect_error name entries =
+    let t = Trace.create () in
+    List.iter (fun (ts, ev) -> Trace.sink t ts ev) entries;
+    match Trace.check ~window:2 ~slots:4 t with
+    | Ok () -> Alcotest.failf "%s: checker accepted a broken trace" name
+    | Error _ -> ()
+  in
+  let enq seq = Stats.Kernel_enqueue { seq; stream = 0; tbs = 1 } in
+  let launch seq = Stats.Kernel_launched { seq; stream = 0 } in
+  let dis seq tb = Stats.Tb_dispatch { seq; tb } in
+  let fin seq tb = Stats.Tb_finish { seq; tb } in
+  let drain seq = Stats.Kernel_drained { seq; stream = 0 } in
+  let comp seq = Stats.Kernel_completed { seq; stream = 0 } in
+  let ok_kernel seq t0 =
+    [ (t0, enq seq); (t0 +. 1., launch seq); (t0 +. 2., dis seq 0); (t0 +. 3., fin seq 0);
+      (t0 +. 3., drain seq); (t0 +. 3., comp seq) ]
+  in
+  (match
+     let t = Trace.create () in
+     List.iter (fun (ts, ev) -> Trace.sink t ts ev) (ok_kernel 0 0.0);
+     Trace.check ~window:2 ~slots:4 t
+   with
+  | Ok () -> ()
+  | Error msgs -> Alcotest.failf "well-formed trace rejected: %s" (String.concat "; " msgs));
+  expect_error "dispatch before launch"
+    [ (0., enq 0); (1., dis 0 0); (2., launch 0); (3., fin 0 0); (3., drain 0); (3., comp 0) ];
+  expect_error "dispatch before dep satisfied"
+    [ (0., enq 0); (1., launch 0); (2., dis 0 0);
+      (3., Stats.Dep_satisfied { seq = 0; tb = 0 });
+      (4., fin 0 0); (4., drain 0); (4., comp 0) ];
+  expect_error "double dispatch"
+    [ (0., enq 0); (1., launch 0); (2., dis 0 0); (2.5, dis 0 0); (3., fin 0 0); (3., drain 0);
+      (3., comp 0) ];
+  expect_error "complete without drain"
+    [ (0., enq 0); (1., launch 0); (2., dis 0 0); (3., fin 0 0); (3., comp 0) ];
+  expect_error "out-of-order completion"
+    (List.concat
+       [
+         [ (0., enq 0); (0.1, enq 1) ];
+         [ (1., launch 0); (1.1, launch 1) ];
+         [ (2., dis 0 0); (2.1, dis 1 0) ];
+         [ (3., fin 1 0); (3., drain 1); (3., comp 1) ];
+         [ (4., fin 0 0); (4., drain 0); (4., comp 0) ];
+       ]);
+  expect_error "window overrun" (List.concat [ ok_kernel 0 0.0; ok_kernel 1 0.01; ok_kernel 2 0.02 ]);
+  expect_error "slot overrun"
+    (let enqs =
+       List.concat
+         (List.init 2 (fun s ->
+              [ (0.0, Stats.Kernel_enqueue { seq = s; stream = s; tbs = 3 });
+                (0.5, Stats.Kernel_launched { seq = s; stream = s }) ]))
+     in
+     let diss = List.init 6 (fun i -> (1.0, dis (i / 3) (i mod 3))) in
+     let fins = List.init 6 (fun i -> (2.0, fin (i / 3) (i mod 3))) in
+     let ends =
+       List.init 2 (fun s ->
+           [ (2.0, Stats.Kernel_drained { seq = s; stream = s });
+             (2.0, Stats.Kernel_completed { seq = s; stream = s }) ])
+       |> List.concat
+     in
+     enqs @ diss @ fins @ ends);
+  expect_error "kernel never completes" [ (0., enq 0); (1., launch 0) ]
+
+(* --- exporters ------------------------------------------------------- *)
+
+(* Minimal JSON syntax checker: enough to prove the Chrome export is
+   well-formed without a JSON library in the test dependencies. *)
+let json_parses s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let skip_ws () =
+    while !pos < n && (match s.[!pos] with ' ' | '\n' | '\t' | '\r' -> true | _ -> false) do
+      incr pos
+    done
+  in
+  let fail () = raise Exit in
+  let expect c = if peek () = Some c then incr pos else fail () in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' -> obj ()
+    | Some '[' -> arr ()
+    | Some '"' -> string_lit ()
+    | Some ('-' | '0' .. '9') -> number ()
+    | Some 't' -> literal "true"
+    | Some 'f' -> literal "false"
+    | Some 'n' -> literal "null"
+    | _ -> fail ()
+  and literal lit =
+    if !pos + String.length lit <= n && String.sub s !pos (String.length lit) = lit then
+      pos := !pos + String.length lit
+    else fail ()
+  and number () =
+    let start = !pos in
+    while
+      !pos < n
+      && match s.[!pos] with '-' | '+' | '.' | 'e' | 'E' | '0' .. '9' -> true | _ -> false
+    do
+      incr pos
+    done;
+    if !pos = start then fail ()
+  and string_lit () =
+    expect '"';
+    let fin = ref false in
+    while not !fin do
+      match peek () with
+      | None -> fail ()
+      | Some '"' ->
+        incr pos;
+        fin := true
+      | Some '\\' ->
+        pos := !pos + 2;
+        if !pos > n then fail ()
+      | Some _ -> incr pos
+    done
+  and obj () =
+    expect '{';
+    skip_ws ();
+    if peek () = Some '}' then incr pos
+    else begin
+      let fin = ref false in
+      while not !fin do
+        skip_ws ();
+        string_lit ();
+        skip_ws ();
+        expect ':';
+        value ();
+        skip_ws ();
+        match peek () with
+        | Some ',' -> incr pos
+        | Some '}' ->
+          incr pos;
+          fin := true
+        | _ -> fail ()
+      done
+    end
+  and arr () =
+    expect '[';
+    skip_ws ();
+    if peek () = Some ']' then incr pos
+    else begin
+      let fin = ref false in
+      while not !fin do
+        value ();
+        skip_ws ();
+        match peek () with
+        | Some ',' -> incr pos
+        | Some ']' ->
+          incr pos;
+          fin := true
+        | _ -> fail ()
+      done
+    end
+  in
+  try
+    value ();
+    skip_ws ();
+    !pos = n
+  with Exit -> false
+
+let test_json_parser_itself () =
+  Alcotest.(check bool) "valid object" true (json_parses {|{"a":[1,2.5,-3e4],"b":"x\"y","c":null}|});
+  Alcotest.(check bool) "trailing garbage" false (json_parses "{}x");
+  Alcotest.(check bool) "unterminated" false (json_parses {|{"a":1|});
+  Alcotest.(check bool) "bare word" false (json_parses "hello")
+
+let test_chrome_export () =
+  let rng = Rng.create 3 in
+  let app = gen_app rng 5 in
+  let _, trace = traced_run Mode.Producer_priority app in
+  let json = Trace.to_chrome_json ~meta:(("app", "rand\"5\"") :: Config.to_assoc cfg) trace in
+  Alcotest.(check bool) "chrome JSON parses" true (json_parses json);
+  Alcotest.(check bool) "has traceEvents" true
+    (String.length json > 20 && String.sub json 0 15 = {|{"traceEvents":|});
+  let empty = Trace.create () in
+  Alcotest.(check bool) "empty trace still valid JSON" true
+    (json_parses (Trace.to_chrome_json empty))
+
+let test_csv_export () =
+  let rng = Rng.create 4 in
+  let app = gen_app rng 6 in
+  let _, trace = traced_run Mode.Baseline app in
+  let csv = Trace.to_csv trace in
+  let lines = String.split_on_char '\n' csv |> List.filter (fun l -> l <> "") in
+  (match lines with
+  | header :: rows ->
+    Alcotest.(check string) "csv header" "ts,event,kernel,tb,stream,cmd,bytes" header;
+    Alcotest.(check int) "one row per event" (Trace.length trace) (List.length rows);
+    List.iter
+      (fun row ->
+        Alcotest.(check int)
+          (Printf.sprintf "row %S has 7 fields" row)
+          7
+          (List.length (String.split_on_char ',' row)))
+      rows
+  | [] -> Alcotest.fail "empty csv")
+
+(* --- the acceptance gate: every suite app x every mode --------------- *)
+
+let test_suite_apps_all_modes () =
+  List.iter
+    (fun (name, gen) ->
+      let app = gen () in
+      List.iter
+        (fun mode ->
+          let _, trace = traced_run mode app in
+          check_or_fail ~ctx:name ~mode trace)
+        Mode.all_fig9)
+    Suite.all
+
+let suite =
+  [
+    Alcotest.test_case "random apps: all modes pass check + baseline work" `Quick
+      test_random_cross_mode;
+    Alcotest.test_case "tracing does not perturb simulation" `Quick test_tracing_is_transparent;
+    Alcotest.test_case "derived counters are consistent" `Quick test_counters_consistent;
+    Alcotest.test_case "events are time-sorted" `Quick test_events_sorted;
+    Alcotest.test_case "checker rejects broken traces" `Quick test_checker_rejects;
+    Alcotest.test_case "mini JSON parser sanity" `Quick test_json_parser_itself;
+    Alcotest.test_case "chrome trace_event export is valid JSON" `Quick test_chrome_export;
+    Alcotest.test_case "csv export shape" `Quick test_csv_export;
+    Alcotest.test_case "every suite app x Fig. 9 mode passes check" `Slow
+      test_suite_apps_all_modes;
+  ]
