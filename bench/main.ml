@@ -8,7 +8,8 @@
    construction, encoding, simulation).  Pass --no-bechamel to skip the
    micro-benchmarks, --only SECTION to print a single experiment, --trace
    to run the traced invariant-check pass over every (app, mode) pair
-   instead of the experiments. *)
+   instead of the experiments, --oracle to require cycle-exact agreement
+   between the event-driven and reference schedulers on every app. *)
 
 open Blockmaestro
 open Bechamel
@@ -76,6 +77,36 @@ let bechamel_tests =
            Sys.opaque_identity (Runner.simulate (Mode.Consumer_priority 4) (stencil_app ()))));
   ]
 
+(* --oracle: run every suite app (plus representative microbenchmarks)
+   through both the event-driven scheduler and the naive reference
+   scheduler under every Fig. 9 mode, requiring cycle-exact agreement.
+   Quadratic in TBs, which is why it is opt-in. *)
+let run_oracle () =
+  let cfg = Config.titan_x_pascal in
+  let apps =
+    Suite.all
+    @ [
+        ("vecadd64", fun () -> Microbench.vector_add ~tbs:64);
+        ("dual4x3", fun () -> Microbench.dual_stream ~tbs:4 ~kernels_per_stream:3);
+        ("wavefront", fun () -> Wavefront.make ~name:"oracle_wf" ~work:10 ~halo:1 ());
+      ]
+  in
+  let failures = ref 0 in
+  List.iter
+    (fun (name, gen) ->
+      match Diff.check ~cfg (gen ()) with
+      | Ok () -> Printf.printf "  %-10s all modes agree cycle-exactly\n%!" name
+      | Error mms ->
+        incr failures;
+        Printf.printf "  %-10s DIVERGED in %d mode(s)\n" name (List.length mms);
+        List.iter (fun mm -> Format.printf "      %a@." Diff.pp_mismatch mm) mms)
+    apps;
+  if !failures > 0 then begin
+    Printf.eprintf "oracle check failed for %d app(s)\n" !failures;
+    exit 1
+  end
+  else print_endline "reference scheduler agrees on every app x mode"
+
 (* --trace: re-run the full Fig. 9 grid with event tracing on and the
    invariant checker validating every trace.  Slower than the plain
    experiments (every event is recorded), which is why it is opt-in. *)
@@ -130,6 +161,7 @@ let () =
   let only = ref None in
   let bechamel_enabled = ref true in
   let traced = ref false in
+  let oracle = ref false in
   let rec parse = function
     | [] -> ()
     | "--no-bechamel" :: rest ->
@@ -138,12 +170,20 @@ let () =
     | "--trace" :: rest ->
       traced := true;
       parse rest
+    | "--oracle" :: rest ->
+      oracle := true;
+      parse rest
     | "--only" :: s :: rest ->
       only := Some s;
       parse rest
     | _ :: rest -> parse rest
   in
   parse (List.tl args);
+  if !oracle then begin
+    print_endline "== differential oracle pass (every app x mode, both schedulers) ==";
+    run_oracle ();
+    exit 0
+  end;
   if !traced then begin
     print_endline "== traced invariant-check pass (every app x mode) ==";
     run_traced ();

@@ -6,6 +6,7 @@
      speedup APP             all Fig. 9 modes for one application
      analyze APP             per-kernel-pair dependency analysis
      trace APP [-m MODE]     record, validate and export an event trace
+     fuzz [--seed N]         differential fuzz of scheduler + Algorithm 1
      ptx APP                 dump the PTX of the application's kernels *)
 
 open Blockmaestro
@@ -182,6 +183,49 @@ let trace_cmd =
   in
   Cmd.v (Cmd.info "trace" ~doc) Term.(const run $ app_arg $ mode $ out $ csv $ no_check)
 
+let fuzz_cmd =
+  let doc =
+    "Fuzz the scheduler against the reference scheduler and Algorithm 1 against the exact \
+     interpreter-derived dependency graphs."
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.") in
+  let count =
+    Arg.(value & opt int 100 & info [ "count" ] ~docv:"M" ~doc:"Number of random applications.")
+  in
+  let shrink =
+    Arg.(value & flag & info [ "shrink" ] ~doc:"Minimize failing applications before reporting.")
+  in
+  let no_soundness =
+    Arg.(value & flag & info [ "no-soundness" ] ~doc:"Skip the Algorithm 1 soundness oracle.")
+  in
+  let window_bug =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "inject-window-bug" ] ~docv:"D"
+          ~doc:
+            "Widen the reference scheduler's pre-launch window by $(docv); a nonzero value must \
+             be caught as a scheduler mismatch (self-test of the oracle).")
+  in
+  let modes =
+    Arg.(
+      value
+      & opt_all mode_conv []
+      & info [ "m"; "mode" ] ~docv:"MODE" ~doc:"Mode(s) to check (default: all known modes).")
+  in
+  let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress progress lines.") in
+  let run seed count shrink no_soundness window_bug modes quiet =
+    let modes = if modes = [] then List.map snd Mode.known else modes in
+    let log = if quiet then fun _ -> () else fun s -> Printf.eprintf "%s\n%!" s in
+    let report =
+      Fuzz.run ~modes ~shrink ~soundness:(not no_soundness) ?window_bug ~log ~seed ~count ()
+    in
+    Format.printf "%a@." Fuzz.pp_report report;
+    if not (Fuzz.ok report) then exit 1
+  in
+  Cmd.v (Cmd.info "fuzz" ~doc)
+    Term.(const run $ seed $ count $ shrink $ no_soundness $ window_bug $ modes $ quiet)
+
 let ptx_cmd =
   let doc = "Print the PTX of the application's distinct kernels." in
   let run (_, gen) =
@@ -202,6 +246,6 @@ let ptx_cmd =
 let main =
   let doc = "BlockMaestro: programmer-transparent task-based GPU execution (simulator)" in
   Cmd.group (Cmd.info "bmctl" ~doc ~version:"1.0.0")
-    [ list_cmd; run_cmd; speedup_cmd; analyze_cmd; timeline_cmd; trace_cmd; ptx_cmd ]
+    [ list_cmd; run_cmd; speedup_cmd; analyze_cmd; timeline_cmd; trace_cmd; fuzz_cmd; ptx_cmd ]
 
 let () = exit (Cmd.eval main)

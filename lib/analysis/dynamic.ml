@@ -46,6 +46,19 @@ let compress addrs =
       [ Sinterval.make ~lo ~hi ~stride:(if lo = hi then 0 else max 1 stride) ]
     end
 
+(* The obviously-correct quadratic: test every (parent TB, child TB) pair
+   directly with Footprint.overlaps.  No candidate index, no binary search,
+   no prefix maxima — this is the reference the indexed Bipartite.relate is
+   differentially validated against by Bm_oracle.Soundness. *)
+let relate_exact ~writes ~reads =
+  let edges = ref [] in
+  for c = Array.length reads - 1 downto 0 do
+    for p = Array.length writes - 1 downto 0 do
+      if Footprint.overlaps ~writes:writes.(p) ~reads:reads.(c) then edges := (p, c) :: !edges
+    done
+  done;
+  List.sort compare !edges
+
 let footprints ?fuel kernel (launch : Footprint.launch) mem =
   let n = Footprint.tb_count launch in
   let gx = launch.Footprint.grid.dx and gy = launch.Footprint.grid.dy in

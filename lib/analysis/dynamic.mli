@@ -27,6 +27,16 @@ val footprints :
     Unlike the static analysis the result is input-dependent: it is valid
     only for the given memory contents.  Always returns [Per_tb]. *)
 
+val relate_exact :
+  writes:Footprint.t array -> reads:Footprint.t array -> (int * int) list
+(** [relate_exact ~writes ~reads] is the naive quadratic RAW relation: edge
+    (p, c) iff parent TB [p]'s write footprint intersects child TB [c]'s
+    read footprint, tested pairwise with {!Footprint.overlaps} — no
+    candidate index and no degree cap.  Sorted lexicographically by
+    (parent, child).  This is the differential reference for the indexed
+    {!Bm_depgraph.Bipartite.relate}, and — applied to interpreter-derived
+    footprints — the exact dependence oracle for Algorithm 1. *)
+
 val compress : int list -> Sinterval.t list
 (** Compress a set of byte addresses into a small list of strided intervals
     covering them (exact, not an over-approximation, though each interval

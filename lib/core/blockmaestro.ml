@@ -17,8 +17,11 @@
     - {!Config}, {!Command}, {!Alloc}, {!Costmodel}, {!Stats}: GPU model
     - {!Mode}, {!Reorder}, {!Prep}, {!Hardware}, {!Sim}, {!Runner}:
       BlockMaestro proper
-    - {!Templates}, {!Dsl}, {!Suite}, {!Microbench}, {!Wavefront}: workloads
+    - {!Templates}, {!Dsl}, {!Suite}, {!Microbench}, {!Wavefront},
+      {!Genapp}: workloads
     - {!Cdp}, {!Wireframe}: comparison models
+    - {!Refsched}, {!Diff}, {!Soundness}, {!Shrink}, {!Fuzz}: differential
+      oracle and shrinking fuzzer
     - {!Report}: result formatting *)
 
 module Rng = Bm_engine.Rng
@@ -60,6 +63,13 @@ module Dsl = Bm_workloads.Dsl
 module Suite = Bm_workloads.Suite
 module Microbench = Bm_workloads.Microbench
 module Wavefront = Bm_workloads.Wavefront
+module Genapp = Bm_workloads.Genapp
+
+module Refsched = Bm_oracle.Refsched
+module Diff = Bm_oracle.Diff
+module Soundness = Bm_oracle.Soundness
+module Shrink = Bm_oracle.Shrink
+module Fuzz = Bm_oracle.Fuzz
 
 module Cdp = Bm_baselines.Cdp
 module Wireframe = Bm_baselines.Wireframe

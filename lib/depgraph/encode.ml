@@ -40,6 +40,128 @@ let measure_full ~n_parents ~n_children =
     pattern = Pattern.Fully_connected;
   }
 
+(* --- the codec itself ------------------------------------------------- *)
+
+type encoded =
+  | Enc_independent of { n_parents : int; n_children : int }
+  | Enc_full of { n_parents : int; n_children : int }
+  | Enc_one_to_one of { n : int }
+  | Enc_one_to_n of { n_parents : int; parent_of : int array }
+  | Enc_n_to_one of { n_children : int; child_of : int array }
+  | Enc_n_group of { group_of_parent : int array; group_of_child : int array }
+  | Enc_overlapped of { n_parents : int; windows : (int * int) array }
+  | Enc_irregular of { n_parents : int; parents_of : int array array }
+
+let encode ~n_parents ~n_children rel =
+  match rel with
+  | Bipartite.Independent -> Enc_independent { n_parents; n_children }
+  | Bipartite.Fully_connected -> Enc_full { n_parents; n_children }
+  | Bipartite.Graph g -> (
+    match Pattern.classify rel with
+    | Pattern.One_to_one -> Enc_one_to_one { n = g.Bipartite.n_parents }
+    | Pattern.One_to_n ->
+      (* is_one_to_n guarantees every child has exactly one parent. *)
+      Enc_one_to_n
+        { n_parents = g.Bipartite.n_parents;
+          parent_of = Array.map (fun ps -> ps.(0)) g.Bipartite.parents_of }
+    | Pattern.N_to_one ->
+      Enc_n_to_one
+        { n_children = g.Bipartite.n_children;
+          child_of =
+            Array.map
+              (fun cs -> if Array.length cs = 0 then -1 else cs.(0))
+              g.Bipartite.children_of }
+    | Pattern.N_group ->
+      (* Group ids in first-seen order over children; is_n_group guarantees
+         each parent belongs to exactly one group (or none). *)
+      let groups = Hashtbl.create 8 in
+      let next = ref 0 in
+      let group_of_child =
+        Array.map
+          (fun ps ->
+            if Array.length ps = 0 then -1
+            else begin
+              let key = Array.to_list ps in
+              match Hashtbl.find_opt groups key with
+              | Some gid -> gid
+              | None ->
+                let gid = !next in
+                incr next;
+                Hashtbl.add groups key gid;
+                gid
+            end)
+          g.Bipartite.parents_of
+      in
+      let group_of_parent = Array.make g.Bipartite.n_parents (-1) in
+      Hashtbl.iter (fun ps gid -> List.iter (fun p -> group_of_parent.(p) <- gid) ps) groups;
+      Enc_n_group { group_of_parent; group_of_child }
+    | Pattern.Overlapped ->
+      Enc_overlapped
+        { n_parents = g.Bipartite.n_parents;
+          windows =
+            Array.map
+              (fun ps -> if Array.length ps = 0 then (0, 0) else (ps.(0), Array.length ps))
+              g.Bipartite.parents_of }
+    | Pattern.Independent | Pattern.Fully_connected | Pattern.Irregular ->
+      (* classify never maps a Graph to Independent/Fully_connected, but the
+         plain adjacency fallback is correct for them regardless. *)
+      Enc_irregular
+        { n_parents = g.Bipartite.n_parents;
+          parents_of = Array.map Array.copy g.Bipartite.parents_of })
+
+let graph_of_parent_lists ~n_parents parents_of =
+  let n_children = Array.length parents_of in
+  let edges = ref [] in
+  Array.iteri (fun c ps -> Array.iter (fun p -> edges := (p, c) :: !edges) ps) parents_of;
+  Bipartite.Graph (Bipartite.of_edges ~n_parents ~n_children !edges)
+
+let decode = function
+  | Enc_independent _ -> Bipartite.Independent
+  | Enc_full _ -> Bipartite.Fully_connected
+  | Enc_one_to_one { n } ->
+    graph_of_parent_lists ~n_parents:n (Array.init n (fun c -> [| c |]))
+  | Enc_one_to_n { n_parents; parent_of } ->
+    graph_of_parent_lists ~n_parents (Array.map (fun p -> [| p |]) parent_of)
+  | Enc_n_to_one { n_children; child_of } ->
+    let parents_of = Array.make n_children [] in
+    Array.iteri
+      (fun p c -> if c >= 0 then parents_of.(c) <- p :: parents_of.(c))
+      child_of;
+    graph_of_parent_lists ~n_parents:(Array.length child_of)
+      (Array.map (fun l -> Array.of_list (List.sort compare l)) parents_of)
+  | Enc_n_group { group_of_parent; group_of_child } ->
+    let parents_in gid =
+      let acc = ref [] in
+      Array.iteri (fun p g -> if g = gid then acc := p :: !acc) group_of_parent;
+      Array.of_list (List.sort compare !acc)
+    in
+    graph_of_parent_lists ~n_parents:(Array.length group_of_parent)
+      (Array.map (fun gid -> if gid < 0 then [||] else parents_in gid) group_of_child)
+  | Enc_overlapped { n_parents; windows } ->
+    graph_of_parent_lists ~n_parents
+      (Array.map (fun (first, len) -> Array.init len (fun i -> first + i)) windows)
+  | Enc_irregular { n_parents; parents_of } -> graph_of_parent_lists ~n_parents parents_of
+
+let pattern_of_encoded = function
+  | Enc_independent _ -> Pattern.Independent
+  | Enc_full _ -> Pattern.Fully_connected
+  | Enc_one_to_one _ -> Pattern.One_to_one
+  | Enc_one_to_n _ -> Pattern.One_to_n
+  | Enc_n_to_one _ -> Pattern.N_to_one
+  | Enc_n_group _ -> Pattern.N_group
+  | Enc_overlapped _ -> Pattern.Overlapped
+  | Enc_irregular _ -> Pattern.Irregular
+
+let encoded_words = function
+  | Enc_independent _ | Enc_full _ | Enc_one_to_one _ -> 0
+  | Enc_one_to_n { parent_of; _ } -> Array.length parent_of
+  | Enc_n_to_one { child_of; _ } -> Array.length child_of
+  | Enc_n_group { group_of_parent; group_of_child } ->
+    Array.length group_of_parent + Array.length group_of_child
+  | Enc_overlapped { windows; _ } -> 2 * Array.length windows
+  | Enc_irregular { parents_of; _ } ->
+    Array.fold_left (fun acc ps -> acc + 1 + Array.length ps) 0 parents_of
+
 let encoded_overhead_class = function
   | Pattern.Fully_connected -> "O(1)"
   | Pattern.N_group -> "O(M+N)"

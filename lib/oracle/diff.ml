@@ -1,0 +1,73 @@
+module Config = Bm_gpu.Config
+module Stats = Bm_gpu.Stats
+module Mode = Bm_maestro.Mode
+module Prep = Bm_maestro.Prep
+module Sim = Bm_maestro.Sim
+
+type mismatch = {
+  mm_mode : Mode.t;
+  mm_details : string list;
+}
+
+let fdiff name a b acc =
+  if a = b then acc else Printf.sprintf "%s: sim=%.9g ref=%.9g" name a b :: acc
+
+let diff_stats (s : Stats.t) (r : Stats.t) =
+  let acc = [] in
+  let acc = fdiff "total_us" s.Stats.total_us r.Stats.total_us acc in
+  let acc = fdiff "busy_us" s.Stats.busy_us r.Stats.busy_us acc in
+  let acc = fdiff "avg_concurrency" s.Stats.avg_concurrency r.Stats.avg_concurrency acc in
+  let acc = fdiff "base_mem_requests" s.Stats.base_mem_requests r.Stats.base_mem_requests acc in
+  let acc = fdiff "dep_mem_requests" s.Stats.dep_mem_requests r.Stats.dep_mem_requests acc in
+  let acc =
+    if Array.length s.Stats.records <> Array.length r.Stats.records then
+      Printf.sprintf "records: sim has %d, ref has %d" (Array.length s.Stats.records)
+        (Array.length r.Stats.records)
+      :: acc
+    else begin
+      let diffs = ref [] in
+      let shown = ref 0 in
+      Array.iteri
+        (fun i (a : Stats.tb_record) ->
+          let b = r.Stats.records.(i) in
+          if a <> b && !shown < 5 then begin
+            incr shown;
+            diffs :=
+              Printf.sprintf
+                "record %d (k%d tb%d): sim dep/start/finish=%.6g/%.6g/%.6g ref=%.6g/%.6g/%.6g" i
+                a.Stats.r_kernel a.Stats.r_tb a.Stats.r_dep_ready a.Stats.r_start
+                a.Stats.r_finish b.Stats.r_dep_ready b.Stats.r_start b.Stats.r_finish
+              :: !diffs
+          end)
+        s.Stats.records;
+      List.rev_append !diffs acc
+    end
+  in
+  List.rev acc
+
+let check ?(cfg = Config.titan_x_pascal) ?(modes = List.map snd Mode.known) ?window_bug app =
+  (* The two reorder classes share one preparation each, like Runner. *)
+  let prep_plain = lazy (Prep.prepare ~reorder:false cfg app) in
+  let prep_reordered = lazy (Prep.prepare ~reorder:true cfg app) in
+  let mms =
+    List.filter_map
+      (fun mode ->
+        let prep =
+          if Mode.reorders mode then Lazy.force prep_reordered else Lazy.force prep_plain
+        in
+        let sim = Sim.run cfg mode prep in
+        let window_override =
+          match window_bug with None -> None | Some d -> Some (Mode.window mode + d)
+        in
+        let ref_ = Refsched.run ?window_override cfg mode prep in
+        match diff_stats sim ref_ with
+        | [] -> None
+        | details -> Some { mm_mode = mode; mm_details = details })
+      modes
+  in
+  if mms = [] then Ok () else Error mms
+
+let pp_mismatch ppf mm =
+  Format.fprintf ppf "@[<v 2>mode %s:@,%a@]" (Mode.name mm.mm_mode)
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut Format.pp_print_string)
+    mm.mm_details

@@ -1,0 +1,33 @@
+(** Differential checker: {!Bm_maestro.Sim.run} vs {!Refsched.run}.
+
+    The two simulators share their inputs ({!Bm_maestro.Prep.t} and the
+    machine config) and must agree {e cycle-exactly}: identical totals,
+    identical concurrency integrals, identical memory-request models and an
+    identical per-TB record array (dep-ready / start / finish times compared
+    with exact float equality — both engines derive every timestamp from the
+    same cost-model inputs through the same arithmetic, so any difference is
+    a semantic divergence, not rounding). *)
+
+type mismatch = {
+  mm_mode : Bm_maestro.Mode.t;
+  mm_details : string list;  (** one line per diverging field / record *)
+}
+
+val diff_stats : Bm_gpu.Stats.t -> Bm_gpu.Stats.t -> string list
+(** [diff_stats sim ref_] is empty iff the two results agree cycle-exactly;
+    otherwise one human-readable line per difference (record diffs are
+    truncated after a few entries). *)
+
+val check :
+  ?cfg:Bm_gpu.Config.t ->
+  ?modes:Bm_maestro.Mode.t list ->
+  ?window_bug:int ->
+  Bm_gpu.Command.app ->
+  (unit, mismatch list) result
+(** Run every mode (default: all of {!Bm_maestro.Mode.known}) through both
+    engines and collect disagreements.  [window_bug] adds its value to the
+    pre-launch window bound of the {e reference} engine only — an
+    intentionally injected bug for validating that the harness detects and
+    shrinks scheduler divergence (see [Fuzz]). *)
+
+val pp_mismatch : Format.formatter -> mismatch -> unit

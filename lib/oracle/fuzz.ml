@@ -1,0 +1,167 @@
+module Rng = Bm_engine.Rng
+module Config = Bm_gpu.Config
+module Mode = Bm_maestro.Mode
+module Pattern = Bm_depgraph.Pattern
+module Genapp = Bm_workloads.Genapp
+
+type kind =
+  | Scheduler_mismatch
+  | Unsound_analysis
+  | Relate_mismatch
+  | Crash of string
+
+type failure = {
+  f_index : int;
+  f_kind : kind;
+  f_detail : string;
+  f_spec : Genapp.spec;
+  f_shrunk : Genapp.spec option;
+  f_shrink_steps : int;
+}
+
+type report = {
+  r_seed : int;
+  r_count : int;
+  r_modes : Mode.t list;
+  r_pairs_checked : int;
+  r_precision : (Pattern.t * int * float) list;
+  r_failures : failure list;
+}
+
+let kind_name = function
+  | Scheduler_mismatch -> "scheduler mismatch"
+  | Unsound_analysis -> "unsound dependency analysis"
+  | Relate_mismatch -> "relate divergence"
+  | Crash msg -> "crash: " ^ msg
+
+(* Classify one spec; None = clean.  Used both for detection and as the
+   shrinking predicate (same kind must persist). *)
+let examine ~cfg ~modes ~soundness ~window_bug spec =
+  let app = Genapp.build spec in
+  match Diff.check ~cfg ~modes ?window_bug app with
+  | Error (mm :: _) ->
+    Some (Scheduler_mismatch, Format.asprintf "%a" Diff.pp_mismatch mm)
+  | Error [] -> None (* unreachable: Error implies at least one mismatch *)
+  | exception exn ->
+    let msg = Printexc.to_string exn in
+    Some (Crash msg, msg)
+  | Ok () ->
+    if not soundness then None
+    else begin
+      match Soundness.check_app ~cfg app with
+      | exception exn ->
+        let msg = Printexc.to_string exn in
+        Some (Crash msg, msg)
+      | reports -> (
+        match Soundness.violations reports with
+        | [] -> None
+        | v :: _ ->
+          let kind = if Soundness.pair_sound v then Relate_mismatch else Unsound_analysis in
+          Some (kind, Format.asprintf "%a" Soundness.pp_report v))
+    end
+
+let same_kind a b =
+  match (a, b) with
+  | Scheduler_mismatch, Scheduler_mismatch
+  | Unsound_analysis, Unsound_analysis
+  | Relate_mismatch, Relate_mismatch
+  | Crash _, Crash _ -> true
+  | _ -> false
+
+let run ?(cfg = Config.titan_x_pascal) ?(modes = List.map snd Mode.known) ?(shrink = true)
+    ?(soundness = true) ?window_bug ?(log = fun _ -> ()) ~seed ~count () =
+  let rng = Rng.create seed in
+  let failures = ref [] in
+  let pairs = ref 0 in
+  (* pattern -> (count, ratio sum, finite-ratio count) *)
+  let precision : (Pattern.t, int ref * float ref * int ref) Hashtbl.t = Hashtbl.create 8 in
+  for idx = 0 to count - 1 do
+    let spec = Genapp.generate rng idx in
+    (match examine ~cfg ~modes ~soundness ~window_bug spec with
+    | None ->
+      (* Clean: accumulate the precision statistics for the summary. *)
+      if soundness then
+        List.iter
+          (fun r ->
+            incr pairs;
+            let cnt, sum, fin =
+              match Hashtbl.find_opt precision r.Soundness.pr_pattern with
+              | Some t -> t
+              | None ->
+                let t = (ref 0, ref 0.0, ref 0) in
+                Hashtbl.add precision r.Soundness.pr_pattern t;
+                t
+            in
+            incr cnt;
+            let rat = Soundness.ratio r in
+            if rat < infinity then begin
+              sum := !sum +. rat;
+              incr fin
+            end)
+          (Soundness.check_app ~cfg (Genapp.build spec))
+    | Some (kind, detail) ->
+      log
+        (Printf.sprintf "app %d (%s): %s" idx (Genapp.to_string spec) (kind_name kind));
+      let shrunk, steps =
+        if not shrink then (None, 0)
+        else begin
+          let still_fails s =
+            match examine ~cfg ~modes ~soundness ~window_bug s with
+            | Some (k, _) -> same_kind k kind
+            | None -> false
+          in
+          let s, steps = Shrink.minimize still_fails spec in
+          (Some s, steps)
+        end
+      in
+      failures :=
+        { f_index = idx; f_kind = kind; f_detail = detail; f_spec = spec;
+          f_shrunk = shrunk; f_shrink_steps = steps }
+        :: !failures);
+    if (idx + 1) mod 50 = 0 then
+      log (Printf.sprintf "%d/%d apps checked, %d failure(s)" (idx + 1) count
+             (List.length !failures))
+  done;
+  let precision_list =
+    Hashtbl.fold
+      (fun p (cnt, sum, fin) acc ->
+        (p, !cnt, if !fin > 0 then !sum /. float_of_int !fin else nan) :: acc)
+      precision []
+    |> List.sort (fun (a, _, _) (b, _, _) -> compare (Pattern.table1_id a) (Pattern.table1_id b))
+  in
+  {
+    r_seed = seed;
+    r_count = count;
+    r_modes = modes;
+    r_pairs_checked = !pairs;
+    r_precision = precision_list;
+    r_failures = List.rev !failures;
+  }
+
+let ok r = r.r_failures = []
+
+let pp_failure ppf f =
+  Format.fprintf ppf "@[<v>app %d: %s@,%s@,spec: %s@]" f.f_index (kind_name f.f_kind) f.f_detail
+    (Genapp.to_string f.f_spec);
+  match f.f_shrunk with
+  | None -> ()
+  | Some s ->
+    Format.fprintf ppf "@,@[<v>shrunk (%d step(s), %d kernel(s)): %s@,repro:@,%s@]"
+      f.f_shrink_steps (Genapp.kernels s) (Genapp.to_string s) (Genapp.to_ocaml s)
+
+let pp_report ppf r =
+  Format.fprintf ppf "@[<v>fuzz: seed=%d count=%d modes=%s@," r.r_seed r.r_count
+    (String.concat "," (List.map Mode.name r.r_modes));
+  Format.fprintf ppf "soundness pairs checked: %d@," r.r_pairs_checked;
+  List.iter
+    (fun (p, cnt, mean) ->
+      Format.fprintf ppf "  pattern %-15s %5d pair(s)  mean static/exact ratio %s@,"
+        (Pattern.name p) cnt
+        (if Float.is_nan mean then "n/a" else Printf.sprintf "%.2f" mean))
+    r.r_precision;
+  if r.r_failures = [] then Format.fprintf ppf "no mismatches, no soundness violations@]"
+  else begin
+    Format.fprintf ppf "%d FAILURE(S):@," (List.length r.r_failures);
+    Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_failure ppf r.r_failures;
+    Format.fprintf ppf "@]"
+  end

@@ -1,0 +1,64 @@
+(** The fuzzer: generate random apps, differentially validate the scheduler
+    and Algorithm 1, shrink any counterexample to a minimal reproducer.
+
+    Per generated app ({!Bm_workloads.Genapp.generate}):
+
+    + every requested mode runs through both [Sim.run] and the reference
+      scheduler, asserting cycle-exact agreement ({!Diff.check});
+    + the static dependency analysis is checked against the
+      interpreter-derived exact graphs ({!Soundness.check_app}), including
+      the indexed-vs-naive relate consistency test.
+
+    On failure, the spec is minimized with {!Shrink.minimize} under "the
+    same class of failure still occurs" and the shrunk spec is rendered as
+    a runnable DSL program.  Exposed on the command line as [bmctl fuzz]. *)
+
+type kind =
+  | Scheduler_mismatch  (** Sim vs reference scheduler divergence *)
+  | Unsound_analysis    (** static graph missing an exact RAW edge *)
+  | Relate_mismatch     (** indexed vs naive Bipartite.relate divergence *)
+  | Crash of string     (** either engine raised *)
+
+type failure = {
+  f_index : int;                      (** which generated app *)
+  f_kind : kind;
+  f_detail : string;
+  f_spec : Bm_workloads.Genapp.spec;  (** the original failing spec *)
+  f_shrunk : Bm_workloads.Genapp.spec option;  (** minimized, if shrinking ran *)
+  f_shrink_steps : int;
+}
+
+type report = {
+  r_seed : int;
+  r_count : int;                      (** apps generated *)
+  r_modes : Bm_maestro.Mode.t list;
+  r_pairs_checked : int;              (** kernel pairs soundness-checked *)
+  r_precision : (Bm_depgraph.Pattern.t * int * float) list;
+      (** per static pattern: pair count, mean static/exact edge ratio
+          (pairs with an infinite ratio are excluded from the mean) *)
+  r_failures : failure list;
+}
+
+val kind_name : kind -> string
+
+val run :
+  ?cfg:Bm_gpu.Config.t ->
+  ?modes:Bm_maestro.Mode.t list ->
+  ?shrink:bool ->
+  ?soundness:bool ->
+  ?window_bug:int ->
+  ?log:(string -> unit) ->
+  seed:int ->
+  count:int ->
+  unit ->
+  report
+(** [shrink] (default true) minimizes failures; [soundness] (default true)
+    runs the Algorithm 1 oracle; [window_bug] injects a pre-launch-window
+    mutation into the reference scheduler (see {!Diff.check}) so the
+    harness can prove it catches scheduler bugs.  [log] receives progress
+    lines (default: drop them). *)
+
+val ok : report -> bool
+
+val pp_failure : Format.formatter -> failure -> unit
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,428 @@
+module Command = Bm_gpu.Command
+module Config = Bm_gpu.Config
+module Stats = Bm_gpu.Stats
+module Bipartite = Bm_depgraph.Bipartite
+module Mode = Bm_maestro.Mode
+module Prep = Bm_maestro.Prep
+module Hardware = Bm_maestro.Hardware
+
+(* Thread-block lifecycle.  [Ready] means "sitting in the kernel's ready
+   list" (Sim's Queued). *)
+type tb = Waiting | Ready | Running | Finished
+
+type krec = {
+  info : Prep.launch_info;
+  mutable enqueued : bool;   (* the host issued the launch command *)
+  mutable launched : bool;   (* launch processing finished *)
+  tb : tb array;
+  mutable ready : int list;  (* FIFO: appended at the tail, popped at the head *)
+  dep_ready : float array;
+  start_t : float array;
+  finish_t : float array;
+  mutable drained : bool;
+  mutable drained_at : float;
+  mutable completed : bool;
+}
+
+type occ =
+  | Launch_done of int
+  | Tb_done of int * int
+  | Copy_done of int
+  | Cmd_done of int
+
+let memcpy_us (cfg : Config.t) bytes =
+  cfg.Config.memcpy_latency_us +. (float_of_int bytes /. (cfg.Config.memcpy_gb_per_s *. 1000.0))
+
+let run ?(host_blocking_copies = false) ?window_override (cfg : Config.t) mode (prep : Prep.t) =
+  let launches = prep.Prep.p_launches in
+  let nk = Array.length launches in
+  let commands = prep.Prep.p_commands in
+  let nc = Array.length commands in
+  let window = match window_override with Some w -> w | None -> Mode.window mode in
+  let fine = Mode.fine_grain mode in
+  let serial = Mode.serial_commands mode in
+  let launch_us = Mode.launch_overhead cfg mode in
+  let total_slots = Config.total_tb_slots cfg in
+
+  let ks =
+    Array.map
+      (fun (info : Prep.launch_info) ->
+        let n = info.Prep.li_tbs in
+        {
+          info;
+          enqueued = false;
+          launched = false;
+          tb = Array.make n Waiting;
+          ready = [];
+          dep_ready = Array.make n 0.0;
+          start_t = Array.make n 0.0;
+          finish_t = Array.make n 0.0;
+          drained = n = 0;
+          drained_at = 0.0;
+          completed = false;
+        })
+      launches
+  in
+  let prev_of k = match launches.(k).Prep.li_prev with Some p -> p | None -> -1 in
+  let next_of = Array.make nk (-1) in
+  Array.iteri (fun k (li : Prep.launch_info) ->
+      match li.Prep.li_prev with Some p -> next_of.(p) <- k | None -> ())
+    launches;
+  let stream_of k = launches.(k).Prep.li_spec.Command.stream in
+
+  (* Pending occurrences: a flat list ordered by nothing; popping scans for
+     the minimum (time, insertion seq) — the heap contract, naively. *)
+  let pending : (float * int * occ) list ref = ref [] in
+  let next_seq = ref 0 in
+  let push t o =
+    pending := (t, !next_seq, o) :: !pending;
+    incr next_seq
+  in
+  let pop () =
+    match !pending with
+    | [] -> None
+    | first :: rest ->
+      let best =
+        List.fold_left
+          (fun (bt, bs, _ as b) (t, s, _ as e) -> if t < bt || (t = bt && s < bs) then e else b)
+          first rest
+      in
+      let _, bseq, _ = best in
+      pending := List.filter (fun (_, s, _) -> s <> bseq) !pending;
+      Some best
+  in
+
+  let now = ref 0.0 in
+  let last_t = ref 0.0 in
+  let area = ref 0.0 in
+  let busy = ref 0.0 in
+  let end_time = ref 0.0 in
+  let bump t = if t > !end_time then end_time := t in
+
+  (* Everything below is recomputed by scanning, never cached. *)
+  let count_state k st = Array.fold_left (fun a s -> if s = st then a + 1 else a) 0 ks.(k).tb in
+  let running_count () =
+    let n = ref 0 in
+    for k = 0 to nk - 1 do n := !n + count_state k Running done;
+    !n
+  in
+  let free_slots () = total_slots - running_count () in
+  let started k = count_state k Running + count_state k Finished in
+  let all_finished k = Array.for_all (fun s -> s = Finished) ks.(k).tb in
+  let resident stream =
+    let n = ref 0 in
+    for k = 0 to nk - 1 do
+      if stream_of k = stream && ks.(k).enqueued && not ks.(k).completed then incr n
+    done;
+    !n
+  in
+  let advance t =
+    if t > !last_t then begin
+      let r = running_count () in
+      area := !area +. (float_of_int r *. (t -. !last_t));
+      if r > 0 then busy := !busy +. (t -. !last_t);
+      last_t := t
+    end
+  in
+
+  let parent_drained k =
+    let p = prev_of k in
+    p < 0 || ks.(p).drained || ks.(p).completed
+  in
+  let all_parents_finished k c =
+    match ks.(k).info.Prep.li_relation with
+    | Bipartite.Graph g ->
+      Array.for_all (fun p -> ks.(prev_of k).tb.(p) = Finished) g.Bipartite.parents_of.(c)
+    | Bipartite.Independent | Bipartite.Fully_connected -> true
+  in
+  let append_ready k tbid =
+    let st = ks.(k) in
+    if st.tb.(tbid) = Waiting then begin
+      st.tb.(tbid) <- Ready;
+      st.ready <- st.ready @ [ tbid ]
+    end
+  in
+  let refresh_ready k =
+    let st = ks.(k) in
+    if st.launched && not st.drained then
+      match st.info.Prep.li_relation with
+      | Bipartite.Independent -> Array.iteri (fun tbid _ -> append_ready k tbid) st.tb
+      | Bipartite.Fully_connected ->
+        if parent_drained k then Array.iteri (fun tbid _ -> append_ready k tbid) st.tb
+      | Bipartite.Graph _ ->
+        if fine then
+          Array.iteri
+            (fun tbid _ -> if all_parents_finished k tbid then append_ready k tbid)
+            st.tb
+        else if parent_drained k then Array.iteri (fun tbid _ -> append_ready k tbid) st.tb
+  in
+
+  let copy_engine_free = ref 0.0 in
+  let launch_engine_free = ref 0.0 in
+  let next_cmd = ref 0 in
+  let copy_done = Array.make (max nc 1) false in
+  let serial_blocked = ref false in
+  let serial_wait_kernel = ref (-1) in
+  let pending_d2h : (int * float) list array = Array.make (max nk 1) [] in
+
+  (* In-order per-stream completion, by repeated global scan: a kernel is
+     completable once drained with its stream predecessor completed.  The
+     ascending scan retires cascades in stream order, matching Sim's
+     recursion along next_of. *)
+  let start_copy ci dur =
+    let start = max !now !copy_engine_free in
+    copy_engine_free := start +. dur;
+    push (start +. dur) (Copy_done ci)
+  in
+  let cascade () =
+    let again = ref true in
+    while !again do
+      again := false;
+      for k = 0 to nk - 1 do
+        if (not ks.(k).completed) && ks.(k).drained
+           && (prev_of k < 0 || ks.(prev_of k).completed)
+        then begin
+          ks.(k).completed <- true;
+          List.iter (fun (ci, dur) -> start_copy ci dur) pending_d2h.(k);
+          pending_d2h.(k) <- [];
+          bump !now;
+          again := true
+        end
+      done
+    done
+  in
+  let kernel_completed k = k < 0 || (k < nk && ks.(k).completed) in
+
+  let try_issue () =
+    let blocked = ref false in
+    while (not !blocked) && !next_cmd < nc do
+      let ci = !next_cmd in
+      if !serial_blocked then blocked := true
+      else
+        match commands.(ci) with
+        | Command.Device_synchronize -> incr next_cmd
+        | Command.Malloc _ ->
+          push (!now +. cfg.Config.malloc_us) (Cmd_done ci);
+          serial_blocked := true;
+          blocked := true
+        | Command.Memcpy_h2d b ->
+          let dur = memcpy_us cfg b.Command.bytes in
+          if serial || host_blocking_copies then begin
+            push (!now +. dur) (Cmd_done ci);
+            serial_blocked := true;
+            blocked := true
+          end
+          else begin
+            start_copy ci dur;
+            incr next_cmd
+          end
+        | Command.Memcpy_d2h b ->
+          let gate = match prep.Prep.p_d2h_wait.(ci) with Some k -> k | None -> -1 in
+          let dur = memcpy_us cfg b.Command.bytes in
+          if serial then
+            if kernel_completed gate then begin
+              push (!now +. dur) (Cmd_done ci);
+              serial_blocked := true;
+              blocked := true
+            end
+            else blocked := true
+          else if kernel_completed gate then begin
+            start_copy ci dur;
+            incr next_cmd
+          end
+          else begin
+            pending_d2h.(gate) <- pending_d2h.(gate) @ [ (ci, dur) ];
+            incr next_cmd
+          end
+        | Command.Kernel_launch _ ->
+          let seq = prep.Prep.p_kernel_of_cmd.(ci) in
+          let st = ks.(seq) in
+          let copies_ok = List.for_all (fun d -> copy_done.(d)) st.info.Prep.li_copy_deps in
+          if serial then begin
+            if copies_ok then begin
+              st.enqueued <- true;
+              let start = max !now !launch_engine_free in
+              launch_engine_free := start +. launch_us;
+              push (start +. launch_us) (Launch_done seq);
+              serial_blocked := true;
+              serial_wait_kernel := seq;
+              blocked := true
+            end
+            else blocked := true
+          end
+          else if resident (stream_of seq) < window && copies_ok then begin
+            st.enqueued <- true;
+            push (!now +. launch_us) (Launch_done seq);
+            incr next_cmd
+          end
+          else blocked := true
+    done
+  in
+
+  let dispatch () =
+    let continue_ = ref true in
+    while !continue_ && free_slots () > 0 do
+      let order =
+        let active = ref [] in
+        for k = nk - 1 downto 0 do
+          if ks.(k).launched && not ks.(k).drained then active := k :: !active
+        done;
+        match Mode.policy mode with
+        | Mode.Oldest_first -> !active
+        | Mode.Newest_first -> List.rev !active
+      in
+      let eligible k =
+        match Mode.policy mode with
+        | Mode.Newest_first -> true
+        | Mode.Oldest_first ->
+          List.for_all
+            (fun k' ->
+              k' >= k || stream_of k' <> stream_of k || started k' = ks.(k').info.Prep.li_tbs)
+            order
+      in
+      match List.find_opt (fun k -> ks.(k).ready <> [] && eligible k) order with
+      | None -> continue_ := false
+      | Some k ->
+        let st = ks.(k) in
+        let tbid = List.hd st.ready in
+        st.ready <- List.tl st.ready;
+        st.tb.(tbid) <- Running;
+        st.start_t.(tbid) <- !now;
+        push (!now +. st.info.Prep.li_cost.Bm_gpu.Costmodel.tb_us.(tbid)) (Tb_done (k, tbid))
+    done
+  in
+
+  let progress () =
+    try_issue ();
+    dispatch ()
+  in
+
+  let on_tb_done k tbid =
+    let st = ks.(k) in
+    st.tb.(tbid) <- Finished;
+    st.finish_t.(tbid) <- !now;
+    bump !now;
+    let kc = next_of.(k) in
+    (* Child dependency bookkeeping, re-derived from the graph. *)
+    if kc >= 0 then begin
+      let child = ks.(kc) in
+      match child.info.Prep.li_relation with
+      | Bipartite.Graph g ->
+        Array.iter
+          (fun c ->
+            if !now > child.dep_ready.(c) then child.dep_ready.(c) <- !now;
+            if fine && child.launched && all_parents_finished kc c then append_ready kc c)
+          g.Bipartite.children_of.(tbid)
+      | Bipartite.Independent | Bipartite.Fully_connected -> ()
+    end;
+    if all_finished k then begin
+      st.drained <- true;
+      st.drained_at <- !now;
+      if kc >= 0 then begin
+        let child = ks.(kc) in
+        (match child.info.Prep.li_relation with
+        | Bipartite.Fully_connected ->
+          Array.iteri
+            (fun c t -> if t < !now then child.dep_ready.(c) <- !now)
+            child.dep_ready
+        | Bipartite.Independent | Bipartite.Graph _ -> ());
+        refresh_ready kc
+      end;
+      cascade ();
+      if serial && !serial_wait_kernel = k && st.completed then begin
+        serial_blocked := false;
+        serial_wait_kernel := -1;
+        incr next_cmd
+      end
+    end
+  in
+
+  progress ();
+  let steps = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    match pop () with
+    | None -> continue_ := false
+    | Some (t, _, o) ->
+      incr steps;
+      if !steps > 100_000_000 then failwith "Refsched.run: event budget exceeded";
+      advance t;
+      now := t;
+      (match o with
+      | Launch_done seq ->
+        ks.(seq).launched <- true;
+        if ks.(seq).info.Prep.li_tbs = 0 then begin
+          ks.(seq).drained <- true;
+          ks.(seq).drained_at <- t;
+          cascade ()
+        end
+        else refresh_ready seq;
+        bump t
+      | Tb_done (k, tbid) -> on_tb_done k tbid
+      | Copy_done ci ->
+        copy_done.(ci) <- true;
+        bump t
+      | Cmd_done ci ->
+        serial_blocked := false;
+        (match commands.(ci) with
+        | Command.Memcpy_h2d _ | Command.Memcpy_d2h _ -> copy_done.(ci) <- true
+        | Command.Malloc _ | Command.Kernel_launch _ | Command.Device_synchronize -> ());
+        bump t;
+        incr next_cmd);
+      progress ()
+  done;
+  if !next_cmd < nc then
+    failwith
+      (Printf.sprintf "Refsched.run: host stalled at command %d/%d (mode %s)" !next_cmd nc
+         (Mode.name mode));
+  Array.iteri
+    (fun k st ->
+      if not st.completed then
+        failwith (Printf.sprintf "Refsched.run: kernel %d never completed" k))
+    ks;
+
+  let records = ref [] in
+  for k = nk - 1 downto 0 do
+    let st = ks.(k) in
+    for tbid = st.info.Prep.li_tbs - 1 downto 0 do
+      records :=
+        {
+          Stats.r_kernel = k;
+          r_tb = tbid;
+          r_dep_ready = st.dep_ready.(tbid);
+          r_start = st.start_t.(tbid);
+          r_finish = st.finish_t.(tbid);
+        }
+        :: !records
+    done
+  done;
+  let base_mem = ref 0.0 in
+  Array.iter
+    (fun st ->
+      Array.iter
+        (fun m -> base_mem := !base_mem +. m)
+        st.info.Prep.li_cost.Bm_gpu.Costmodel.tb_mem_requests)
+    ks;
+  let dep_mem = ref 0.0 in
+  if Mode.reorders mode then
+    Array.iter
+      (fun st ->
+        match st.info.Prep.li_prev with
+        | None -> ()
+        | Some prev ->
+          if fine then
+            dep_mem :=
+              !dep_mem
+              +. Hardware.dep_mem_requests cfg ~n_parents:launches.(prev).Prep.li_tbs
+                   ~n_children:st.info.Prep.li_tbs st.info.Prep.li_relation
+          else dep_mem := !dep_mem +. 2.0)
+      ks;
+  let total = !end_time in
+  {
+    Stats.total_us = total;
+    busy_us = !busy;
+    records = Array.of_list !records;
+    avg_concurrency = (if total > 0.0 then !area /. total else 0.0);
+    base_mem_requests = !base_mem;
+    dep_mem_requests = !dep_mem;
+  }

@@ -1,0 +1,37 @@
+(** Reference scheduler: the slow-but-obviously-correct twin of
+    {!Bm_maestro.Sim}.
+
+    [run] implements exactly the contracts of [Sim.run] — per-stream
+    pre-launch windows, serial baseline command semantics, producer-/
+    consumer-priority thread-block scheduling, fine-grain parent-counter
+    gating, slot capacity, the copy engine, in-order per-stream kernel
+    completion — but with none of the optimized machinery:
+
+    - no binary event heap: pending occurrences live in a flat list scanned
+      linearly for the minimum (time, insertion) pair;
+    - no incremental counters: running-TB counts, free slots, per-stream
+      residency, kernel drain and producer-priority eligibility are all
+      recomputed by scanning every kernel and thread block each time;
+    - no pending-parent counters: fine-grain readiness re-checks {e all} of
+      a TB's parents' finished flags against the bipartite graph.
+
+    The result is O(n²)-ish in events and TBs, which is fine: the oracle
+    runs on fuzzer-sized apps.  [Bm_oracle.Diff] asserts cycle-exact
+    agreement (identical {!Bm_gpu.Stats.t}, including per-TB records) with
+    [Sim.run] for every mode, so any divergence — in either engine — is a
+    bug with a concrete reproducer.
+
+    [window_override] replaces the mode's pre-launch window bound, used by
+    the fuzzer's self-test to inject a known scheduler bug and prove the
+    differential harness catches and shrinks it.
+
+    @raise Failure like [Sim.run] on a stalled host or a kernel that never
+    completes. *)
+
+val run :
+  ?host_blocking_copies:bool ->
+  ?window_override:int ->
+  Bm_gpu.Config.t ->
+  Bm_maestro.Mode.t ->
+  Bm_maestro.Prep.t ->
+  Bm_gpu.Stats.t

@@ -1,0 +1,82 @@
+module Genapp = Bm_workloads.Genapp
+
+let size (spec : Genapp.spec) =
+  Array.fold_left
+    (fun acc chain ->
+      List.fold_left
+        (fun acc (k : Genapp.kspec) ->
+          acc + 10 + k.Genapp.k_grid + k.Genapp.k_work
+          + (if k.Genapp.k_sync_after then 1 else 0)
+          + (match k.Genapp.k_body with Genapp.Map -> 0 | Genapp.Stencil _ -> 1))
+        acc chain)
+    0 spec.Genapp.g_chains
+
+(* Replace chain [i] with [chain] (or drop it when [None]). *)
+let with_chain (spec : Genapp.spec) i chain =
+  match chain with
+  | Some c ->
+    let chains = Array.copy spec.Genapp.g_chains in
+    chains.(i) <- c;
+    { spec with Genapp.g_chains = chains }
+  | None ->
+    let chains =
+      Array.of_list
+        (List.filteri (fun j _ -> j <> i) (Array.to_list spec.Genapp.g_chains))
+    in
+    { spec with Genapp.g_chains = chains }
+
+let nonempty (spec : Genapp.spec) = Genapp.kernels spec > 0
+
+let candidates (spec : Genapp.spec) =
+  let acc = ref [] in
+  let add c = if nonempty c then acc := c :: !acc in
+  let chains = spec.Genapp.g_chains in
+  (* Drop a whole stream. *)
+  if Array.length chains > 1 then
+    Array.iteri (fun i _ -> add (with_chain spec i None)) chains;
+  (* Drop one kernel. *)
+  Array.iteri
+    (fun i chain ->
+      List.iteri
+        (fun j _ -> add (with_chain spec i (Some (List.filteri (fun j' _ -> j' <> j) chain))))
+        chain)
+    chains;
+  (* Per-kernel reductions: halve the grid, shrink it to 1, reduce the
+     work, simplify stencil to map, drop the sync. *)
+  Array.iteri
+    (fun i chain ->
+      List.iteri
+        (fun j (k : Genapp.kspec) ->
+          let replace k' =
+            add (with_chain spec i (Some (List.mapi (fun j' k0 -> if j' = j then k' else k0) chain)))
+          in
+          if k.Genapp.k_grid > 1 then begin
+            replace { k with Genapp.k_grid = k.Genapp.k_grid / 2 };
+            if k.Genapp.k_grid > 2 then replace { k with Genapp.k_grid = 1 }
+          end;
+          if k.Genapp.k_work > 1 then replace { k with Genapp.k_work = 1 };
+          (match k.Genapp.k_body with
+          | Genapp.Stencil _ -> replace { k with Genapp.k_body = Genapp.Map }
+          | Genapp.Map -> ());
+          if k.Genapp.k_sync_after then replace { k with Genapp.k_sync_after = false })
+        chain)
+    chains;
+  (* Most aggressive first: the adds above already go coarse-to-fine, and
+     prepending reversed them, so restore that order. *)
+  List.rev !acc
+
+let minimize ?(max_steps = 1000) still_fails spec =
+  let fails s = try still_fails s with _ -> false in
+  let steps = ref 0 in
+  let cur = ref spec in
+  let progress = ref true in
+  while !progress && !steps < max_steps do
+    progress := false;
+    match List.find_opt fails (candidates !cur) with
+    | Some smaller ->
+      cur := smaller;
+      incr steps;
+      progress := true
+    | None -> ()
+  done;
+  (!cur, !steps)

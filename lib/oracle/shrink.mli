@@ -1,0 +1,29 @@
+(** Delta-debugging shrinker for {!Bm_workloads.Genapp} specs.
+
+    Given a failing spec and a predicate ("does the property still fail?"),
+    greedily applies the smallest-first reduction steps — drop a whole
+    stream, drop a kernel, halve a grid, reduce work to 1, simplify a
+    stencil to a map, drop a device synchronize — restarting after every
+    accepted step, until no single step keeps the failure alive.  The
+    result is a locally minimal reproducer, printed by the fuzzer via
+    {!Bm_workloads.Genapp.to_ocaml}. *)
+
+val candidates : Bm_workloads.Genapp.spec -> Bm_workloads.Genapp.spec list
+(** All single-step reductions of a spec, most aggressive first.  Every
+    candidate is strictly smaller under {!size}; none is empty. *)
+
+val size : Bm_workloads.Genapp.spec -> int
+(** Well-founded shrink measure (kernels, grid sum, work sum, syncs,
+    stencil count combined); every candidate strictly decreases it, so
+    shrinking terminates. *)
+
+val minimize :
+  ?max_steps:int ->
+  (Bm_workloads.Genapp.spec -> bool) ->
+  Bm_workloads.Genapp.spec ->
+  Bm_workloads.Genapp.spec * int
+(** [minimize still_fails spec] returns the shrunk spec and the number of
+    accepted steps.  [still_fails spec] must be true on entry; predicates
+    that raise are treated as "does not fail" (the candidate is rejected —
+    a shrink step must preserve the observed failure, not trade it for a
+    crash).  [max_steps] (default 1000) bounds the walk. *)

@@ -1,0 +1,54 @@
+(** Soundness oracle for Algorithm 1 (the launch-time dependency analysis).
+
+    For every consecutive kernel pair of a prepared application this module
+    computes the {e exact} TB-level RAW dependence by functionally executing
+    both kernels through {!Bm_ptx.Interp} (via {!Bm_analysis.Dynamic}) and
+    intersecting the recorded per-TB footprints pairwise
+    ({!Bm_analysis.Dynamic.relate_exact}).  Kernels are executed in launch
+    order against one shared memory image, so data flows through the app the
+    way it would on the device.
+
+    Two properties are checked per pair:
+
+    - {b soundness}: the static relation must be a superset of the exact
+      graph — a missing edge means the scheduler could release a consumer TB
+      before its producer ran, silently corrupting every figure;
+    - {b relate consistency}: the optimized, candidate-indexed
+      {!Bm_depgraph.Bipartite.relate} must agree with a naive quadratic
+      re-derivation from the same static footprints (including the
+      [max_degree] fully-connected fallback and the exact fully-connected
+      detection).
+
+    Precision is reported as the static/exact edge-count ratio, aggregated
+    per dependency pattern by [Fuzz]. *)
+
+type pair_report = {
+  pr_child_seq : int;        (** launch sequence number of the consumer *)
+  pr_parent_seq : int;
+  pr_pattern : Bm_depgraph.Pattern.t;  (** static classification *)
+  pr_static_edges : int;
+  pr_exact_edges : int;
+  pr_missing : (int * int) list;
+      (** exact edges absent from the static relation — soundness bugs *)
+  pr_relate_diff : string option;
+      (** divergence between indexed and naive static relate, if any *)
+}
+
+val pair_sound : pair_report -> bool
+val pair_ok : pair_report -> bool
+(** Sound {e and} relate-consistent. *)
+
+val ratio : pair_report -> float
+(** Overapproximation ratio static/exact ([1.0] when both are empty;
+    [infinity] when the static relation has edges but the exact graph is
+    empty). *)
+
+val check_app :
+  ?cfg:Bm_gpu.Config.t -> ?fuel:int -> Bm_gpu.Command.app -> pair_report list
+(** One report per launch with a same-stream predecessor, in launch order.
+    [fuel] bounds the interpreter per thread (default 1_000_000). *)
+
+val violations : pair_report list -> pair_report list
+(** The reports failing {!pair_ok}. *)
+
+val pp_report : Format.formatter -> pair_report -> unit

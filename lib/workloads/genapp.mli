@@ -1,0 +1,60 @@
+(** Seeded random multi-stream application generator.
+
+    Promoted out of [test/test_trace.ml] so that the randomized cross-mode
+    trace harness, the differential oracle ([Bm_oracle.Diff]) and the
+    shrinking fuzzer ([Bm_oracle.Fuzz] / [Bm_oracle.Shrink]) all draw from
+    one generator.  Generation is split into two phases:
+
+    - {!generate} consumes a {!Bm_engine.Rng.t} and produces a declarative
+      {!spec} — a value the shrinker can edit (drop kernels or streams,
+      shrink grids, simplify bodies) without re-rolling the dice;
+    - {!build} deterministically lowers a [spec] to a runnable
+      {!Bm_gpu.Command.app} (buffers, copies, round-robin launches).
+
+    A [spec] therefore {e is} the reproducer: {!to_ocaml} prints it as a
+    self-contained DSL program, and {!to_string} as a compact one-liner. *)
+
+type body =
+  | Map      (** {!Templates.map1}: OUT[i] = f(IN[i]) — 1-to-1 pattern *)
+  | Stencil of { halo : int }
+      (** {!Templates.stencil1d}: OUT[i] = f(IN[i-halo..i+halo]) — overlapped *)
+
+type kspec = {
+  k_body : body;
+  k_work : int;        (** dependent-FMA padding; controls TB execution time *)
+  k_grid : int;        (** thread blocks *)
+  k_sync_after : bool; (** emit a [Device_synchronize] after this launch *)
+}
+
+type spec = {
+  g_name : string;
+  g_block : int;                (** threads per block, shared by all kernels *)
+  g_chains : kspec list array;  (** index = CUDA stream id; one chain per stream *)
+}
+
+val generate :
+  ?max_streams:int -> ?max_len:int -> ?max_grid:int -> ?block:int ->
+  Bm_engine.Rng.t -> int -> spec
+(** [generate rng idx] rolls a random app named ["rand<idx>"]: 1 to
+    [max_streams] (default 2) independent kernel chains, each 1 to [max_len]
+    (default 5) kernels of 1 to [max_grid] (default 16) TBs x [block]
+    (default 64) threads, alternating map/stencil bodies, with an occasional
+    device synchronize.  The RNG draw order is stable, so a fixed seed
+    replays the same app forever. *)
+
+val build : spec -> Bm_gpu.Command.app
+(** Lower to commands: per chain, allocate [len+1] buffers, H2D the input,
+    launch the kernels round-robin across chains (so residency windows of
+    different streams interleave in program order), D2H each final buffer. *)
+
+val kernels : spec -> int
+(** Total number of kernel launches the spec describes. *)
+
+val to_string : spec -> string
+(** Compact one-line description, e.g.
+    [rand007 block=64 s0:[map g4 w3; sten1 g16 w2 +sync] s1:[map g1 w1]]. *)
+
+val to_ocaml : spec -> string
+(** A runnable OCaml fragment (using [Dsl] and [Templates]) that rebuilds
+    exactly {!build}[ spec] — printed by the fuzzer as the repro for a
+    minimized counterexample. *)

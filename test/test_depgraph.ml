@@ -429,3 +429,116 @@ let encode_props =
   ]
 
 let suite = suite @ encode_props
+
+(* --- codec round trip per Table I pattern ------------------------------ *)
+
+(* decode (encode rel) must reproduce rel exactly, the encoded tag must
+   match the classifier, and the variable payload must hit the Table I
+   word-count formula for its class on the nose. *)
+
+let rel_equal a b =
+  match (a, b) with
+  | Bipartite.Independent, Bipartite.Independent -> true
+  | Bipartite.Fully_connected, Bipartite.Fully_connected -> true
+  | Bipartite.Graph x, Bipartite.Graph y -> Bipartite.equal x y
+  | _ -> false
+
+let words_ok e rel =
+  let w = Encode.encoded_words e in
+  match rel with
+  | Bipartite.Independent | Bipartite.Fully_connected -> w = 0
+  | Bipartite.Graph g -> (
+    let edges = Array.fold_left (fun acc ps -> acc + Array.length ps) 0 g.Bipartite.parents_of in
+    match e with
+    | Encode.Enc_independent _ | Encode.Enc_full _ | Encode.Enc_one_to_one _ -> w = 0
+    | Encode.Enc_one_to_n _ -> w = g.Bipartite.n_children
+    | Encode.Enc_n_to_one _ -> w = g.Bipartite.n_parents
+    | Encode.Enc_n_group _ -> w = g.Bipartite.n_parents + g.Bipartite.n_children
+    | Encode.Enc_overlapped _ -> w = 2 * g.Bipartite.n_children
+    | Encode.Enc_irregular _ -> w = g.Bipartite.n_children + edges)
+
+let roundtrips ?(n_parents = 1) ?(n_children = 1) rel =
+  let e = Encode.encode ~n_parents ~n_children rel in
+  rel_equal (Encode.decode e) rel
+  && Encode.pattern_of_encoded e = Pattern.classify rel
+  && words_ok e rel
+
+let prop_roundtrip_one_to_one =
+  QCheck2.Test.make ~name:"codec round trip: 1-to-1" ~count:50
+    QCheck2.Gen.(int_range 2 64)
+    (fun n ->
+      roundtrips
+        (Bipartite.Graph (Bipartite.of_edges ~n_parents:n ~n_children:n (List.init n (fun i -> (i, i))))))
+
+let prop_roundtrip_one_to_n =
+  QCheck2.Test.make ~name:"codec round trip: 1-to-n" ~count:50
+    QCheck2.Gen.(pair (int_range 2 16) (int_range 2 6))
+    (fun (parents, fan) ->
+      let children = parents * fan in
+      roundtrips
+        (Bipartite.Graph
+           (Bipartite.of_edges ~n_parents:parents ~n_children:children
+              (List.init children (fun c -> (c / fan, c))))))
+
+let prop_roundtrip_n_to_one =
+  QCheck2.Test.make ~name:"codec round trip: n-to-1" ~count:50
+    QCheck2.Gen.(pair (int_range 2 16) (int_range 2 6))
+    (fun (children, fan) ->
+      let parents = children * fan in
+      roundtrips
+        (Bipartite.Graph
+           (Bipartite.of_edges ~n_parents:parents ~n_children:children
+              (List.init parents (fun p -> (p, p / fan))))))
+
+let prop_roundtrip_n_group =
+  QCheck2.Test.make ~name:"codec round trip: n-group" ~count:50
+    QCheck2.Gen.(pair (int_range 2 6) (int_range 2 8))
+    (fun (group, groups) ->
+      let n = group * groups in
+      let edges = ref [] in
+      for c = 0 to n - 1 do
+        for p = c / group * group to ((c / group) + 1) * group - 1 do
+          edges := (p, c) :: !edges
+        done
+      done;
+      roundtrips (Bipartite.Graph (Bipartite.of_edges ~n_parents:n ~n_children:n !edges)))
+
+let prop_roundtrip_overlapped =
+  QCheck2.Test.make ~name:"codec round trip: overlapped" ~count:50
+    QCheck2.Gen.(pair (int_range 8 40) (int_range 1 3))
+    (fun (n, halo) ->
+      let edges = ref [] in
+      for c = 0 to n - 1 do
+        for p = max 0 (c - halo) to min (n - 1) (c + halo) do
+          edges := (p, c) :: !edges
+        done
+      done;
+      roundtrips (Bipartite.Graph (Bipartite.of_edges ~n_parents:n ~n_children:n !edges)))
+
+let prop_roundtrip_random =
+  (* Arbitrary edge soups: whatever pattern they land on, the codec must
+     reproduce them exactly. *)
+  QCheck2.Test.make ~name:"codec round trip: random graphs" ~count:200
+    QCheck2.Gen.(list_size (int_range 1 80) (pair (int_range 0 19) (int_range 0 19)))
+    (fun edges ->
+      roundtrips (Bipartite.Graph (Bipartite.of_edges ~n_parents:20 ~n_children:20 edges)))
+
+let prop_roundtrip_flat =
+  QCheck2.Test.make ~name:"codec round trip: independent / fully connected" ~count:50
+    QCheck2.Gen.(pair (int_range 1 64) (int_range 1 64))
+    (fun (m, n) ->
+      roundtrips ~n_parents:m ~n_children:n Bipartite.Independent
+      && roundtrips ~n_parents:m ~n_children:n Bipartite.Fully_connected)
+
+let roundtrip_props =
+  [
+    QCheck_alcotest.to_alcotest prop_roundtrip_one_to_one;
+    QCheck_alcotest.to_alcotest prop_roundtrip_one_to_n;
+    QCheck_alcotest.to_alcotest prop_roundtrip_n_to_one;
+    QCheck_alcotest.to_alcotest prop_roundtrip_n_group;
+    QCheck_alcotest.to_alcotest prop_roundtrip_overlapped;
+    QCheck_alcotest.to_alcotest prop_roundtrip_random;
+    QCheck_alcotest.to_alcotest prop_roundtrip_flat;
+  ]
+
+let suite = suite @ roundtrip_props

@@ -12,5 +12,6 @@ let () =
       ("workloads", Test_workloads.suite);
       ("report", Test_report.suite);
       ("trace", Test_trace.suite);
+      ("oracle", Test_oracle.suite);
       ("integration", Test_integration.suite);
     ]

@@ -16,6 +16,7 @@ module Runner = Bm_maestro.Runner
 module Dsl = Bm_workloads.Dsl
 module Templates = Bm_workloads.Templates
 module Suite = Bm_workloads.Suite
+module Genapp = Bm_workloads.Genapp
 module Trace = Bm_report.Trace
 
 let cfg = Config.titan_x_pascal
@@ -23,52 +24,10 @@ let slots = Config.total_tb_slots cfg
 
 (* --- random application generator ----------------------------------- *)
 
-(* One independent kernel chain per stream (1-2 streams), 1-5 kernels per
-   chain, grids of 1-16 TBs x 64 threads, alternating map/stencil bodies,
-   with copies and an occasional device sync sprinkled in.  Small enough
-   that 50 apps x 7 modes stays fast. *)
-let gen_app rng idx =
-  let d = Dsl.create (Printf.sprintf "rand%03d" idx) in
-  let n_streams = 1 + Rng.int_below rng 2 in
-  let max_grid = 16 in
-  let block = 64 in
-  let chains =
-    Array.init n_streams (fun s ->
-        let len = 1 + Rng.int_below rng 5 in
-        let bufs =
-          Array.init (len + 1) (fun _ -> Dsl.buffer d ~elems:(max_grid * block))
-        in
-        Dsl.h2d d bufs.(0);
-        (s, len, bufs, ref 0))
-  in
-  (* Round-robin across streams so residency windows interleave. *)
-  let remaining = ref (Array.fold_left (fun acc (_, len, _, _) -> acc + len) 0 chains) in
-  while !remaining > 0 do
-    Array.iter
-      (fun (s, len, bufs, next) ->
-        if !next < len then begin
-          let i = !next in
-          incr next;
-          decr remaining;
-          let grid = 1 + Rng.int_below rng max_grid in
-          let n = grid * block in
-          let kernel =
-            if Rng.int_below rng 2 = 0 then
-              Templates.map1 ~name:(Printf.sprintf "r%d_s%d_k%d_map" idx s i)
-                ~work:(1 + Rng.int_below rng 8)
-            else
-              Templates.stencil1d ~name:(Printf.sprintf "r%d_s%d_k%d_sten" idx s i) ~halo:1
-                ~work:(1 + Rng.int_below rng 8)
-          in
-          Dsl.launch d ~stream:s kernel ~grid ~block
-            ~args:
-              [ ("n", Command.Int n); ("IN", Command.Buf bufs.(i)); ("OUT", Command.Buf bufs.(i + 1)) ];
-          if Rng.int_below rng 5 = 0 then Dsl.sync d
-        end)
-      chains
-  done;
-  Array.iter (fun (_, len, bufs, _) -> Dsl.d2h d bufs.(len)) chains;
-  Dsl.app d
+(* The generator now lives in Bm_workloads.Genapp (shared with the fuzzer
+   in Bm_oracle); this keeps the same seeded spec stream as the original
+   inline version.  Small enough that 50 apps x 7 modes stays fast. *)
+let gen_app rng idx = Genapp.build (Genapp.generate rng idx)
 
 let traced_run mode app =
   let trace = Trace.create () in
