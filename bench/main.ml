@@ -9,7 +9,12 @@
    micro-benchmarks, --only SECTION to print a single experiment, --trace
    to run the traced invariant-check pass over every (app, mode) pair
    instead of the experiments, --oracle to require cycle-exact agreement
-   between the event-driven and reference schedulers on every app. *)
+   between the event-driven and reference schedulers on every app,
+   --json FILE to write a schema-versioned bench trajectory snapshot
+   (per-app x mode simulated cycles, speedups, DLB/PCB high-water marks,
+   memory overhead, host-pipeline wall-clock spans), and --compare OLD.json
+   [--threshold PCT] to re-measure and exit non-zero when simulated cycles
+   regressed beyond the threshold (default 5%). *)
 
 open Blockmaestro
 open Bechamel
@@ -75,6 +80,16 @@ let bechamel_tests =
     Test.make ~name:"fig14:wavefront-sim"
       (Staged.stage (fun () ->
            Sys.opaque_identity (Runner.simulate (Mode.Consumer_priority 4) (stencil_app ()))));
+    (* The disabled-metrics run must cost the same as no instrumentation at
+       all; the enabled run shows what the counters add. *)
+    Test.make ~name:"metrics:simulate-disabled"
+      (let prep = Prep.prepare cfg (small_app ()) in
+       Staged.stage (fun () -> Sys.opaque_identity (Sim.run cfg Mode.Producer_priority prep)));
+    Test.make ~name:"metrics:simulate-enabled"
+      (let prep = Prep.prepare cfg (small_app ()) in
+       Staged.stage (fun () ->
+           let metrics = Metrics.create () in
+           Sys.opaque_identity (Sim.run ~metrics cfg Mode.Producer_priority prep)));
   ]
 
 (* --oracle: run every suite app (plus representative microbenchmarks)
@@ -162,6 +177,9 @@ let () =
   let bechamel_enabled = ref true in
   let traced = ref false in
   let oracle = ref false in
+  let json_out = ref None in
+  let compare_file = ref None in
+  let threshold = ref 5.0 in
   let rec parse = function
     | [] -> ()
     | "--no-bechamel" :: rest ->
@@ -176,9 +194,30 @@ let () =
     | "--only" :: s :: rest ->
       only := Some s;
       parse rest
+    | "--json" :: file :: rest ->
+      json_out := Some file;
+      parse rest
+    | "--compare" :: file :: rest ->
+      compare_file := Some file;
+      parse rest
+    | "--threshold" :: pct :: rest ->
+      (match float_of_string_opt pct with
+      | Some p when p >= 0.0 -> threshold := p
+      | Some _ | None ->
+        Printf.eprintf "--threshold expects a non-negative percentage, got %s\n" pct;
+        exit 2);
+      parse rest
     | _ :: rest -> parse rest
   in
   parse (List.tl args);
+  (match !json_out with
+  | Some file ->
+    Benchjson.write file;
+    exit 0
+  | None -> ());
+  (match !compare_file with
+  | Some old_file -> exit (Benchjson.compare_against ~threshold_pct:!threshold old_file)
+  | None -> ());
   if !oracle then begin
     print_endline "== differential oracle pass (every app x mode, both schedulers) ==";
     run_oracle ();

@@ -5,12 +5,30 @@
      run APP [-m MODE]       simulate one application under one mode
      speedup APP             all Fig. 9 modes for one application
      analyze APP             per-kernel-pair dependency analysis
+     stats APP [-m MODE]     performance counters + pipeline spans
      trace APP [-m MODE]     record, validate and export an event trace
      fuzz [--seed N]         differential fuzz of scheduler + Algorithm 1
-     ptx APP                 dump the PTX of the application's kernels *)
+     ptx APP                 dump the PTX of the application's kernels
+
+   Exit codes are distinct per failure kind so CI and scripts can tell
+   them apart:
+     0    success
+     2    I/O error (cannot read/write a requested file)
+     3    fuzz found a counterexample
+     4    an event trace violated the scheduling invariants
+     124  usage error (cmdliner's default for bad CLI syntax) *)
 
 open Blockmaestro
 open Cmdliner
+
+let version = "1.1.0"
+
+let exit_io_error = 2
+let exit_fuzz_counterexample = 3
+let exit_trace_violation = 4
+
+(* One info constructor so every subcommand also answers --version. *)
+let cmd_info name ~doc = Cmd.info name ~doc ~version
 
 let app_names = List.map fst Suite.all
 
@@ -49,7 +67,7 @@ let list_cmd =
           (List.length app.Command.commands))
       Suite.all
   in
-  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+  Cmd.v (cmd_info "list" ~doc) Term.(const run $ const ())
 
 let print_stats name mode (s : Stats.t) =
   Printf.printf "%s under %s:\n" name (Mode.name mode);
@@ -73,7 +91,7 @@ let run_cmd =
     let app = gen () in
     print_stats name mode (Runner.simulate mode app)
   in
-  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ app_arg $ mode)
+  Cmd.v (cmd_info "run" ~doc) Term.(const run $ app_arg $ mode)
 
 let speedup_cmd =
   let doc = "Report speedups over the baseline for every Fig. 9 mode." in
@@ -85,7 +103,7 @@ let speedup_cmd =
       (Runner.speedups app);
     Report.print t
   in
-  Cmd.v (Cmd.info "speedup" ~doc) Term.(const run $ app_arg)
+  Cmd.v (cmd_info "speedup" ~doc) Term.(const run $ app_arg)
 
 let analyze_cmd =
   let doc = "Show the extracted inter-kernel TB dependency structure." in
@@ -116,7 +134,7 @@ let analyze_cmd =
       prep.Prep.p_launches;
     Report.print t
   in
-  Cmd.v (Cmd.info "analyze" ~doc) Term.(const run $ app_arg)
+  Cmd.v (cmd_info "analyze" ~doc) Term.(const run $ app_arg)
 
 let timeline_cmd =
   let doc = "Render a Gantt-style execution timeline for one mode." in
@@ -134,7 +152,74 @@ let timeline_cmd =
       print_string (Timeline.ascii stats)
     end
   in
-  Cmd.v (Cmd.info "timeline" ~doc) Term.(const run $ app_arg $ mode $ csv)
+  Cmd.v (cmd_info "timeline" ~doc) Term.(const run $ app_arg $ mode $ csv)
+
+let stats_cmd =
+  let doc =
+    "Simulate with the performance-counter registry and the host-pipeline span profiler \
+     attached, then report counters, gauges (with high-water marks), exact histogram \
+     percentiles and per-stage wall-clock spans."
+  in
+  let mode =
+    Arg.(value & opt mode_conv Mode.Producer_priority & info [ "m"; "mode" ] ~docv:"MODE" ~doc:"Execution mode.")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit a JSON snapshot instead of tables.") in
+  let csv = Arg.(value & flag & info [ "csv" ] ~doc:"Emit the metrics as CSV instead of tables.") in
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Write to $(docv) instead of stdout.")
+  in
+  let folded =
+    Arg.(value & opt (some string) None & info [ "folded" ] ~docv:"FILE"
+           ~doc:"Also write the pipeline spans as folded stacks (flamegraph.pl/speedscope input).")
+  in
+  let no_series =
+    Arg.(value & flag & info [ "no-series" ] ~doc:"Omit gauge time series from the JSON snapshot.")
+  in
+  let write_out out data =
+    match out with
+    | None -> print_string data
+    | Some file -> (
+      try
+        let oc = open_out file in
+        output_string oc data;
+        close_out oc;
+        Printf.eprintf "wrote %s (%d bytes)\n" file (String.length data)
+      with Sys_error msg ->
+        Printf.eprintf "bmctl: cannot write: %s\n" msg;
+        exit exit_io_error)
+  in
+  let run (name, gen) mode json csv out folded no_series =
+    let app = gen () in
+    let cfg = Config.titan_x_pascal in
+    let metrics = Metrics.create () in
+    let prof = Prof.create () in
+    let prep = Prof.span prof "prepare" (fun () -> Runner.prepare ~cfg ~prof mode app) in
+    let stats = Prof.span prof "simulate" (fun () -> Sim.run ~metrics cfg mode prep) in
+    let sn = Metrics.snapshot metrics in
+    if json then
+      write_out out
+        (Json.to_string ~pretty:true
+           (Json.Obj
+              [
+                ("app", Json.Str name);
+                ("mode", Json.Str (Mode.name mode));
+                ("total_us", Json.Num stats.Stats.total_us);
+                ("metrics", Metrics.to_json ~series:(not no_series) sn);
+                ("spans", Prof.to_json prof);
+              ]))
+    else if csv then write_out out (Metrics.to_csv sn)
+    else begin
+      print_stats name mode stats;
+      Report.print (Metrics.table ~title:(name ^ " metrics") sn);
+      Report.print (Prof.table ~title:(name ^ " host pipeline spans") prof)
+    end;
+    match folded with
+    | Some file -> write_out (Some file) (Prof.folded prof)
+    | None -> ()
+  in
+  Cmd.v (cmd_info "stats" ~doc)
+    Term.(const run $ app_arg $ mode $ json $ csv $ out $ folded $ no_series)
 
 let trace_cmd =
   let doc = "Record an event trace, validate it, and export it." in
@@ -150,15 +235,17 @@ let trace_cmd =
   let run (name, gen) mode out csv no_check =
     let app = gen () in
     let cfg = Config.titan_x_pascal in
+    let prep = Runner.prepare ~cfg mode app in
+    let name_of seq = prep.Prep.p_launches.(seq).Prep.li_spec.Command.kernel.Ptx.kname in
     let trace = Trace.create () in
-    let stats = Runner.simulate ~cfg ~trace:(Trace.sink trace) mode app in
+    let stats = Sim.run ~trace:(Trace.sink trace) cfg mode prep in
     Printf.printf "%s under %s: %d events, %.2f us simulated\n" name (Mode.name mode)
       (Trace.length trace) stats.Stats.total_us;
     print_string (Trace.render stats trace);
     (match out with
     | Some file ->
       let data =
-        if csv then Trace.to_csv trace
+        if csv then Trace.to_csv ~name_of trace
         else
           Trace.to_chrome_json
             ~meta:(("app", name) :: ("mode", Mode.name mode) :: Config.to_assoc cfg)
@@ -171,7 +258,7 @@ let trace_cmd =
          Printf.printf "wrote %s (%d bytes)\n" file (String.length data)
        with Sys_error msg ->
          Printf.eprintf "bmctl: cannot write trace: %s\n" msg;
-         exit 2)
+         exit exit_io_error)
     | None -> ());
     if not no_check then
       match Trace.check ~window:(Mode.window mode) ~slots:(Config.total_tb_slots cfg) trace with
@@ -179,9 +266,9 @@ let trace_cmd =
       | Error msgs ->
         Printf.eprintf "trace check: %d violation(s)\n" (List.length msgs);
         List.iter (Printf.eprintf "  %s\n") msgs;
-        exit 1
+        exit exit_trace_violation
   in
-  Cmd.v (Cmd.info "trace" ~doc) Term.(const run $ app_arg $ mode $ out $ csv $ no_check)
+  Cmd.v (cmd_info "trace" ~doc) Term.(const run $ app_arg $ mode $ out $ csv $ no_check)
 
 let fuzz_cmd =
   let doc =
@@ -221,9 +308,9 @@ let fuzz_cmd =
       Fuzz.run ~modes ~shrink ~soundness:(not no_soundness) ?window_bug ~log ~seed ~count ()
     in
     Format.printf "%a@." Fuzz.pp_report report;
-    if not (Fuzz.ok report) then exit 1
+    if not (Fuzz.ok report) then exit exit_fuzz_counterexample
   in
-  Cmd.v (Cmd.info "fuzz" ~doc)
+  Cmd.v (cmd_info "fuzz" ~doc)
     Term.(const run $ seed $ count $ shrink $ no_soundness $ window_bug $ modes $ quiet)
 
 let ptx_cmd =
@@ -241,11 +328,12 @@ let ptx_cmd =
         end)
       (Command.launches app)
   in
-  Cmd.v (Cmd.info "ptx" ~doc) Term.(const run $ app_arg)
+  Cmd.v (cmd_info "ptx" ~doc) Term.(const run $ app_arg)
 
 let main =
   let doc = "BlockMaestro: programmer-transparent task-based GPU execution (simulator)" in
-  Cmd.group (Cmd.info "bmctl" ~doc ~version:"1.0.0")
-    [ list_cmd; run_cmd; speedup_cmd; analyze_cmd; timeline_cmd; trace_cmd; fuzz_cmd; ptx_cmd ]
+  Cmd.group (Cmd.info "bmctl" ~doc ~version)
+    [ list_cmd; run_cmd; speedup_cmd; analyze_cmd; stats_cmd; timeline_cmd; trace_cmd; fuzz_cmd;
+      ptx_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -22,6 +22,8 @@
     - {!Cdp}, {!Wireframe}: comparison models
     - {!Refsched}, {!Diff}, {!Soundness}, {!Shrink}, {!Fuzz}: differential
       oracle and shrinking fuzzer
+    - {!Metrics}, {!Prof}, {!Json}, {!Benchfile}: performance counters,
+      span profiling and machine-readable bench trajectories
     - {!Report}: result formatting *)
 
 module Rng = Bm_engine.Rng
@@ -77,3 +79,8 @@ module Wireframe = Bm_baselines.Wireframe
 module Report = Bm_report.Report
 module Timeline = Bm_report.Timeline
 module Trace = Bm_report.Trace
+
+module Metrics = Bm_metrics.Metrics
+module Prof = Bm_metrics.Prof
+module Json = Bm_metrics.Json
+module Benchfile = Bm_metrics.Benchfile

@@ -24,6 +24,34 @@ let area_bytes cfg =
   in
   (bits + 7) / 8
 
+(* Table pressure of one launched kernel pair.  A parent with out-degree d
+   occupies ceil(d / children_per_entry) DLB entries; the PCB holds one
+   counter per child TB.  Only the Graph relation consults the tables —
+   Independent needs none and Fully_connected is a single gate flag. *)
+let dlb_entries_needed (cfg : Config.t) relation =
+  match relation with
+  | Bipartite.Independent | Bipartite.Fully_connected -> 0
+  | Bipartite.Graph g ->
+    Array.fold_left
+      (fun acc cs ->
+        acc
+        + ((Array.length cs + cfg.Config.dlb_children_per_entry - 1)
+          / cfg.Config.dlb_children_per_entry))
+      0 g.Bipartite.children_of
+
+let pcb_counters_needed relation ~n_children =
+  match relation with
+  | Bipartite.Independent | Bipartite.Fully_connected -> 0
+  | Bipartite.Graph _ -> n_children
+
+let dlb_spill_bytes (cfg : Config.t) ~needed =
+  let over = max 0 (needed - cfg.Config.dlb_entries) in
+  over * ((dlb_entry_bits cfg + 7) / 8)
+
+let pcb_spill_bytes (cfg : Config.t) ~needed =
+  let over = max 0 (needed - cfg.Config.pcb_entries) in
+  over * ((pcb_entry_bits cfg + 7) / 8)
+
 let transaction_bytes = 32
 
 let to_transactions bytes = float_of_int ((bytes + transaction_bytes - 1) / transaction_bytes)

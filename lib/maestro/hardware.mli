@@ -18,6 +18,19 @@ val pcb_entry_bits : Bm_gpu.Config.t -> int
 val area_bytes : Bm_gpu.Config.t -> int
 (** Total SRAM for DLB + PCB (the paper reports ~22 KB). *)
 
+val dlb_entries_needed : Bm_gpu.Config.t -> Bm_depgraph.Bipartite.relation -> int
+(** DLB entries one kernel pair occupies: a parent with out-degree [d]
+    takes [ceil (d / children_per_entry)] entries.  [0] unless the relation
+    is an explicit graph. *)
+
+val pcb_counters_needed : Bm_depgraph.Bipartite.relation -> n_children:int -> int
+(** PCB counters occupied: one per child TB for a graph relation, else 0. *)
+
+val dlb_spill_bytes : Bm_gpu.Config.t -> needed:int -> int
+val pcb_spill_bytes : Bm_gpu.Config.t -> needed:int -> int
+(** Bytes of dependency metadata pushed to global memory when the demand
+    exceeds the table capacity (entries over capacity x entry width). *)
+
 val dep_mem_requests :
   Bm_gpu.Config.t -> n_parents:int -> n_children:int -> Bm_depgraph.Bipartite.relation -> float
 (** 32-byte memory transactions needed to install and resolve one kernel

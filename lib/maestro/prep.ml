@@ -7,6 +7,7 @@ module Bipartite = Bm_depgraph.Bipartite
 module Pattern = Bm_depgraph.Pattern
 module Encode = Bm_depgraph.Encode
 module I = Bm_analysis.Sinterval
+module Prof = Bm_metrics.Prof
 
 type launch_info = {
   li_seq : int;
@@ -63,7 +64,7 @@ let command_rw cmd krw =
   | Command.Kernel_launch spec -> krw spec
   | Command.Device_synchronize -> { Reorder.reads = []; writes = [] }
 
-let prepare ?(reorder = true) (cfg : Config.t) (app : Command.app) =
+let prepare ?(reorder = true) ?prof (cfg : Config.t) (app : Command.app) =
   (* Analyze every distinct kernel once (apps reuse kernels across many
      launches; GAUSSIAN alone has 510 launches of 2 kernels). *)
   let results : (string, Symeval.result) Hashtbl.t = Hashtbl.create 16 in
@@ -72,7 +73,7 @@ let prepare ?(reorder = true) (cfg : Config.t) (app : Command.app) =
     match Hashtbl.find_opt results name with
     | Some r -> r
     | None ->
-      let r = Symeval.analyze kernel in
+      let r = Prof.with_span prof "analyze" (fun () -> Symeval.analyze kernel) in
       Hashtbl.add results name r;
       r
   in
@@ -85,7 +86,9 @@ let prepare ?(reorder = true) (cfg : Config.t) (app : Command.app) =
     match Hashtbl.find_opt fp_cache key with
     | Some fp -> fp
     | None ->
-      let fp = Footprint.of_result (analyze spec.Command.kernel) fl in
+      let fp =
+        Prof.with_span prof "footprint" (fun () -> Footprint.of_result (analyze spec.Command.kernel) fl)
+      in
       Hashtbl.add fp_cache key fp;
       fp
   in
@@ -93,7 +96,9 @@ let prepare ?(reorder = true) (cfg : Config.t) (app : Command.app) =
   let original = Array.of_list app.Command.commands in
   let rws = Array.map (fun c -> command_rw c (fun spec -> kernel_rw spec (footprint spec))) original in
   let final =
-    if reorder then Array.of_list (Reorder.reorder (Array.map2 (fun c rw -> (c, rw)) original rws))
+    if reorder then
+      Prof.with_span prof "reorder" (fun () ->
+          Array.of_list (Reorder.reorder (Array.map2 (fun c rw -> (c, rw)) original rws)))
     else original
   in
   let n = Array.length final in
@@ -124,22 +129,27 @@ let prepare ?(reorder = true) (cfg : Config.t) (app : Command.app) =
         let relation =
           match prev with
           | None -> Bipartite.Independent
-          | Some (_, pfp, _) -> Bipartite.relate ~max_degree:cfg.Config.max_parent_degree pfp fp
+          | Some (_, pfp, _) ->
+            Prof.with_span prof "relate" (fun () ->
+                Bipartite.relate ~max_degree:cfg.Config.max_parent_degree pfp fp)
         in
         let pattern = Pattern.classify relation in
         let sizes =
-          match relation with
-          | Bipartite.Fully_connected ->
-            let n_parents =
-              match prev with
-              | Some (_, _, pspec) -> Bm_ptx.Types.dim3_count pspec.Command.grid
-              | None -> 0
-            in
-            Encode.measure_full ~n_parents ~n_children:(Bm_ptx.Types.dim3_count spec.Command.grid)
-          | Bipartite.Independent | Bipartite.Graph _ -> Encode.measure relation
+          Prof.with_span prof "encode" (fun () ->
+              match relation with
+              | Bipartite.Fully_connected ->
+                let n_parents =
+                  match prev with
+                  | Some (_, _, pspec) -> Bm_ptx.Types.dim3_count pspec.Command.grid
+                  | None -> 0
+                in
+                Encode.measure_full ~n_parents
+                  ~n_children:(Bm_ptx.Types.dim3_count spec.Command.grid)
+              | Bipartite.Independent | Bipartite.Graph _ -> Encode.measure relation)
         in
         let cost =
-          Costmodel.of_launch cfg ~kernel_seq:!seq result (Command.footprint_launch spec)
+          Prof.with_span prof "costmodel" (fun () ->
+              Costmodel.of_launch cfg ~kernel_seq:!seq result (Command.footprint_launch spec))
         in
         let copy_deps =
           List.filter_map (fun buf_id -> Hashtbl.find_opt pending_h2d buf_id) rw.Reorder.reads

@@ -35,8 +35,16 @@ val kernel_rw : Bm_gpu.Command.launch_spec -> Bm_analysis.Footprint.kernel_footp
 
 val command_rw : Bm_gpu.Command.t -> (Bm_gpu.Command.launch_spec -> Reorder.rw) -> Reorder.rw
 
-val prepare : ?reorder:bool -> Bm_gpu.Config.t -> Bm_gpu.Command.app -> t
-(** Analyze and (when [reorder], default true) reorder the app. *)
+val prepare :
+  ?reorder:bool -> ?prof:Bm_metrics.Prof.t -> Bm_gpu.Config.t -> Bm_gpu.Command.app -> t
+(** Analyze and (when [reorder], default true) reorder the app.
+
+    [prof] records wall-clock spans for the pipeline stages — [analyze]
+    (PTX symbolic evaluation), [footprint], [reorder], [relate] (bipartite
+    graph construction), [encode] and [costmodel] — nested under whatever
+    span the caller has open.  Cached stages (a kernel analyzed once, a
+    footprint reused across relaunches) only charge their first
+    computation. *)
 
 val with_relation : t -> seq:int -> Bm_depgraph.Bipartite.relation -> t
 (** Replace the dependency relation of launch [seq] (with its predecessor).

@@ -1,12 +1,12 @@
 module Config = Bm_gpu.Config
 module Stats = Bm_gpu.Stats
 
-let prepare ?(cfg = Config.titan_x_pascal) mode app =
-  Prep.prepare ~reorder:(Mode.reorders mode) cfg app
+let prepare ?(cfg = Config.titan_x_pascal) ?prof mode app =
+  Prep.prepare ~reorder:(Mode.reorders mode) ?prof cfg app
 
-let simulate ?(cfg = Config.titan_x_pascal) ?trace mode app =
-  let prep = prepare ~cfg mode app in
-  Sim.run ?trace cfg mode prep
+let simulate ?(cfg = Config.titan_x_pascal) ?metrics ?prof ?trace mode app =
+  let prep = prepare ~cfg ?prof mode app in
+  Sim.run ?metrics ?trace cfg mode prep
 
 let simulate_all ?(cfg = Config.titan_x_pascal) ?(modes = Mode.all_fig9) app =
   (* The two reordering variants share their preparation. *)

@@ -7,17 +7,22 @@
       Printf.printf "speedup: %.2f\n" (Bm_gpu.Stats.speedup ~baseline:base stats)
     ]} *)
 
-val prepare : ?cfg:Bm_gpu.Config.t -> Mode.t -> Bm_gpu.Command.app -> Prep.t
-(** Launch-time analysis with the mode's reordering policy. *)
+val prepare :
+  ?cfg:Bm_gpu.Config.t -> ?prof:Bm_metrics.Prof.t -> Mode.t -> Bm_gpu.Command.app -> Prep.t
+(** Launch-time analysis with the mode's reordering policy.  [prof] records
+    per-stage wall-clock spans (see {!Prep.prepare}). *)
 
 val simulate :
   ?cfg:Bm_gpu.Config.t ->
+  ?metrics:Bm_metrics.Metrics.t ->
+  ?prof:Bm_metrics.Prof.t ->
   ?trace:Bm_gpu.Stats.sink ->
   Mode.t ->
   Bm_gpu.Command.app ->
   Bm_gpu.Stats.t
-(** [trace] is forwarded to {!Sim.run}: pass [Bm_report.Trace.sink] to
-    record structured events while simulating. *)
+(** [metrics] and [trace] are forwarded to {!Sim.run}; [prof] to
+    {!Prep.prepare}.  Pass [Bm_report.Trace.sink] as [trace] to record
+    structured events while simulating. *)
 
 val simulate_all :
   ?cfg:Bm_gpu.Config.t ->

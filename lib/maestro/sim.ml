@@ -3,6 +3,7 @@ module Config = Bm_gpu.Config
 module Stats = Bm_gpu.Stats
 module Bipartite = Bm_depgraph.Bipartite
 module Heap = Bm_engine.Heap
+module Metrics = Bm_metrics.Metrics
 
 type tb_state = Waiting | Queued | Running | Finished
 
@@ -47,25 +48,87 @@ let copy_event ~start ~blocking cmd ci =
 let table_spills (cfg : Config.t) seq relation ~n_children =
   match relation with
   | Bipartite.Independent | Bipartite.Fully_connected -> []
-  | Bipartite.Graph g ->
-    let needed_dlb =
-      Array.fold_left
-        (fun acc cs ->
-          acc
-          + ((Array.length cs + cfg.Config.dlb_children_per_entry - 1)
-            / cfg.Config.dlb_children_per_entry))
-        0 g.Bipartite.children_of
-    in
+  | Bipartite.Graph _ ->
+    let needed_dlb = Hardware.dlb_entries_needed cfg relation in
+    let needed_pcb = Hardware.pcb_counters_needed relation ~n_children in
     let spills = ref [] in
-    if n_children > cfg.Config.pcb_entries then
+    if needed_pcb > cfg.Config.pcb_entries then
       spills :=
-        Stats.Pcb_spill { seq; needed = n_children; capacity = cfg.Config.pcb_entries } :: !spills;
+        Stats.Pcb_spill { seq; needed = needed_pcb; capacity = cfg.Config.pcb_entries } :: !spills;
     if needed_dlb > cfg.Config.dlb_entries then
       spills :=
         Stats.Dlb_spill { seq; needed = needed_dlb; capacity = cfg.Config.dlb_entries } :: !spills;
     !spills
 
-let run ?(host_blocking_copies = false) ?trace (cfg : Config.t) mode (prep : Prep.t) =
+(* Per-run metric handles, resolved once outside the hot loops.  Mirrors
+   the [?trace] sink: when [?metrics] is [None] every instrumentation site
+   is a single match on an immediate [None] — no allocation, no sampling. *)
+type mstate = {
+  m_dlb : Metrics.gauge;          (* DLB entries occupied over sim time *)
+  m_pcb : Metrics.gauge;          (* PCB counters occupied over sim time *)
+  m_dlb_spill : Metrics.counter;  (* spill traffic, bytes *)
+  m_pcb_spill : Metrics.counter;
+  m_masked : Metrics.counter;     (* launch-overhead us hidden by device work *)
+  m_exposed : Metrics.counter;    (* launch-overhead us on the critical path *)
+  m_window : Metrics.gauge;       (* resident (enqueued, not completed) kernels *)
+  m_window_occ : Metrics.histogram;  (* residency sampled at each enqueue *)
+  m_copy_count : Metrics.counter;
+  m_copy_h2d : Metrics.counter;   (* bytes *)
+  m_copy_d2h : Metrics.counter;   (* bytes *)
+  m_copy_busy : Metrics.counter;  (* copy-engine busy us *)
+  m_tb_dispatched : Metrics.counter;
+  m_tb_exec : Metrics.histogram;  (* per-TB execution us *)
+  m_enq_time : float array;       (* per kernel: sim time at enqueue *)
+  m_enq_busy : float array;       (* per kernel: device busy-us at enqueue *)
+  m_dlb_demand : int array;       (* per kernel: DLB entries held while active *)
+  m_pcb_demand : int array;
+  mutable m_dlb_used : int;
+  mutable m_pcb_used : int;
+  mutable m_resident : int;
+}
+
+let make_mstate reg nk =
+  (* Sequential bindings: record fields evaluate in unspecified order, and
+     registration order is what snapshots and exports display. *)
+  let m_dlb = Metrics.gauge reg "dlb.occupancy" in
+  let m_pcb = Metrics.gauge reg "pcb.occupancy" in
+  let m_dlb_spill = Metrics.counter reg "dlb.spill_bytes" in
+  let m_pcb_spill = Metrics.counter reg "pcb.spill_bytes" in
+  let m_masked = Metrics.counter reg "launch.masked_us" in
+  let m_exposed = Metrics.counter reg "launch.exposed_us" in
+  let m_window = Metrics.gauge reg "window.resident" in
+  let m_window_occ = Metrics.histogram reg "window.occupancy" in
+  let m_copy_count = Metrics.counter reg "copy.count" in
+  let m_copy_h2d = Metrics.counter reg "copy.bytes_h2d" in
+  let m_copy_d2h = Metrics.counter reg "copy.bytes_d2h" in
+  let m_copy_busy = Metrics.counter reg "copy.busy_us" in
+  let m_tb_dispatched = Metrics.counter reg "tb.dispatched" in
+  let m_tb_exec = Metrics.histogram reg "tb.exec_us" in
+  {
+    m_dlb;
+    m_pcb;
+    m_dlb_spill;
+    m_pcb_spill;
+    m_masked;
+    m_exposed;
+    m_window;
+    m_window_occ;
+    m_copy_count;
+    m_copy_h2d;
+    m_copy_d2h;
+    m_copy_busy;
+    m_tb_dispatched;
+    m_tb_exec;
+    m_enq_time = Array.make (max nk 1) 0.0;
+    m_enq_busy = Array.make (max nk 1) 0.0;
+    m_dlb_demand = Array.make (max nk 1) 0;
+    m_pcb_demand = Array.make (max nk 1) 0;
+    m_dlb_used = 0;
+    m_pcb_used = 0;
+    m_resident = 0;
+  }
+
+let run ?(host_blocking_copies = false) ?metrics ?trace (cfg : Config.t) mode (prep : Prep.t) =
   (* Observability hook: a no-op closure when disabled, so the hot path
      pays one indirect call per event and nothing else. *)
   let tracing = trace <> None in
@@ -132,6 +195,78 @@ let run ?(host_blocking_copies = false) ?trace (cfg : Config.t) mode (prep : Pre
       if !running > 0 then busy := !busy +. (t -. !last_t);
       last_t := t
     end
+  in
+
+  (* Metric handles, looked up once.  [None] keeps every site allocation-free. *)
+  let ms = match metrics with None -> None | Some reg -> Some (make_mstate reg nk) in
+  let m_copy ~d2h ~bytes ~dur =
+    match ms with
+    | None -> ()
+    | Some m ->
+      Metrics.incr m.m_copy_count;
+      Metrics.add (if d2h then m.m_copy_d2h else m.m_copy_h2d) (float_of_int bytes);
+      Metrics.add m.m_copy_busy dur
+  in
+  let m_copy_cmd ~dur ci cmd =
+    match cmd with
+    | Command.Memcpy_h2d b -> m_copy ~d2h:false ~bytes:b.Command.bytes ~dur
+    | Command.Memcpy_d2h b -> m_copy ~d2h:true ~bytes:b.Command.bytes ~dur
+    | Command.Malloc _ | Command.Kernel_launch _ | Command.Device_synchronize -> ignore ci
+  in
+  (* Called at kernel enqueue: stamps the launch-overhead baseline and
+     samples the pre-launch window residency. *)
+  let m_enqueue seq ~now ~busy =
+    match ms with
+    | None -> ()
+    | Some m ->
+      m.m_enq_time.(seq) <- now;
+      m.m_enq_busy.(seq) <- busy;
+      m.m_resident <- m.m_resident + 1;
+      Metrics.set m.m_window ~at:now (float_of_int m.m_resident);
+      Metrics.observe m.m_window_occ (float_of_int m.m_resident)
+  in
+  (* Called at Launch_done: splits the enqueue->launched span into overhead
+     masked by concurrent device work vs. exposed on the critical path, and
+     charges the kernel's DLB/PCB demand (fine-grain modes only). *)
+  let m_launched seq ~t ~busy ~fine relation ~n_children =
+    match ms with
+    | None -> ()
+    | Some m ->
+      let span = t -. m.m_enq_time.(seq) in
+      let masked = Float.min span (Float.max 0.0 (busy -. m.m_enq_busy.(seq))) in
+      Metrics.add m.m_masked masked;
+      Metrics.add m.m_exposed (span -. masked);
+      if fine then begin
+        let nd = Hardware.dlb_entries_needed cfg relation in
+        let np = Hardware.pcb_counters_needed relation ~n_children in
+        m.m_dlb_demand.(seq) <- nd;
+        m.m_pcb_demand.(seq) <- np;
+        m.m_dlb_used <- m.m_dlb_used + nd;
+        m.m_pcb_used <- m.m_pcb_used + np;
+        Metrics.set m.m_dlb ~at:t (float_of_int m.m_dlb_used);
+        Metrics.set m.m_pcb ~at:t (float_of_int m.m_pcb_used);
+        Metrics.add m.m_dlb_spill (float_of_int (Hardware.dlb_spill_bytes cfg ~needed:nd));
+        Metrics.add m.m_pcb_spill (float_of_int (Hardware.pcb_spill_bytes cfg ~needed:np))
+      end
+  in
+  (* Called when a kernel drains: its parent-side table entries retire. *)
+  let m_drained k ~t =
+    match ms with
+    | Some m when m.m_dlb_demand.(k) <> 0 || m.m_pcb_demand.(k) <> 0 ->
+      m.m_dlb_used <- m.m_dlb_used - m.m_dlb_demand.(k);
+      m.m_pcb_used <- m.m_pcb_used - m.m_pcb_demand.(k);
+      m.m_dlb_demand.(k) <- 0;
+      m.m_pcb_demand.(k) <- 0;
+      Metrics.set m.m_dlb ~at:t (float_of_int m.m_dlb_used);
+      Metrics.set m.m_pcb ~at:t (float_of_int m.m_pcb_used)
+    | Some _ | None -> ()
+  in
+  let m_completed ~t =
+    match ms with
+    | None -> ()
+    | Some m ->
+      m.m_resident <- m.m_resident - 1;
+      Metrics.set m.m_window ~at:t (float_of_int m.m_resident)
   in
 
   let free_slots = ref total_slots in
@@ -232,6 +367,7 @@ let run ?(host_blocking_copies = false) ?trace (cfg : Config.t) mode (prep : Pre
         decr free_slots;
         incr running;
         if tracing then emit !now (Stats.Tb_dispatch { seq = k; tb });
+        (match ms with Some m -> Metrics.incr m.m_tb_dispatched | None -> ());
         let dur = st.info.Prep.li_cost.Bm_gpu.Costmodel.tb_us.(tb) in
         Heap.push heap (!now +. dur) (Tb_done (k, tb))
     done
@@ -246,6 +382,7 @@ let run ?(host_blocking_copies = false) ?trace (cfg : Config.t) mode (prep : Pre
       ks.(k).completed <- true;
       decr (resident_of stream_of.(k));
       if tracing then emit !now (Stats.Kernel_completed { seq = k; stream = stream_of.(k) });
+      m_completed ~t:!now;
       (* Release the copies gated on this kernel. *)
       List.iter
         (fun (ci, dur) ->
@@ -253,6 +390,7 @@ let run ?(host_blocking_copies = false) ?trace (cfg : Config.t) mode (prep : Pre
           copy_engine_free := start +. dur;
           if tracing then
             emit start (copy_event ~start:true ~blocking:false commands.(ci) ci);
+          m_copy_cmd ~dur ci commands.(ci);
           Heap.push heap (start +. dur) (Copy_done ci))
         (List.rev pending_d2h.(k));
       pending_d2h.(k) <- [];
@@ -291,6 +429,7 @@ let run ?(host_blocking_copies = false) ?trace (cfg : Config.t) mode (prep : Pre
                (the default CUDA behaviour BlockMaestro's non-blocking
                treatment removes, paper SIII-C). *)
             if tracing then emit !now (copy_event ~start:true ~blocking:true commands.(ci) ci);
+            m_copy ~d2h:false ~bytes:b.Command.bytes ~dur;
             Heap.push heap (!now +. dur) (Cmd_done ci);
             serial_blocked := true;
             blocked := true
@@ -299,6 +438,7 @@ let run ?(host_blocking_copies = false) ?trace (cfg : Config.t) mode (prep : Pre
             let start = max !now !copy_engine_free in
             copy_engine_free := start +. dur;
             if tracing then emit start (copy_event ~start:true ~blocking:false commands.(ci) ci);
+            m_copy ~d2h:false ~bytes:b.Command.bytes ~dur;
             Heap.push heap (start +. dur) (Copy_done ci);
             incr next_cmd
           end;
@@ -309,6 +449,7 @@ let run ?(host_blocking_copies = false) ?trace (cfg : Config.t) mode (prep : Pre
           if serial then
             if kernel_completed gate then begin
               if tracing then emit !now (copy_event ~start:true ~blocking:true commands.(ci) ci);
+              m_copy ~d2h:true ~bytes:b.Command.bytes ~dur;
               Heap.push heap (!now +. dur) (Cmd_done ci);
               serial_blocked := true;
               blocked := true;
@@ -319,6 +460,7 @@ let run ?(host_blocking_copies = false) ?trace (cfg : Config.t) mode (prep : Pre
             let start = max !now !copy_engine_free in
             copy_engine_free := start +. dur;
             if tracing then emit start (copy_event ~start:true ~blocking:false commands.(ci) ci);
+            m_copy ~d2h:true ~bytes:b.Command.bytes ~dur;
             Heap.push heap (start +. dur) (Copy_done ci);
             incr next_cmd;
             progressed := true
@@ -344,6 +486,7 @@ let run ?(host_blocking_copies = false) ?trace (cfg : Config.t) mode (prep : Pre
                 emit !now
                   (Stats.Kernel_enqueue
                      { seq; stream = stream_of.(seq); tbs = st.info.Prep.li_tbs });
+              m_enqueue seq ~now:!now ~busy:!busy;
               let start = max !now !launch_engine_free in
               launch_engine_free := start +. launch_us;
               Heap.push heap (start +. launch_us) (Launch_done seq);
@@ -363,6 +506,7 @@ let run ?(host_blocking_copies = false) ?trace (cfg : Config.t) mode (prep : Pre
               emit !now
                 (Stats.Kernel_enqueue
                    { seq; stream = stream_of.(seq); tbs = st.info.Prep.li_tbs });
+            m_enqueue seq ~now:!now ~busy:!busy;
             Heap.push heap (!now +. launch_us) (Launch_done seq);
             incr next_cmd;
             progressed := true
@@ -388,6 +532,7 @@ let run ?(host_blocking_copies = false) ?trace (cfg : Config.t) mode (prep : Pre
     decr running;
     bump !now;
     if tracing then emit !now (Stats.Tb_finish { seq = k; tb });
+    (match ms with Some m -> Metrics.observe m.m_tb_exec (!now -. st.start_time.(tb)) | None -> ());
     (* Fine-grain child updates (tracked in every mode for Fig. 11). *)
     let kc = next_of.(k) in
     if kc >= 0 then begin
@@ -407,6 +552,7 @@ let run ?(host_blocking_copies = false) ?trace (cfg : Config.t) mode (prep : Pre
       st.drained <- true;
       st.drained_at <- !now;
       if tracing then emit !now (Stats.Kernel_drained { seq = k; stream = stream_of.(k) });
+      m_drained k ~t:!now;
       (* A fully-connected child's dependencies are all satisfied now. *)
       if kc >= 0 then begin
         let child = ks.(kc) in
@@ -452,10 +598,13 @@ let run ?(host_blocking_copies = false) ?trace (cfg : Config.t) mode (prep : Pre
               (table_spills cfg seq ks.(seq).info.Prep.li_relation
                  ~n_children:ks.(seq).info.Prep.li_tbs)
         end;
+        m_launched seq ~t ~busy:!busy ~fine ks.(seq).info.Prep.li_relation
+          ~n_children:ks.(seq).info.Prep.li_tbs;
         if ks.(seq).info.Prep.li_tbs = 0 then begin
           ks.(seq).drained <- true;
           ks.(seq).drained_at <- t;
           if tracing then emit t (Stats.Kernel_drained { seq; stream = stream_of.(seq) });
+          m_drained seq ~t;
           cascade_completions_from seq
         end
         else refresh_ready seq;

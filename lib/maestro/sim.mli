@@ -20,6 +20,7 @@
 
 val run :
   ?host_blocking_copies:bool ->
+  ?metrics:Bm_metrics.Metrics.t ->
   ?trace:Bm_gpu.Stats.sink ->
   Bm_gpu.Config.t ->
   Mode.t ->
@@ -29,8 +30,21 @@ val run :
     behaviour of host-to-device copies, for ablating BlockMaestro's
     treatment of blocking APIs as non-blocking.
 
+    [metrics] receives performance counters over simulated time: DLB/PCB
+    occupancy time series with high-water marks ([dlb.occupancy],
+    [pcb.occupancy]) and spill traffic ([dlb.spill_bytes],
+    [pcb.spill_bytes]) under fine-grain modes; launch-overhead
+    microseconds split into masked-by-device-work vs. exposed
+    ([launch.masked_us], [launch.exposed_us]); pre-launch window residency
+    ([window.resident] gauge, [window.occupancy] histogram sampled at each
+    enqueue); copy-engine traffic ([copy.count], [copy.bytes_h2d],
+    [copy.bytes_d2h], [copy.busy_us]); and TB activity ([tb.dispatched],
+    [tb.exec_us]).  When absent every instrumentation site is one match on
+    [None] — no allocation in the hot loops.
+
     [trace] receives every structured simulation event with its timestamp
     (see {!Bm_gpu.Stats.event}); when absent the simulator emits nothing
     and pays no cost.  Copy-engine [Copy_start] events can be future-dated
     relative to surrounding events — consumers must sort by timestamp
-    ([Bm_report.Trace] does).  Tracing never alters simulation results. *)
+    ([Bm_report.Trace] does).  Neither hook ever alters simulation
+    results: cycle counts are bit-identical with and without them. *)

@@ -1,0 +1,121 @@
+(* Wall-clock span profiler for the host pipeline.
+
+   Spans nest (a stack of open frames) and aggregate: entering the same
+   name twice under the same parent accumulates into one node, so wrapping
+   Bipartite.relate per kernel pair — GAUSSIAN alone has 510 launches —
+   yields one "relate" node with a call count rather than 510 children.
+   The tree exports as a report table, JSON, and folded stacks
+   ("a;b;c 123" lines, one per node with its self-time in integer
+   microseconds) that flamegraph.pl / speedscope / inferno consume
+   directly. *)
+
+module Report = Bm_report.Report
+
+type node = {
+  n_name : string;
+  mutable n_total_s : float;  (* inclusive wall seconds over all entries *)
+  mutable n_count : int;
+  mutable n_rev_children : node list;
+  n_child_by_name : (string, node) Hashtbl.t;
+}
+
+let make_node name =
+  { n_name = name; n_total_s = 0.0; n_count = 0; n_rev_children = []; n_child_by_name = Hashtbl.create 4 }
+
+type t = {
+  clock : unit -> float;
+  root : node;  (* virtual; its children are the top-level spans *)
+  mutable stack : (node * float) list;
+}
+
+let create ?(clock = Unix.gettimeofday) () = { clock; root = make_node ""; stack = [] }
+
+let child_of parent name =
+  match Hashtbl.find_opt parent.n_child_by_name name with
+  | Some n -> n
+  | None ->
+    let n = make_node name in
+    Hashtbl.add parent.n_child_by_name name n;
+    parent.n_rev_children <- n :: parent.n_rev_children;
+    n
+
+let enter t name =
+  let parent = match t.stack with [] -> t.root | (n, _) :: _ -> n in
+  let node = child_of parent name in
+  t.stack <- (node, t.clock ()) :: t.stack
+
+let exit t =
+  match t.stack with
+  | [] -> invalid_arg "Bm_metrics.Prof.exit: no open span"
+  | (node, start) :: rest ->
+    node.n_total_s <- node.n_total_s +. (t.clock () -. start);
+    node.n_count <- node.n_count + 1;
+    t.stack <- rest
+
+let span t name f =
+  enter t name;
+  Fun.protect ~finally:(fun () -> exit t) f
+
+let with_span prof name f =
+  match prof with None -> f () | Some t -> span t name f
+
+(* --- readers ----------------------------------------------------------- *)
+
+type summary = {
+  s_path : string list;  (* root-first, e.g. ["prepare"; "relate"] *)
+  s_total_s : float;
+  s_self_s : float;
+  s_count : int;
+}
+
+let children n = List.rev n.n_rev_children
+
+let summaries t =
+  let acc = ref [] in
+  let rec walk path n =
+    let kids = children n in
+    let child_total = List.fold_left (fun a c -> a +. c.n_total_s) 0.0 kids in
+    let path = path @ [ n.n_name ] in
+    acc :=
+      { s_path = path; s_total_s = n.n_total_s; s_self_s = max 0.0 (n.n_total_s -. child_total);
+        s_count = n.n_count }
+      :: !acc;
+    List.iter (walk path) kids
+  in
+  List.iter (walk []) (children t.root);
+  List.rev !acc
+
+let total_s t = List.fold_left (fun a c -> a +. c.n_total_s) 0.0 (children t.root)
+
+let us s = s *. 1e6
+
+let folded t =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun s ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s %.0f\n" (String.concat ";" s.s_path) (Float.round (us s.s_self_s))))
+    (summaries t);
+  Buffer.contents buf
+
+let table ?(title = "host pipeline spans") t =
+  let tab = Report.table ~title ~columns:[ "span"; "total us"; "self us"; "calls" ] in
+  List.iter
+    (fun s ->
+      let depth = List.length s.s_path - 1 in
+      let label = String.make (2 * depth) ' ' ^ List.nth s.s_path depth in
+      Report.row tab
+        [ label; Printf.sprintf "%.1f" (us s.s_total_s); Printf.sprintf "%.1f" (us s.s_self_s);
+          string_of_int s.s_count ])
+    (summaries t);
+  tab
+
+let to_json t =
+  Json.Arr
+    (List.map
+       (fun s ->
+         Json.Obj
+           [ ("path", Json.Str (String.concat ";" s.s_path));
+             ("total_us", Json.Num (us s.s_total_s)); ("self_us", Json.Num (us s.s_self_s));
+             ("count", Json.Num (float_of_int s.s_count)) ])
+       (summaries t))

@@ -1,0 +1,51 @@
+(** Wall-clock span profiler for the host-side pipeline
+    (PTX build/parse, [Symeval.analyze], [Bipartite.relate], [Encode],
+    simulate).
+
+    Spans nest and {e aggregate}: entering the same name twice under the
+    same parent accumulates total time and a call count into one node
+    (wrapping [Bipartite.relate] per kernel pair yields one "relate" node,
+    not hundreds of children).  Results export as a report table, JSON and
+    folded stacks consumable by flamegraph.pl / speedscope / inferno. *)
+
+type t
+
+val create : ?clock:(unit -> float) -> unit -> t
+(** [clock] returns seconds; defaults to [Unix.gettimeofday].  Inject a
+    fake clock for deterministic tests. *)
+
+val span : t -> string -> (unit -> 'a) -> 'a
+(** [span t name f] times [f ()] as a child of the innermost open span
+    (exception-safe). *)
+
+val with_span : t option -> string -> (unit -> 'a) -> 'a
+(** [with_span None name f] is [f ()]; [with_span (Some t) name f] is
+    [span t name f].  The idiom for threading an optional profiler. *)
+
+val enter : t -> string -> unit
+val exit : t -> unit
+(** Explicit bracketing for spans that cannot wrap a closure.
+    @raise Invalid_argument when no span is open. *)
+
+type summary = {
+  s_path : string list;  (** root-first, e.g. [\["prepare"; "relate"\]] *)
+  s_total_s : float;     (** inclusive wall seconds over all entries *)
+  s_self_s : float;      (** total minus children (clamped at 0) *)
+  s_count : int;
+}
+
+val summaries : t -> summary list
+(** Pre-order over the span tree.  Open (unfinished) spans are not
+    counted. *)
+
+val total_s : t -> float
+(** Sum of top-level span totals. *)
+
+val folded : t -> string
+(** Folded-stack text: one ["a;b;c <self-us>"] line per node, self time in
+    integer microseconds — flamegraph-compatible. *)
+
+val table : ?title:string -> t -> Bm_report.Report.table
+
+val to_json : t -> Json.t
+(** Array of [{path, total_us, self_us, count}] objects. *)

@@ -11,8 +11,14 @@ let mean = function
   | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
 
 let percentile xs p =
-  if Array.length xs = 0 then invalid_arg "Report.percentile: empty";
-  let sorted = Array.copy xs in
+  (* NaNs are skipped rather than sorted: [compare] orders nan below every
+     float, which would silently shift every rank. *)
+  let sorted =
+    if Array.exists Float.is_nan xs then
+      Array.of_seq (Seq.filter (fun x -> not (Float.is_nan x)) (Array.to_seq xs))
+    else Array.copy xs
+  in
+  if Array.length sorted = 0 then invalid_arg "Report.percentile: empty";
   Array.sort compare sorted;
   let n = Array.length sorted in
   if n = 1 then sorted.(0)
@@ -73,3 +79,22 @@ let print t = print_string (to_string t)
 let pct speedup = Printf.sprintf "%+.1f%%" ((speedup -. 1.0) *. 100.0)
 
 let f2 x = Printf.sprintf "%.2f" x
+
+(* RFC 4180 field quoting, shared by every CSV exporter in the repo
+   (Bm_report.Trace, Bm_metrics) so kernel names with commas/quotes/newlines
+   cannot corrupt a row. *)
+let csv_field s =
+  let needs_quoting =
+    String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+  in
+  if not needs_quoting then s
+  else begin
+    let buf = Buffer.create (String.length s + 8) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end

@@ -7,10 +7,14 @@ val mean : float list -> float
 
 val quartiles : float array -> float * float * float
 (** (q1, median, q3) by linear interpolation; the array is sorted
-    internally.  @raise Invalid_argument on an empty array. *)
+    internally.  NaN entries are skipped.
+    @raise Invalid_argument when no non-NaN entries remain. *)
 
 val percentile : float array -> float -> float
-(** [percentile xs p] for p in [0, 100]. *)
+(** [percentile xs p] for p in [0, 100] by linear interpolation over the
+    sorted non-NaN entries ([compare] would order NaN below every float and
+    silently shift ranks, so NaNs are dropped instead).
+    @raise Invalid_argument when no non-NaN entries remain. *)
 
 type table
 
@@ -27,3 +31,9 @@ val pct : float -> string
 
 val f2 : float -> string
 (** Two-decimal float. *)
+
+val csv_field : string -> string
+(** RFC 4180 CSV field quoting: fields containing commas, double quotes or
+    newlines are wrapped in double quotes with inner quotes doubled; all
+    other fields pass through unchanged.  Shared by every CSV exporter
+    ({!Bm_report.Trace}, [Bm_metrics]). *)

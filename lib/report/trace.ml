@@ -432,28 +432,44 @@ let to_chrome_json ?(meta = []) t =
   Buffer.add_string buf "}\n";
   Buffer.contents buf
 
-let to_csv t =
+let to_csv ?name_of t =
   let buf = Buffer.create 16384 in
-  Buffer.add_string buf "ts,event,kernel,tb,stream,cmd,bytes\n";
-  let line ts ev ?(kernel = "") ?(tb = "") ?(stream = "") ?(cmd = "") ?(bytes = "") () =
-    Buffer.add_string buf
-      (Printf.sprintf "%.4f,%s,%s,%s,%s,%s,%s\n" ts (Stats.event_name ev) kernel tb stream cmd bytes)
+  let named = name_of <> None in
+  let kname seq =
+    match name_of with
+    | Some f -> Report.csv_field (f seq)  (* kernel names may contain commas/quotes *)
+    | None -> ""
+  in
+  Buffer.add_string buf
+    (if named then "ts,event,kernel,name,tb,stream,cmd,bytes\n"
+     else "ts,event,kernel,tb,stream,cmd,bytes\n");
+  let line ts ev ?(kernel = -1) ?(tb = "") ?(stream = "") ?(cmd = "") ?(bytes = "") () =
+    let k = if kernel < 0 then "" else string_of_int kernel in
+    let cells =
+      if named then
+        [ Printf.sprintf "%.4f" ts; Report.csv_field (Stats.event_name ev); k;
+          (if kernel < 0 then "" else kname kernel); tb; stream; cmd; bytes ]
+      else
+        [ Printf.sprintf "%.4f" ts; Report.csv_field (Stats.event_name ev); k; tb; stream; cmd;
+          bytes ]
+    in
+    Buffer.add_string buf (String.concat "," cells ^ "\n")
   in
   Array.iter
     (fun { ts; ev } ->
       let i = string_of_int in
       match ev with
       | Stats.Kernel_enqueue { seq; stream; tbs } ->
-        line ts ev ~kernel:(i seq) ~stream:(i stream) ~tb:(i tbs) ()
+        line ts ev ~kernel:seq ~stream:(i stream) ~tb:(i tbs) ()
       | Stats.Kernel_launched { seq; stream } | Stats.Kernel_drained { seq; stream }
       | Stats.Kernel_completed { seq; stream } ->
-        line ts ev ~kernel:(i seq) ~stream:(i stream) ()
+        line ts ev ~kernel:seq ~stream:(i stream) ()
       | Stats.Tb_dispatch { seq; tb } | Stats.Tb_finish { seq; tb }
       | Stats.Dep_satisfied { seq; tb } ->
-        line ts ev ~kernel:(i seq) ~tb:(i tb) ()
+        line ts ev ~kernel:seq ~tb:(i tb) ()
       | Stats.Copy_start { cmd; bytes; _ } | Stats.Copy_finish { cmd; bytes; _ } ->
         line ts ev ~cmd:(i cmd) ~bytes:(i bytes) ()
       | Stats.Dlb_spill { seq; needed; capacity } | Stats.Pcb_spill { seq; needed; capacity } ->
-        line ts ev ~kernel:(i seq) ~tb:(i needed) ~bytes:(i capacity) ())
+        line ts ev ~kernel:seq ~tb:(i needed) ~bytes:(i capacity) ())
     (events t);
   Buffer.contents buf

@@ -93,5 +93,9 @@ val to_chrome_json : ?meta:(string * string) list -> t -> string
     satisfactions and DLB/PCB spills render as instant events.  [meta]
     key/values (e.g. {!Bm_gpu.Config.to_assoc}) land in ["otherData"]. *)
 
-val to_csv : t -> string
-(** Flat [ts,event,kernel,tb,stream,cmd,bytes] rows, one per event. *)
+val to_csv : ?name_of:(int -> string) -> t -> string
+(** Flat [ts,event,kernel,tb,stream,cmd,bytes] rows, one per event.
+    [name_of] adds a [name] column after [kernel], resolving a kernel
+    sequence number to its name.  All textual fields (event names, kernel
+    names) go through {!Report.csv_field}, so names containing commas,
+    quotes or newlines cannot corrupt a row. *)

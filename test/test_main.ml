@@ -11,6 +11,7 @@ let () =
       ("maestro", Test_maestro.suite);
       ("workloads", Test_workloads.suite);
       ("report", Test_report.suite);
+      ("metrics", Test_metrics.suite);
       ("trace", Test_trace.suite);
       ("oracle", Test_oracle.suite);
       ("integration", Test_integration.suite);

@@ -1,0 +1,368 @@
+(* Tests for the observability layer: the Bm_metrics counter/gauge/histogram
+   registry, the span profiler, the JSON codec, the BENCH trajectory files,
+   and the simulator instrumentation (which must be cycle-exact: attaching a
+   registry cannot change the schedule). *)
+
+module Metrics = Bm_metrics.Metrics
+module Prof = Bm_metrics.Prof
+module Json = Bm_metrics.Json
+module Benchfile = Bm_metrics.Benchfile
+module Report = Bm_report.Report
+module Config = Bm_gpu.Config
+module Stats = Bm_gpu.Stats
+module Mode = Bm_maestro.Mode
+module Sim = Bm_maestro.Sim
+module Runner = Bm_maestro.Runner
+module Microbench = Bm_workloads.Microbench
+module Wavefront = Bm_workloads.Wavefront
+
+(* --- registry ---------------------------------------------------------- *)
+
+let test_counter () =
+  let reg = Metrics.create () in
+  let c = Metrics.counter reg "spills" in
+  Metrics.incr c;
+  Metrics.incr c;
+  Metrics.add c 2.5;
+  Alcotest.(check (float 1e-9)) "accumulates" 4.5 (Metrics.counter_value c);
+  (* Find-or-create: same name yields the same handle. *)
+  Metrics.incr (Metrics.counter reg "spills");
+  Alcotest.(check (float 1e-9)) "same handle" 5.5 (Metrics.counter_value c)
+
+let test_gauge () =
+  let reg = Metrics.create () in
+  let g = Metrics.gauge reg "occupancy" in
+  Alcotest.(check (float 1e-9)) "never-set high water" 0.0 (Metrics.high_water g);
+  Metrics.set g ~at:1.0 3.0;
+  Metrics.set g ~at:2.0 7.0;
+  Metrics.set g ~at:3.0 2.0;
+  Alcotest.(check (float 1e-9)) "last value" 2.0 (Metrics.gauge_value g);
+  Alcotest.(check (float 1e-9)) "high water" 7.0 (Metrics.high_water g);
+  let sn = Metrics.snapshot reg in
+  let gs = sn.Metrics.sn_gauges.(0) in
+  Alcotest.(check int) "series length" 3 (Array.length gs.Metrics.gs_series);
+  Alcotest.(check (pair (float 1e-9) (float 1e-9))) "series sample" (2.0, 7.0)
+    gs.Metrics.gs_series.(1)
+
+let test_kind_clash () =
+  let reg = Metrics.create () in
+  ignore (Metrics.counter reg "x");
+  Alcotest.check_raises "gauge over counter"
+    (Invalid_argument "Bm_metrics.Metrics: \"x\" already registered as a counter, not a gauge")
+    (fun () -> ignore (Metrics.gauge reg "x"))
+
+let test_registration_order () =
+  let reg = Metrics.create () in
+  ignore (Metrics.counter reg "b");
+  ignore (Metrics.gauge reg "a");
+  ignore (Metrics.counter reg "c");
+  let sn = Metrics.snapshot reg in
+  Alcotest.(check (list string)) "counters keep registration order" [ "b"; "c" ]
+    (Array.to_list (Array.map (fun c -> c.Metrics.cs_name) sn.Metrics.sn_counters))
+
+let test_histogram_summary () =
+  let reg = Metrics.create () in
+  let h = Metrics.histogram reg "lat" in
+  List.iter (Metrics.observe h) [ 4.0; 1.0; 3.0; 2.0 ];
+  let sn = Metrics.snapshot reg in
+  let hs = sn.Metrics.sn_histograms.(0) in
+  Alcotest.(check int) "count" 4 hs.Metrics.hs_count;
+  Alcotest.(check (float 1e-9)) "min" 1.0 hs.Metrics.hs_min;
+  Alcotest.(check (float 1e-9)) "max" 4.0 hs.Metrics.hs_max;
+  Alcotest.(check (float 1e-9)) "mean" 2.5 hs.Metrics.hs_mean;
+  Alcotest.(check (float 1e-9)) "p50 interpolates" 2.5 hs.Metrics.hs_p50
+
+let test_histogram_empty_is_nan () =
+  let reg = Metrics.create () in
+  ignore (Metrics.histogram reg "empty");
+  let hs = (Metrics.snapshot reg).Metrics.sn_histograms.(0) in
+  Alcotest.(check int) "count" 0 hs.Metrics.hs_count;
+  Alcotest.(check bool) "min is NaN" true (Float.is_nan hs.Metrics.hs_min);
+  Alcotest.(check bool) "p99 is NaN" true (Float.is_nan hs.Metrics.hs_p99)
+
+(* Histogram percentiles are exact: whatever samples go in, the snapshot must
+   agree with Report.percentile over the raw sorted data. *)
+let prop_histogram_percentiles_exact =
+  QCheck2.Test.make ~name:"histogram percentiles agree with exact sorting" ~count:200
+    QCheck2.Gen.(list_size (int_range 1 200) (float_bound_exclusive 1000.0))
+    (fun xs ->
+      let reg = Metrics.create () in
+      let h = Metrics.histogram reg "h" in
+      List.iter (Metrics.observe h) xs;
+      let hs = (Metrics.snapshot reg).Metrics.sn_histograms.(0) in
+      let arr = Array.of_list xs in
+      let close a b = Float.abs (a -. b) <= 1e-9 *. Float.max 1.0 (Float.abs b) in
+      hs.Metrics.hs_count = List.length xs
+      && close hs.Metrics.hs_p25 (Report.percentile arr 25.0)
+      && close hs.Metrics.hs_p50 (Report.percentile arr 50.0)
+      && close hs.Metrics.hs_p75 (Report.percentile arr 75.0)
+      && close hs.Metrics.hs_p90 (Report.percentile arr 90.0)
+      && close hs.Metrics.hs_p99 (Report.percentile arr 99.0))
+
+let test_metrics_csv_escapes () =
+  let reg = Metrics.create () in
+  ignore (Metrics.counter reg "evil\"name,with comma");
+  let csv = Metrics.to_csv (Metrics.snapshot reg) in
+  Alcotest.(check bool) "quoted and doubled" true
+    (let sub = "\"evil\"\"name,with comma\"" in
+     let rec find i =
+       i + String.length sub <= String.length csv
+       && (String.sub csv i (String.length sub) = sub || find (i + 1))
+     in
+     find 0)
+
+(* --- Json -------------------------------------------------------------- *)
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("s", Json.Str "a\"b\\c\nd");
+        ("n", Json.Num 1.5);
+        ("i", Json.Num 42.0);
+        ("b", Json.Bool true);
+        ("z", Json.Null);
+        ("a", Json.Arr [ Json.Num 1.0; Json.Str "x"; Json.Obj [] ]);
+      ]
+  in
+  match Json.of_string (Json.to_string v) with
+  | Ok v' -> Alcotest.(check bool) "round-trips" true (v = v')
+  | Error e -> Alcotest.failf "parse error: %s" e
+
+let test_json_nonfinite_is_null () =
+  Alcotest.(check string) "NaN emits null" "null" (Json.to_string (Json.Num Float.nan));
+  Alcotest.(check string) "inf emits null" "null" (Json.to_string (Json.Num Float.infinity))
+
+let test_json_rejects_trailing_garbage () =
+  match Json.of_string "{} x" with
+  | Ok _ -> Alcotest.fail "accepted trailing garbage"
+  | Error _ -> ()
+
+(* --- Prof (injected clock: fully deterministic) ------------------------ *)
+
+let test_prof_nesting_and_aggregation () =
+  let now = ref 0.0 in
+  let p = Prof.create ~clock:(fun () -> !now) () in
+  Prof.span p "a" (fun () ->
+      now := !now +. 2.0;
+      Prof.span p "b" (fun () -> now := !now +. 1.0));
+  Prof.span p "a" (fun () -> now := !now +. 3.0);
+  let by_path path =
+    match List.find_opt (fun s -> s.Prof.s_path = path) (Prof.summaries p) with
+    | Some s -> s
+    | None -> Alcotest.failf "missing span %s" (String.concat ";" path)
+  in
+  let a = by_path [ "a" ] and b = by_path [ "a"; "b" ] in
+  Alcotest.(check int) "a aggregated into one node" 2 a.Prof.s_count;
+  Alcotest.(check (float 1e-9)) "a total" 6.0 a.Prof.s_total_s;
+  Alcotest.(check (float 1e-9)) "a self = total - children" 5.0 a.Prof.s_self_s;
+  Alcotest.(check (float 1e-9)) "b total" 1.0 b.Prof.s_total_s;
+  Alcotest.(check (float 1e-9)) "profiler total" 6.0 (Prof.total_s p)
+
+let test_prof_folded () =
+  let now = ref 0.0 in
+  let p = Prof.create ~clock:(fun () -> !now) () in
+  Prof.span p "a" (fun () ->
+      now := !now +. 2.0;
+      Prof.span p "b" (fun () -> now := !now +. 1.0));
+  let lines = String.split_on_char '\n' (Prof.folded p) |> List.filter (fun l -> l <> "") in
+  Alcotest.(check (list string)) "folded stacks, self us" [ "a 2000000"; "a;b 1000000" ] lines
+
+let test_prof_exception_safe () =
+  let now = ref 0.0 in
+  let p = Prof.create ~clock:(fun () -> !now) () in
+  (try Prof.span p "boom" (fun () -> now := !now +. 1.0; failwith "x") with Failure _ -> ());
+  (* The span still closed: a second top-level span is a sibling, not a child. *)
+  Prof.span p "after" (fun () -> now := !now +. 1.0);
+  Alcotest.(check (list (list string))) "both top-level" [ [ "boom" ]; [ "after" ] ]
+    (List.map (fun s -> s.Prof.s_path) (Prof.summaries p))
+
+let test_prof_with_span_none () =
+  Alcotest.(check int) "with_span None just runs f" 7 (Prof.with_span None "x" (fun () -> 7));
+  Alcotest.check_raises "exit without enter"
+    (Invalid_argument "Bm_metrics.Prof.exit: no open span") (fun () ->
+      Prof.exit (Prof.create ~clock:(fun () -> 0.0) ()))
+
+(* --- Benchfile --------------------------------------------------------- *)
+
+let sample_benchfile ?(cycles = 1000.0) () =
+  {
+    Benchfile.bf_schema = Benchfile.schema_version;
+    bf_config = [ ("sms", "28"); ("clock_ghz", "1.417") ];
+    bf_apps =
+      [
+        {
+          Benchfile.ar_app = "APP";
+          ar_pipeline_us = [ ("prepare", 12.5); ("prepare;analyze", 10.0) ];
+          ar_modes =
+            [
+              {
+                Benchfile.mr_mode = "baseline";
+                mr_total_us = 100.0;
+                mr_cycles = cycles;
+                mr_speedup = 1.0;
+                mr_dlb_high_water = 0.0;
+                mr_pcb_high_water = 0.0;
+                mr_mem_overhead_pct = 0.0;
+              };
+              {
+                Benchfile.mr_mode = "consumer2";
+                mr_total_us = 50.0;
+                mr_cycles = cycles /. 2.0;
+                mr_speedup = 2.0;
+                mr_dlb_high_water = 80.0;
+                mr_pcb_high_water = 255.0;
+                mr_mem_overhead_pct = 1.5;
+              };
+            ];
+        };
+      ];
+  }
+
+let test_benchfile_roundtrip () =
+  let bf = sample_benchfile () in
+  match Benchfile.of_string (Benchfile.to_string bf) with
+  | Ok bf' -> Alcotest.(check bool) "round-trips" true (bf = bf')
+  | Error e -> Alcotest.failf "parse error: %s" e
+
+let test_benchfile_rejects_schema () =
+  let bf = { (sample_benchfile ()) with Benchfile.bf_schema = 999 } in
+  match Benchfile.of_string (Benchfile.to_string bf) with
+  | Ok _ -> Alcotest.fail "accepted wrong schema version"
+  | Error _ -> ()
+
+let test_benchfile_detects_regression () =
+  let old = sample_benchfile () in
+  (* Inject an 11% cycle slowdown on every mode of the app. *)
+  let current = sample_benchfile ~cycles:1110.0 () in
+  let ds = Benchfile.deltas ~old current in
+  Alcotest.(check int) "one delta per (app, mode)" 2 (List.length ds);
+  let regs = Benchfile.regressions ~threshold_pct:10.0 ds in
+  Alcotest.(check int) "both modes regressed beyond 10%" 2 (List.length regs);
+  List.iter
+    (fun (d : Benchfile.delta) ->
+      Alcotest.(check (float 1e-6)) "delta pct" 11.0 d.Benchfile.d_pct)
+    regs;
+  Alcotest.(check int) "under a generous threshold nothing regresses" 0
+    (List.length (Benchfile.regressions ~threshold_pct:15.0 ds));
+  (* Speedups are not regressions. *)
+  Alcotest.(check int) "improvement direction ignored" 0
+    (List.length (Benchfile.regressions ~threshold_pct:10.0 (Benchfile.deltas ~old:current old)))
+
+let test_benchfile_skips_missing_pairs () =
+  let old = sample_benchfile () in
+  let renamed =
+    {
+      (sample_benchfile ()) with
+      Benchfile.bf_apps =
+        List.map
+          (fun a -> { a with Benchfile.ar_app = "OTHER" })
+          (sample_benchfile ()).Benchfile.bf_apps;
+    }
+  in
+  Alcotest.(check int) "no shared pairs" 0 (List.length (Benchfile.deltas ~old renamed))
+
+let test_benchfile_load_missing_file () =
+  match Benchfile.load "/nonexistent/benchfile.json" with
+  | Ok _ -> Alcotest.fail "loaded a nonexistent file"
+  | Error _ -> ()
+
+(* --- simulator instrumentation ----------------------------------------- *)
+
+let test_sim_metrics_cycle_exact () =
+  (* Attaching a registry must not perturb the simulation: identical Stats,
+     including every per-TB record. *)
+  let cfg = Config.titan_x_pascal in
+  let app = Microbench.vector_add ~tbs:16 in
+  let prep = Runner.prepare ~cfg Mode.Producer_priority app in
+  let plain = Sim.run cfg Mode.Producer_priority prep in
+  let metrics = Metrics.create () in
+  let instrumented = Sim.run ~metrics cfg Mode.Producer_priority prep in
+  Alcotest.(check bool) "identical stats" true (plain = instrumented)
+
+let test_sim_metrics_counters () =
+  let cfg = Config.titan_x_pascal in
+  let app = Microbench.vector_add ~tbs:16 in
+  let prep = Runner.prepare ~cfg Mode.Producer_priority app in
+  let metrics = Metrics.create () in
+  ignore (Sim.run ~metrics cfg Mode.Producer_priority prep);
+  let counter name =
+    match Metrics.find_counter metrics name with
+    | Some c -> Metrics.counter_value c
+    | None -> Alcotest.failf "missing counter %s" name
+  in
+  Alcotest.(check (float 1e-9)) "every TB dispatched" 32.0 (counter "tb.dispatched");
+  Alcotest.(check bool) "launch overhead accounted" true
+    (counter "launch.masked_us" +. counter "launch.exposed_us" > 0.0);
+  Alcotest.(check bool) "copies counted" true (counter "copy.count" > 0.0);
+  (match Metrics.find_gauge metrics "window.resident" with
+  | Some g -> Alcotest.(check bool) "window high water >= 1" true (Metrics.high_water g >= 1.0)
+  | None -> Alcotest.fail "missing gauge window.resident");
+  match Metrics.find_histogram metrics "tb.exec_us" with
+  | Some _ ->
+    let hs =
+      (Metrics.snapshot metrics).Metrics.sn_histograms
+      |> Array.to_list
+      |> List.find (fun h -> h.Metrics.hs_name = "tb.exec_us")
+    in
+    Alcotest.(check int) "one exec sample per TB" 32 hs.Metrics.hs_count
+  | None -> Alcotest.fail "missing histogram tb.exec_us"
+
+let test_sim_metrics_fine_grain_occupancy () =
+  (* A fine-grain consumer mode must charge real DLB/PCB occupancy. *)
+  let cfg = Config.titan_x_pascal in
+  let app = Wavefront.make ~name:"metrics_wf" ~work:10 ~halo:1 () in
+  let mode = Mode.Consumer_priority 2 in
+  let prep = Runner.prepare ~cfg mode app in
+  let metrics = Metrics.create () in
+  ignore (Sim.run ~metrics cfg mode prep);
+  let hw name =
+    match Metrics.find_gauge metrics name with
+    | Some g -> Metrics.high_water g
+    | None -> Alcotest.failf "missing gauge %s" name
+  in
+  Alcotest.(check bool) "DLB occupancy observed" true (hw "dlb.occupancy" > 0.0);
+  Alcotest.(check bool) "PCB occupancy observed" true (hw "pcb.occupancy" > 0.0)
+
+(* --- bmctl exit codes (integration: runs the built executable) --------- *)
+
+let bmctl args =
+  (* dune runs tests from the build context directory, so the freshly built
+     executable is a fixed relative path away; the dune (deps) stanza makes
+     sure it exists.  Stdout/stderr are discarded: only exit codes matter. *)
+  Sys.command (Filename.quote_command "../bin/bmctl.exe" ~stdout:"/dev/null" ~stderr:"/dev/null" args)
+
+let test_bmctl_exit_codes () =
+  Alcotest.(check int) "--version exits 0" 0 (bmctl [ "--version" ]);
+  Alcotest.(check int) "usage error exits 124" 124 (bmctl [ "no-such-command" ]);
+  Alcotest.(check int) "bad mode is a usage error" 124 (bmctl [ "stats"; "MVT"; "-m"; "bogus" ]);
+  Alcotest.(check int) "unwritable output exits 2" 2
+    (bmctl [ "stats"; "MVT"; "-m"; "baseline"; "--json"; "-o"; "/nonexistent-dir/out.json" ])
+
+let suite =
+  [
+    Alcotest.test_case "registry: counter" `Quick test_counter;
+    Alcotest.test_case "registry: gauge" `Quick test_gauge;
+    Alcotest.test_case "registry: kind clash" `Quick test_kind_clash;
+    Alcotest.test_case "registry: registration order" `Quick test_registration_order;
+    Alcotest.test_case "registry: histogram summary" `Quick test_histogram_summary;
+    Alcotest.test_case "registry: empty histogram" `Quick test_histogram_empty_is_nan;
+    Alcotest.test_case "registry: csv escaping" `Quick test_metrics_csv_escapes;
+    QCheck_alcotest.to_alcotest prop_histogram_percentiles_exact;
+    Alcotest.test_case "json: round-trip" `Quick test_json_roundtrip;
+    Alcotest.test_case "json: non-finite" `Quick test_json_nonfinite_is_null;
+    Alcotest.test_case "json: trailing garbage" `Quick test_json_rejects_trailing_garbage;
+    Alcotest.test_case "prof: nesting + aggregation" `Quick test_prof_nesting_and_aggregation;
+    Alcotest.test_case "prof: folded stacks" `Quick test_prof_folded;
+    Alcotest.test_case "prof: exception safety" `Quick test_prof_exception_safe;
+    Alcotest.test_case "prof: with_span/exit" `Quick test_prof_with_span_none;
+    Alcotest.test_case "benchfile: round-trip" `Quick test_benchfile_roundtrip;
+    Alcotest.test_case "benchfile: schema version" `Quick test_benchfile_rejects_schema;
+    Alcotest.test_case "benchfile: regression detection" `Quick test_benchfile_detects_regression;
+    Alcotest.test_case "benchfile: missing pairs" `Quick test_benchfile_skips_missing_pairs;
+    Alcotest.test_case "benchfile: load errors" `Quick test_benchfile_load_missing_file;
+    Alcotest.test_case "sim: metrics are cycle-exact" `Quick test_sim_metrics_cycle_exact;
+    Alcotest.test_case "sim: expected counters" `Quick test_sim_metrics_counters;
+    Alcotest.test_case "sim: fine-grain occupancy" `Quick test_sim_metrics_fine_grain_occupancy;
+    Alcotest.test_case "bmctl: exit codes" `Slow test_bmctl_exit_codes;
+  ]

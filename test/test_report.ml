@@ -37,6 +37,35 @@ let test_percentile_unsorted_input () =
   Alcotest.(check (float 1e-9)) "sorts internally" 3.0
     (Report.percentile [| 5.0; 1.0; 3.0 |] 50.0)
 
+let test_percentile_nan () =
+  (* NaN entries are dropped, not sorted-below-everything (which would
+     silently shift every rank). *)
+  Alcotest.(check (float 1e-9)) "NaN skipped" 15.0
+    (Report.percentile [| Float.nan; 10.0; Float.nan; 20.0 |] 50.0);
+  Alcotest.(check (float 1e-9)) "singleton after NaN filtering" 7.0
+    (Report.percentile [| Float.nan; 7.0 |] 99.0);
+  Alcotest.check_raises "all-NaN raises like empty"
+    (Invalid_argument "Report.percentile: empty") (fun () ->
+      ignore (Report.percentile [| Float.nan; Float.nan |] 50.0))
+
+let test_quartiles_edges () =
+  let q1, med, q3 = Report.quartiles [| 5.0 |] in
+  Alcotest.(check (float 1e-9)) "singleton q1" 5.0 q1;
+  Alcotest.(check (float 1e-9)) "singleton median" 5.0 med;
+  Alcotest.(check (float 1e-9)) "singleton q3" 5.0 q3;
+  let q1, med, q3 = Report.quartiles [| Float.nan; 1.0; 3.0; Float.nan |] in
+  Alcotest.(check (float 1e-9)) "NaN-filtered q1" 1.5 q1;
+  Alcotest.(check (float 1e-9)) "NaN-filtered median" 2.0 med;
+  Alcotest.(check (float 1e-9)) "NaN-filtered q3" 2.5 q3
+
+let test_csv_field () =
+  Alcotest.(check string) "plain passes through" "abc" (Report.csv_field "abc");
+  Alcotest.(check string) "empty passes through" "" (Report.csv_field "");
+  Alcotest.(check string) "comma quoted" "\"a,b\"" (Report.csv_field "a,b");
+  Alcotest.(check string) "quote doubled" "\"a\"\"b\"" (Report.csv_field "a\"b");
+  Alcotest.(check string) "newline quoted" "\"a\nb\"" (Report.csv_field "a\nb");
+  Alcotest.(check string) "all at once" "\"a,\"\"b\"\"\r\nc\"" (Report.csv_field "a,\"b\"\r\nc")
+
 let test_pct_format () =
   Alcotest.(check string) "positive" "+51.8%" (Report.pct 1.518);
   Alcotest.(check string) "negative" "-10.0%" (Report.pct 0.9)
@@ -95,6 +124,9 @@ let suite =
     Alcotest.test_case "quartiles" `Quick test_quartiles;
     Alcotest.test_case "percentile edges" `Quick test_percentile_edges;
     Alcotest.test_case "percentile sorts" `Quick test_percentile_unsorted_input;
+    Alcotest.test_case "percentile NaN handling" `Quick test_percentile_nan;
+    Alcotest.test_case "quartiles edges" `Quick test_quartiles_edges;
+    Alcotest.test_case "csv_field escaping" `Quick test_csv_field;
     Alcotest.test_case "pct formatting" `Quick test_pct_format;
     Alcotest.test_case "table row mismatch" `Quick test_table_mismatch;
     Alcotest.test_case "baselines: CDP vs host" `Slow test_cdp_beats_host_baseline;

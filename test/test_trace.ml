@@ -333,6 +333,42 @@ let test_csv_export () =
       rows
   | [] -> Alcotest.fail "empty csv")
 
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_csv_name_of_escaping () =
+  (* Kernel names go through Report.csv_field, so a hostile name cannot
+     corrupt the row structure (RFC 4180: wrap in quotes, double inner
+     quotes). *)
+  let rng = Rng.create 5 in
+  let app = gen_app rng 4 in
+  let _, trace = traced_run Mode.Baseline app in
+  let csv = Trace.to_csv ~name_of:(fun seq -> Printf.sprintf "k%d,with \"quotes\"" seq) trace in
+  let lines = String.split_on_char '\n' csv |> List.filter (fun l -> l <> "") in
+  (match lines with
+  | header :: rows ->
+    Alcotest.(check string) "name column after kernel" "ts,event,kernel,name,tb,stream,cmd,bytes"
+      header;
+    Alcotest.(check int) "one row per event" (Trace.length trace) (List.length rows)
+  | [] -> Alcotest.fail "empty csv");
+  Alcotest.(check bool) "hostile name quoted and doubled" true
+    (contains csv "\"k0,with \"\"quotes\"\"\"");
+  (* An RFC 4180 reader sees a constant field count despite embedded commas. *)
+  let fields_of line =
+    let n = ref 1 and in_q = ref false in
+    String.iter
+      (fun c ->
+        if c = '"' then in_q := not !in_q else if c = ',' && not !in_q then incr n)
+      line;
+    !n
+  in
+  List.iter
+    (fun line ->
+      Alcotest.(check int) (Printf.sprintf "row %S has 8 fields" line) 8 (fields_of line))
+    (List.tl (String.split_on_char '\n' csv |> List.filter (fun l -> l <> "")))
+
 (* --- the acceptance gate: every suite app x every mode --------------- *)
 
 let test_suite_apps_all_modes () =
@@ -357,6 +393,7 @@ let suite =
     Alcotest.test_case "mini JSON parser sanity" `Quick test_json_parser_itself;
     Alcotest.test_case "chrome trace_event export is valid JSON" `Quick test_chrome_export;
     Alcotest.test_case "csv export shape" `Quick test_csv_export;
+    Alcotest.test_case "csv name column escaping" `Quick test_csv_name_of_escaping;
     Alcotest.test_case "every suite app x Fig. 9 mode passes check" `Slow
       test_suite_apps_all_modes;
   ]
