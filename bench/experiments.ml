@@ -25,9 +25,13 @@ type app_results = {
   ar_runs : (Mode.t * Stats.t) list;  (* baseline + fig9 modes *)
 }
 
+(* Each app's prepare + 7-mode simulation is one independent task on the
+   domain pool (the shared matrix behind table2/3 and fig9/10/11/13).
+   Results come back in suite order, so every printed table is identical
+   for any --jobs value. *)
 let results : app_results list Lazy.t =
   lazy
-    (List.map
+    (Parallel.map_list
        (fun (name, gen) ->
          let app = gen () in
          {
@@ -189,21 +193,28 @@ let fig12 () =
   in
   let degrees = [ 1; 2; 4; 8; 16; 32; 64; 128; 256 ] in
   let cfg = { Config.titan_x_pascal with Config.jitter_frac = 0.35 } in
-  List.iter
-    (fun tbs ->
-      let app = Microbench.vector_add ~tbs in
-      let base = Sim.run cfg Mode.Baseline (Prep.prepare ~reorder:false cfg app) in
-      let prep = Prep.prepare ~reorder:true cfg app in
-      let cells =
-        List.map
-          (fun degree ->
-            let rel = Microbench.n_group_relation ~tbs ~degree in
-            let bm = Sim.run cfg (Mode.Consumer_priority 2) (Prep.with_relation prep ~seq:1 rel) in
-            Report.f2 (Stats.speedup ~baseline:base bm))
-          degrees
-      in
-      Report.row t (string_of_int tbs :: cells))
-    [ 256; 512; 1024; 2048 ];
+  (* One task per grid row; each task prepares its own app so nothing is
+     shared across domains. *)
+  let rows =
+    Parallel.map_list
+      (fun tbs ->
+        let app = Microbench.vector_add ~tbs in
+        let base = Sim.run cfg Mode.Baseline (Prep.prepare ~reorder:false cfg app) in
+        let prep = Prep.prepare ~reorder:true cfg app in
+        let cells =
+          List.map
+            (fun degree ->
+              let rel = Microbench.n_group_relation ~tbs ~degree in
+              let bm =
+                Sim.run cfg (Mode.Consumer_priority 2) (Prep.with_relation prep ~seq:1 rel)
+              in
+              Report.f2 (Stats.speedup ~baseline:base bm))
+            degrees
+        in
+        string_of_int tbs :: cells)
+      [ 256; 512; 1024; 2048 ]
+  in
+  List.iter (Report.row t) rows;
   Report.print t;
   Printf.printf
     "paper: benefits deteriorate past degree 32 (collapse to fully-connected past the 64-parent counter), and shrink as the workload grows (gone by 2048 TBs)\n"
@@ -274,19 +285,27 @@ let fig14 () =
   in
   let cfg = { Config.titan_x_pascal with Config.jitter_frac = 0.35 } in
   let geos = Array.make 3 [] in
+  (* One task per wavefront app: four simulations (CDP, Wireframe, two
+     BlockMaestro modes) each. *)
+  let rows =
+    Parallel.map_list
+      (fun (name, gen) ->
+        let app = gen () in
+        let cdp = Cdp.simulate ~cfg app in
+        let sp s = Stats.speedup ~baseline:cdp s in
+        let wf = sp (Wireframe.simulate ~cfg app) in
+        let prod = sp (Runner.simulate ~cfg Mode.Producer_priority app) in
+        let cons = sp (Runner.simulate ~cfg (Mode.Consumer_priority 4) app) in
+        (name, wf, prod, cons))
+      Wavefront.apps
+  in
   List.iter
-    (fun (name, gen) ->
-      let app = gen () in
-      let cdp = Cdp.simulate ~cfg app in
-      let sp s = Stats.speedup ~baseline:cdp s in
-      let wf = sp (Wireframe.simulate ~cfg app) in
-      let prod = sp (Runner.simulate ~cfg Mode.Producer_priority app) in
-      let cons = sp (Runner.simulate ~cfg (Mode.Consumer_priority 4) app) in
+    (fun (name, wf, prod, cons) ->
       geos.(0) <- wf :: geos.(0);
       geos.(1) <- prod :: geos.(1);
       geos.(2) <- cons :: geos.(2);
       Report.row t [ name; "1.00"; Report.f2 wf; Report.f2 prod; Report.f2 cons ])
-    Wavefront.apps;
+    rows;
   Report.row t
     ("geomean" :: "1.00" :: Array.to_list (Array.map (fun l -> Report.f2 (Report.geomean l)) geos));
   Report.print t;

@@ -14,7 +14,14 @@
    (per-app x mode simulated cycles, speedups, DLB/PCB high-water marks,
    memory overhead, host-pipeline wall-clock spans), and --compare OLD.json
    [--threshold PCT] to re-measure and exit non-zero when simulated cycles
-   regressed beyond the threshold (default 5%). *)
+   regressed beyond the threshold (default 5%).
+
+   --jobs N (or BM_JOBS) sizes the domain pool every sweep fans out over:
+   the app x mode experiment matrix, the --json/--compare collection, the
+   --oracle differential pass and the --trace invariant pass.  Results are
+   collected in input order and every simulated quantity is deterministic,
+   so output is identical for any N; --jobs 1 is the plain sequential
+   path. *)
 
 open Blockmaestro
 open Bechamel
@@ -107,15 +114,18 @@ let run_oracle () =
       ]
   in
   let failures = ref 0 in
+  (* Every app runs both schedulers on its own domain; verdicts print in
+     input order after the pool drains. *)
+  let verdicts = Parallel.map_list (fun (name, gen) -> (name, Diff.check ~cfg (gen ()))) apps in
   List.iter
-    (fun (name, gen) ->
-      match Diff.check ~cfg (gen ()) with
+    (fun (name, verdict) ->
+      match verdict with
       | Ok () -> Printf.printf "  %-10s all modes agree cycle-exactly\n%!" name
       | Error mms ->
         incr failures;
         Printf.printf "  %-10s DIVERGED in %d mode(s)\n" name (List.length mms);
         List.iter (fun mm -> Format.printf "      %a@." Diff.pp_mismatch mm) mms)
-    apps;
+    verdicts;
   if !failures > 0 then begin
     Printf.eprintf "oracle check failed for %d app(s)\n" !failures;
     exit 1
@@ -129,24 +139,32 @@ let run_traced () =
   let cfg = Config.titan_x_pascal in
   let slots = Config.total_tb_slots cfg in
   let failures = ref 0 in
+  (* The (app, mode) grid is flattened so the pool load-balances across
+     both axes; each task records into its own trace (a single-domain
+     sink) and returns the check verdict for ordered printing. *)
+  let grid =
+    List.concat_map (fun (name, gen) -> List.map (fun mode -> (name, gen, mode)) Mode.all_fig9)
+      Suite.all
+  in
+  let checked =
+    Parallel.map_list
+      (fun (name, gen, mode) ->
+        let app = gen () in
+        let trace = Trace.create () in
+        ignore (Runner.simulate ~cfg ~trace:(Trace.sink trace) mode app);
+        (name, mode, Trace.length trace, Trace.check ~window:(Mode.window mode) ~slots trace))
+      grid
+  in
   List.iter
-    (fun (name, gen) ->
-      let app = gen () in
-      List.iter
-        (fun mode ->
-          let trace = Trace.create () in
-          ignore (Runner.simulate ~cfg ~trace:(Trace.sink trace) mode app);
-          match Trace.check ~window:(Mode.window mode) ~slots trace with
-          | Ok () ->
-            Printf.printf "  %-10s %-20s %6d events  OK\n" name (Mode.name mode)
-              (Trace.length trace)
-          | Error msgs ->
-            incr failures;
-            Printf.printf "  %-10s %-20s %6d events  FAILED (%d violations)\n" name
-              (Mode.name mode) (Trace.length trace) (List.length msgs);
-            List.iter (fun m -> Printf.printf "      %s\n" m) msgs)
-        Mode.all_fig9)
-    Suite.all;
+    (fun (name, mode, events, verdict) ->
+      match verdict with
+      | Ok () -> Printf.printf "  %-10s %-20s %6d events  OK\n" name (Mode.name mode) events
+      | Error msgs ->
+        incr failures;
+        Printf.printf "  %-10s %-20s %6d events  FAILED (%d violations)\n" name
+          (Mode.name mode) events (List.length msgs);
+        List.iter (fun m -> Printf.printf "      %s\n" m) msgs)
+    checked;
   if !failures > 0 then begin
     Printf.eprintf "trace check failed for %d (app, mode) pairs\n" !failures;
     exit 1
@@ -207,16 +225,23 @@ let () =
         Printf.eprintf "--threshold expects a non-negative percentage, got %s\n" pct;
         exit 2);
       parse rest
+    | "--jobs" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some j when j >= 1 -> Parallel.set_default_jobs j
+      | Some _ | None ->
+        Printf.eprintf "--jobs expects a positive integer, got %s\n" n;
+        exit 2);
+      parse rest
     | _ :: rest -> parse rest
   in
   parse (List.tl args);
   (match !json_out with
   | Some file ->
-    Benchjson.write file;
+    Benchrun.write file;
     exit 0
   | None -> ());
   (match !compare_file with
-  | Some old_file -> exit (Benchjson.compare_against ~threshold_pct:!threshold old_file)
+  | Some old_file -> exit (Benchrun.compare_against ~threshold_pct:!threshold old_file)
   | None -> ());
   if !oracle then begin
     print_endline "== differential oracle pass (every app x mode, both schedulers) ==";

@@ -5,10 +5,16 @@
      run APP [-m MODE]       simulate one application under one mode
      speedup APP             all Fig. 9 modes for one application
      analyze APP             per-kernel-pair dependency analysis
-     stats APP [-m MODE]     performance counters + pipeline spans
-     trace APP [-m MODE]     record, validate and export an event trace
+     stats APP [-m MODE]..   performance counters + pipeline spans
+     trace APP [-m MODE]..   record, validate and export an event trace
      fuzz [--seed N]         differential fuzz of scheduler + Algorithm 1
      ptx APP                 dump the PTX of the application's kernels
+
+   stats, trace and fuzz accept --jobs N (default: BM_JOBS, else available
+   cores capped at 8) to fan independent work — one task per requested
+   mode, or per generated fuzz app — over a pool of OCaml domains.
+   Results are collected in input order, so output is identical for any N
+   and --jobs 1 is the exact sequential path.
 
    Exit codes are distinct per failure kind so CI and scripts can tell
    them apart:
@@ -21,7 +27,7 @@
 open Blockmaestro
 open Cmdliner
 
-let version = "1.1.0"
+let version = "1.2.0"
 
 let exit_io_error = 2
 let exit_fuzz_counterexample = 3
@@ -55,6 +61,25 @@ let mode_conv =
 
 let app_arg =
   Arg.(required & pos 0 (some app_conv) None & info [] ~docv:"APP" ~doc:"Benchmark name (see list).")
+
+let jobs_arg =
+  let pos_int =
+    let parse s =
+      match int_of_string_opt s with
+      | Some n when n >= 1 -> Ok n
+      | Some _ | None -> Error (`Msg (Printf.sprintf "--jobs expects a positive integer, got %S" s))
+    in
+    Arg.conv (parse, Format.pp_print_int)
+  in
+  Arg.(
+    value
+    & opt (some pos_int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Domain-pool width for independent tasks (default: $(b,BM_JOBS), else available cores \
+           capped at 8).  Output is identical for any $(docv); 1 forces the sequential path.")
+
+let set_jobs = function Some j -> Parallel.set_default_jobs j | None -> ()
 
 let list_cmd =
   let doc = "List the available benchmark applications." in
@@ -158,10 +183,16 @@ let stats_cmd =
   let doc =
     "Simulate with the performance-counter registry and the host-pipeline span profiler \
      attached, then report counters, gauges (with high-water marks), exact histogram \
-     percentiles and per-stage wall-clock spans."
+     percentiles and per-stage wall-clock spans.  With repeated $(b,-m) options the modes \
+     run as parallel tasks (see $(b,--jobs)), each with its own registry and profiler; \
+     $(b,--merged) folds the per-mode registries and span trees into one aggregate."
   in
-  let mode =
-    Arg.(value & opt mode_conv Mode.Producer_priority & info [ "m"; "mode" ] ~docv:"MODE" ~doc:"Execution mode.")
+  let modes =
+    Arg.(
+      value
+      & opt_all mode_conv []
+      & info [ "m"; "mode" ] ~docv:"MODE"
+          ~doc:"Execution mode(s); repeat for a sweep (default: producer).")
   in
   let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit a JSON snapshot instead of tables.") in
   let csv = Arg.(value & flag & info [ "csv" ] ~doc:"Emit the metrics as CSV instead of tables.") in
@@ -176,6 +207,14 @@ let stats_cmd =
   let no_series =
     Arg.(value & flag & info [ "no-series" ] ~doc:"Omit gauge time series from the JSON snapshot.")
   in
+  let merged =
+    Arg.(
+      value & flag
+      & info [ "merged" ]
+          ~doc:
+            "Merge the per-mode metric registries (counters add, histograms pool) and span \
+             trees into a single aggregate report instead of one report per mode.")
+  in
   let write_out out data =
     match out with
     | None -> print_string data
@@ -189,42 +228,97 @@ let stats_cmd =
         Printf.eprintf "bmctl: cannot write: %s\n" msg;
         exit exit_io_error)
   in
-  let run (name, gen) mode json csv out folded no_series =
+  let run (name, gen) modes json csv out folded no_series merged jobs =
+    set_jobs jobs;
+    let modes = if modes = [] then [ Mode.Producer_priority ] else modes in
     let app = gen () in
     let cfg = Config.titan_x_pascal in
-    let metrics = Metrics.create () in
-    let prof = Prof.create () in
-    let prep = Prof.span prof "prepare" (fun () -> Runner.prepare ~cfg ~prof mode app) in
-    let stats = Prof.span prof "simulate" (fun () -> Sim.run ~metrics cfg mode prep) in
-    let sn = Metrics.snapshot metrics in
+    (* One task per mode; the app structure is immutable and shared, every
+       mutable sink (registry, profiler) is task-local. *)
+    let runs =
+      Parallel.map_list
+        (fun mode ->
+          let metrics = Metrics.create () in
+          let prof = Prof.create () in
+          let prep = Prof.span prof "prepare" (fun () -> Runner.prepare ~cfg ~prof mode app) in
+          let stats = Prof.span prof "simulate" (fun () -> Sim.run ~metrics cfg mode prep) in
+          (mode, metrics, prof, stats))
+        modes
+    in
+    let reports =
+      if merged then begin
+        (* Fold the per-task sinks in mode order: deterministic regardless
+           of which domain ran which mode. *)
+        let metrics = Metrics.create () and prof = Prof.create () in
+        List.iter
+          (fun (_, m, p, _) ->
+            Metrics.merge ~into:metrics m;
+            Prof.merge ~into:prof p)
+          runs;
+        let label = String.concat "+" (List.map (fun (m, _, _, _) -> Mode.name m) runs) in
+        [ (label, metrics, prof, None) ]
+      end
+      else
+        List.map
+          (fun (m, metrics, prof, stats) -> (Mode.name m, metrics, prof, Some (m, stats)))
+          runs
+    in
+    let json_of (label, metrics, prof, run) =
+      let sn = Metrics.snapshot metrics in
+      Json.Obj
+        (("app", Json.Str name) :: ("mode", Json.Str label)
+        :: (match run with
+           | Some (_, s) -> [ ("total_us", Json.Num s.Stats.total_us) ]
+           | None -> [])
+        @ [
+            ("metrics", Metrics.to_json ~series:(not no_series) sn);
+            ("spans", Prof.to_json prof);
+          ])
+    in
     if json then
       write_out out
         (Json.to_string ~pretty:true
-           (Json.Obj
-              [
-                ("app", Json.Str name);
-                ("mode", Json.Str (Mode.name mode));
-                ("total_us", Json.Num stats.Stats.total_us);
-                ("metrics", Metrics.to_json ~series:(not no_series) sn);
-                ("spans", Prof.to_json prof);
-              ]))
-    else if csv then write_out out (Metrics.to_csv sn)
-    else begin
-      print_stats name mode stats;
-      Report.print (Metrics.table ~title:(name ^ " metrics") sn);
-      Report.print (Prof.table ~title:(name ^ " host pipeline spans") prof)
-    end;
+           (match reports with [ r ] -> json_of r | rs -> Json.Arr (List.map json_of rs)))
+    else if csv then
+      write_out out
+        (String.concat "" (List.map (fun (_, m, _, _) -> Metrics.to_csv (Metrics.snapshot m)) reports))
+    else
+      List.iter
+        (fun (label, metrics, prof, run) ->
+          (match run with
+          | Some (m, s) -> print_stats name m s
+          | None -> Printf.printf "%s aggregated over %s:\n" name label);
+          Report.print (Metrics.table ~title:(name ^ " metrics (" ^ label ^ ")") (Metrics.snapshot metrics));
+          Report.print (Prof.table ~title:(name ^ " host pipeline spans (" ^ label ^ ")") prof))
+        reports;
     match folded with
-    | Some file -> write_out (Some file) (Prof.folded prof)
+    | Some file ->
+      let prof =
+        match reports with
+        | [ (_, _, p, _) ] -> p
+        | _ ->
+          let agg = Prof.create () in
+          List.iter (fun (_, _, p, _) -> Prof.merge ~into:agg p) reports;
+          agg
+      in
+      write_out (Some file) (Prof.folded prof)
     | None -> ()
   in
   Cmd.v (cmd_info "stats" ~doc)
-    Term.(const run $ app_arg $ mode $ json $ csv $ out $ folded $ no_series)
+    Term.(const run $ app_arg $ modes $ json $ csv $ out $ folded $ no_series $ merged $ jobs_arg)
 
 let trace_cmd =
-  let doc = "Record an event trace, validate it, and export it." in
-  let mode =
-    Arg.(value & opt mode_conv Mode.Producer_priority & info [ "m"; "mode" ] ~docv:"MODE" ~doc:"Execution mode.")
+  let doc =
+    "Record an event trace, validate it, and export it.  With repeated $(b,-m) options the \
+     modes replay as parallel tasks (see $(b,--jobs)), each recording into its own trace; \
+     with $(b,-o) the mode's short name is inserted before the file extension."
+  in
+  let modes =
+    Arg.(
+      value
+      & opt_all mode_conv []
+      & info [ "m"; "mode" ] ~docv:"MODE"
+          ~doc:"Execution mode(s); repeat for a sweep (default: producer).")
   in
   let out =
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
@@ -232,43 +326,76 @@ let trace_cmd =
   in
   let csv = Arg.(value & flag & info [ "csv" ] ~doc:"Export CSV instead of Chrome JSON.") in
   let no_check = Arg.(value & flag & info [ "no-check" ] ~doc:"Skip the invariant checker.") in
-  let run (name, gen) mode out csv no_check =
+  (* "trace.json" + consumer3 -> "trace.consumer3.json" for mode sweeps. *)
+  let mode_file file mode =
+    match String.rindex_opt file '.' with
+    | Some i when i > 0 ->
+      String.sub file 0 i ^ "." ^ fst mode ^ String.sub file i (String.length file - i)
+    | Some _ | None -> file ^ "." ^ fst mode
+  in
+  let short_name m =
+    match List.find_opt (fun (_, m') -> m' = m) Mode.known with
+    | Some (s, _) -> s
+    | None -> Mode.name m
+  in
+  let run (name, gen) modes out csv no_check jobs =
+    set_jobs jobs;
+    let modes = if modes = [] then [ Mode.Producer_priority ] else modes in
     let app = gen () in
     let cfg = Config.titan_x_pascal in
-    let prep = Runner.prepare ~cfg mode app in
-    let name_of seq = prep.Prep.p_launches.(seq).Prep.li_spec.Command.kernel.Ptx.kname in
-    let trace = Trace.create () in
-    let stats = Sim.run ~trace:(Trace.sink trace) cfg mode prep in
-    Printf.printf "%s under %s: %d events, %.2f us simulated\n" name (Mode.name mode)
-      (Trace.length trace) stats.Stats.total_us;
-    print_string (Trace.render stats trace);
-    (match out with
-    | Some file ->
-      let data =
-        if csv then Trace.to_csv ~name_of trace
-        else
-          Trace.to_chrome_json
-            ~meta:(("app", name) :: ("mode", Mode.name mode) :: Config.to_assoc cfg)
-            trace
-      in
-      (try
-         let oc = open_out file in
-         output_string oc data;
-         close_out oc;
-         Printf.printf "wrote %s (%d bytes)\n" file (String.length data)
-       with Sys_error msg ->
-         Printf.eprintf "bmctl: cannot write trace: %s\n" msg;
-         exit exit_io_error)
-    | None -> ());
-    if not no_check then
-      match Trace.check ~window:(Mode.window mode) ~slots:(Config.total_tb_slots cfg) trace with
-      | Ok () -> Printf.printf "trace check: OK\n"
-      | Error msgs ->
-        Printf.eprintf "trace check: %d violation(s)\n" (List.length msgs);
-        List.iter (Printf.eprintf "  %s\n") msgs;
-        exit exit_trace_violation
+    (* One replay task per mode; traces are single-domain sinks, one per
+       task.  Rendering, export and checking happen after the pool drains
+       so output stays in mode order. *)
+    let replays =
+      Parallel.map_list
+        (fun mode ->
+          let prep = Runner.prepare ~cfg mode app in
+          let trace = Trace.create () in
+          let stats = Sim.run ~trace:(Trace.sink trace) cfg mode prep in
+          (mode, prep, trace, stats))
+        modes
+    in
+    let many = List.length replays > 1 in
+    let violations = ref 0 in
+    List.iter
+      (fun (mode, prep, trace, stats) ->
+        let name_of seq = prep.Prep.p_launches.(seq).Prep.li_spec.Command.kernel.Ptx.kname in
+        Printf.printf "%s under %s: %d events, %.2f us simulated\n" name (Mode.name mode)
+          (Trace.length trace) stats.Stats.total_us;
+        print_string (Trace.render stats trace);
+        (match out with
+        | Some file ->
+          let file = if many then mode_file file (short_name mode, mode) else file in
+          let data =
+            if csv then Trace.to_csv ~name_of trace
+            else
+              Trace.to_chrome_json
+                ~meta:(("app", name) :: ("mode", Mode.name mode) :: Config.to_assoc cfg)
+                trace
+          in
+          (try
+             let oc = open_out file in
+             output_string oc data;
+             close_out oc;
+             Printf.printf "wrote %s (%d bytes)\n" file (String.length data)
+           with Sys_error msg ->
+             Printf.eprintf "bmctl: cannot write trace: %s\n" msg;
+             exit exit_io_error)
+        | None -> ());
+        if not no_check then
+          match
+            Trace.check ~window:(Mode.window mode) ~slots:(Config.total_tb_slots cfg) trace
+          with
+          | Ok () -> Printf.printf "trace check: OK\n"
+          | Error msgs ->
+            incr violations;
+            Printf.eprintf "trace check (%s): %d violation(s)\n" (Mode.name mode)
+              (List.length msgs);
+            List.iter (Printf.eprintf "  %s\n") msgs)
+      replays;
+    if !violations > 0 then exit exit_trace_violation
   in
-  Cmd.v (cmd_info "trace" ~doc) Term.(const run $ app_arg $ mode $ out $ csv $ no_check)
+  Cmd.v (cmd_info "trace" ~doc) Term.(const run $ app_arg $ modes $ out $ csv $ no_check $ jobs_arg)
 
 let fuzz_cmd =
   let doc =
@@ -301,7 +428,8 @@ let fuzz_cmd =
       & info [ "m"; "mode" ] ~docv:"MODE" ~doc:"Mode(s) to check (default: all known modes).")
   in
   let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress progress lines.") in
-  let run seed count shrink no_soundness window_bug modes quiet =
+  let run seed count shrink no_soundness window_bug modes quiet jobs =
+    set_jobs jobs;
     let modes = if modes = [] then List.map snd Mode.known else modes in
     let log = if quiet then fun _ -> () else fun s -> Printf.eprintf "%s\n%!" s in
     let report =
@@ -311,7 +439,7 @@ let fuzz_cmd =
     if not (Fuzz.ok report) then exit exit_fuzz_counterexample
   in
   Cmd.v (cmd_info "fuzz" ~doc)
-    Term.(const run $ seed $ count $ shrink $ no_soundness $ window_bug $ modes $ quiet)
+    Term.(const run $ seed $ count $ shrink $ no_soundness $ window_bug $ modes $ quiet $ jobs_arg)
 
 let ptx_cmd =
   let doc = "Print the PTX of the application's distinct kernels." in

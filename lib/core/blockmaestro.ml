@@ -24,6 +24,8 @@
       oracle and shrinking fuzzer
     - {!Metrics}, {!Prof}, {!Json}, {!Benchfile}: performance counters,
       span profiling and machine-readable bench trajectories
+    - {!Parallel}, {!Benchrun}: domain-pool fan-out for experiment sweeps
+      and the parallel bench-trajectory collector
     - {!Report}: result formatting *)
 
 module Rng = Bm_engine.Rng
@@ -84,3 +86,6 @@ module Metrics = Bm_metrics.Metrics
 module Prof = Bm_metrics.Prof
 module Json = Bm_metrics.Json
 module Benchfile = Bm_metrics.Benchfile
+
+module Parallel = Bm_parallel
+module Benchrun = Bm_harness.Benchrun

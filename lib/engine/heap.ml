@@ -6,6 +6,16 @@ type 'a t = {
   mutable next_seq : int;
 }
 
+(* Vacated and never-filled slots all point at this one shared record, so a
+   drained heap retains no event payloads (simulation payloads can be large
+   and a heap lives for a whole sweep).  The slot is only ever overwritten,
+   never read: every access in push/pop/peek is bounded by [len].  The
+   [Obj.magic] launders the dummy's type; its [value] field is [()] and is
+   never dereferenced at type ['a]. *)
+let dummy_entry : Obj.t entry = { key = nan; seq = -1; value = Obj.repr () }
+
+let dummy () : 'a entry = Obj.magic dummy_entry
+
 let create () = { data = [||]; len = 0; next_seq = 0 }
 
 let is_empty t = t.len = 0
@@ -14,11 +24,11 @@ let size t = t.len
 
 let lt a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
 
-let grow t e =
+let grow t =
   let cap = Array.length t.data in
   if t.len = cap then begin
     let ncap = if cap = 0 then 16 else cap * 2 in
-    let nd = Array.make ncap e in
+    let nd = Array.make ncap (dummy ()) in
     Array.blit t.data 0 nd 0 t.len;
     t.data <- nd
   end
@@ -26,7 +36,7 @@ let grow t e =
 let push t key value =
   let e = { key; seq = t.next_seq; value } in
   t.next_seq <- t.next_seq + 1;
-  grow t e;
+  grow t;
   t.data.(t.len) <- e;
   t.len <- t.len + 1;
   (* Sift up. *)
@@ -51,6 +61,7 @@ let pop t =
     t.len <- t.len - 1;
     if t.len > 0 then begin
       t.data.(0) <- t.data.(t.len);
+      t.data.(t.len) <- dummy ();
       (* Sift down. *)
       let i = ref 0 in
       let continue = ref true in
@@ -67,8 +78,16 @@ let pop t =
         end
         else continue := false
       done
-    end;
+    end
+    else t.data.(0) <- dummy ();
     Some (top.key, top.value)
   end
 
 let peek_key t = if t.len = 0 then None else Some t.data.(0).key
+
+let stale_slots t =
+  let stale = ref 0 in
+  for i = t.len to Array.length t.data - 1 do
+    if t.data.(i) != dummy () then incr stale
+  done;
+  !stale

@@ -20,3 +20,12 @@ val pop : 'a t -> (float * 'a) option
 
 val peek_key : 'a t -> float option
 (** The minimum key without removing it. *)
+
+(**/**)
+
+val stale_slots : _ t -> int
+(** Test-only: number of backing-store slots at or beyond the live length
+    that still hold a real (popped or stale) entry rather than the shared
+    dummy.  Always [0] — popping clears the vacated slot so event payloads
+    are not retained for the life of the heap. *)
+

@@ -161,16 +161,26 @@ let deltas ~old current =
       List.filter_map
         (fun m ->
           match old_of a.ar_app m.mr_mode with
-          | Some o when o.mr_cycles > 0.0 ->
+          | Some o ->
+            (* A zero-cycle old record (empty app, degenerate mode) must not
+               divide: nan/inf would fail the [d_pct > threshold] comparison
+               silently and escape [regressions].  Going from 0 to any
+               positive cycle count is a regression at every threshold;
+               0 -> 0 is a no-op. *)
+            let d_pct =
+              if o.mr_cycles > 0.0 then (m.mr_cycles -. o.mr_cycles) /. o.mr_cycles *. 100.0
+              else if m.mr_cycles > 0.0 then infinity
+              else 0.0
+            in
             Some
               {
                 d_app = a.ar_app;
                 d_mode = m.mr_mode;
                 d_old_cycles = o.mr_cycles;
                 d_new_cycles = m.mr_cycles;
-                d_pct = (m.mr_cycles -. o.mr_cycles) /. o.mr_cycles *. 100.0;
+                d_pct;
               }
-          | Some _ | None -> None)
+          | None -> None)
         a.ar_modes)
     current.bf_apps
 

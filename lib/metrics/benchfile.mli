@@ -52,7 +52,11 @@ type delta = {
   d_mode : string;
   d_old_cycles : float;
   d_new_cycles : float;
-  d_pct : float;  (** [(new - old) / old * 100]; positive = slower *)
+  d_pct : float;
+      (** [(new - old) / old * 100]; positive = slower.  When the old record
+          is zero cycles (empty app, degenerate mode) the ratio is undefined:
+          [d_pct] is [infinity] if the new run has any cycles (a regression
+          at every threshold) and [0.] if both are zero. *)
 }
 
 val deltas : old:t -> t -> delta list

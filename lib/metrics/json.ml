@@ -169,14 +169,39 @@ let of_string s =
     in
     loop ()
   in
+  (* Strict RFC 8259 number grammar:
+       number = [ "-" ] int [ frac ] [ exp ]
+       int    = "0" / digit1-9 *digit
+       frac   = "." 1*digit
+       exp    = ("e" / "E") [ "-" / "+" ] 1*digit
+     [float_of_string] alone would also accept OCaml-only literals — [nan],
+     [infinity], [1_000], hex floats like [0x1p3], a leading [+] — which
+     must not round-trip from BENCH files written by other tools. *)
   let parse_number () =
     let start = !pos in
-    let num_char c =
-      match c with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
+    let digit c = c >= '0' && c <= '9' in
+    let at_digit () = !pos < n && digit s.[!pos] in
+    let digits1 what =
+      if not (at_digit ()) then parse_error !pos "expected digit in %s" what;
+      while at_digit () do
+        advance ()
+      done
     in
-    while !pos < n && num_char s.[!pos] do
-      advance ()
-    done;
+    if peek () = Some '-' then advance ();
+    (match peek () with
+    | Some '0' -> advance () (* a leading zero must stand alone: no 0123 *)
+    | Some c when digit c -> digits1 "number"
+    | Some _ | None -> parse_error !pos "expected digit in number");
+    if peek () = Some '.' then begin
+      advance ();
+      digits1 "fraction"
+    end;
+    (match peek () with
+    | Some ('e' | 'E') ->
+      advance ();
+      (match peek () with Some ('+' | '-') -> advance () | Some _ | None -> ());
+      digits1 "exponent"
+    | Some _ | None -> ());
     let tok = String.sub s start (!pos - start) in
     match float_of_string_opt tok with
     | Some x -> Num x

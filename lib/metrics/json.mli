@@ -21,7 +21,10 @@ val to_string : ?pretty:bool -> t -> string
 
 val of_string : string -> (t, string) result
 (** Strict parse of a complete JSON document (trailing garbage is an
-    error).  [\u] escapes decode to UTF-8. *)
+    error).  [\u] escapes decode to UTF-8.  Numbers follow the RFC 8259
+    grammar exactly: OCaml-only literals ([nan], [infinity], [1_000],
+    [0x1p3], leading [+], bare [.5] / [5.]) are rejected, so BENCH files
+    produced by other tools cannot round-trip garbage. *)
 
 val escape : string -> string
 (** JSON string-body escaping (no surrounding quotes). *)

@@ -104,6 +104,33 @@ let high_water g = if g.g_ts.len = 0 then 0.0 else g.g_high
 
 let observe h x = buf_push h.h_samples x
 
+(* --- merging ----------------------------------------------------------- *)
+
+(* Registries are mutable and single-domain; parallel sweeps give every
+   task its own registry and fold them into one after the pool drains.
+   Same-name metrics must agree on kind; counters add, gauge series
+   concatenate in merge order (the caller merges tasks in input order, so
+   the result is deterministic), histograms pool their samples. *)
+let merge ~into src =
+  let order = List.rev src.rev_order in
+  List.iter
+    (fun m ->
+      match m with
+      | C c ->
+        let dst = counter into c.c_name in
+        add dst c.c_value
+      | G g ->
+        let dst = gauge into g.g_name in
+        for i = 0 to g.g_ts.len - 1 do
+          set dst ~at:g.g_ts.data.(i) g.g_vs.data.(i)
+        done
+      | H h ->
+        let dst = histogram into h.h_name in
+        for i = 0 to h.h_samples.len - 1 do
+          observe dst h.h_samples.data.(i)
+        done)
+    order
+
 (* --- lookup ------------------------------------------------------------ *)
 
 let find_counter t name =

@@ -50,6 +50,19 @@ val high_water : gauge -> float
 
 val observe : histogram -> float -> unit
 
+(** {1 Merging} *)
+
+val merge : into:t -> t -> unit
+(** Fold [src] into [into]: counters add, gauges replay their
+    (timestamp, value) series in sample order (so the destination's last
+    value, high-water mark and series extend deterministically), histograms
+    pool samples.  Metrics missing from [into] are registered.  Registries
+    are single-domain; parallel sweeps ({!Bm_parallel}) give each task its
+    own registry and merge after the pool drains, in task order, so the
+    merged registry is identical regardless of domain count.
+    @raise Invalid_argument when a name is registered with different kinds
+    in the two registries. *)
+
 (** {1 Lookup} *)
 
 val find_counter : t -> string -> counter option

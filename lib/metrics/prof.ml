@@ -59,6 +59,19 @@ let span t name f =
 let with_span prof name f =
   match prof with None -> f () | Some t -> span t name f
 
+(* Fold another profiler's completed span tree into this one: same-name
+   children under the same parent accumulate totals and call counts, new
+   paths are created.  Open frames on [src]'s stack are ignored, exactly
+   as [summaries] ignores them. *)
+let merge ~into src =
+  let rec fold dst_parent src_node =
+    let dst = child_of dst_parent src_node.n_name in
+    dst.n_total_s <- dst.n_total_s +. src_node.n_total_s;
+    dst.n_count <- dst.n_count + src_node.n_count;
+    List.iter (fold dst) (List.rev src_node.n_rev_children)
+  in
+  List.iter (fold into.root) (List.rev src.root.n_rev_children)
+
 (* --- readers ----------------------------------------------------------- *)
 
 type summary = {

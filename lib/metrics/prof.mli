@@ -27,6 +27,13 @@ val exit : t -> unit
 (** Explicit bracketing for spans that cannot wrap a closure.
     @raise Invalid_argument when no span is open. *)
 
+val merge : into:t -> t -> unit
+(** Fold [src]'s completed span tree into [into]: nodes with the same path
+    accumulate total time and call counts, new paths are added in [src]'s
+    registration order.  Open (unfinished) spans on [src] are ignored.
+    Profilers are single-domain; parallel sweeps give each task its own and
+    merge after the pool drains. *)
+
 type summary = {
   s_path : string list;  (** root-first, e.g. [\["prepare"; "relate"\]] *)
   s_total_s : float;     (** inclusive wall seconds over all entries *)

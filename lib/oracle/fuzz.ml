@@ -34,31 +34,41 @@ let kind_name = function
   | Relate_mismatch -> "relate divergence"
   | Crash msg -> "crash: " ^ msg
 
-(* Classify one spec; None = clean.  Used both for detection and as the
-   shrinking predicate (same kind must persist). *)
-let examine ~cfg ~modes ~soundness ~window_bug spec =
+(* Classify one spec.  [Clean] carries the soundness reports of the single
+   oracle pass so the caller can fold precision statistics without
+   re-running the analysis; it is empty when [soundness] is off. *)
+type outcome =
+  | Clean of Soundness.pair_report list
+  | Bad of kind * string
+
+let examine_outcome ~cfg ~modes ~soundness ~window_bug spec =
   let app = Genapp.build spec in
   match Diff.check ~cfg ~modes ?window_bug app with
-  | Error (mm :: _) ->
-    Some (Scheduler_mismatch, Format.asprintf "%a" Diff.pp_mismatch mm)
-  | Error [] -> None (* unreachable: Error implies at least one mismatch *)
+  | Error (mm :: _) -> Bad (Scheduler_mismatch, Format.asprintf "%a" Diff.pp_mismatch mm)
+  | Error [] -> Clean [] (* unreachable: Error implies at least one mismatch *)
   | exception exn ->
     let msg = Printexc.to_string exn in
-    Some (Crash msg, msg)
+    Bad (Crash msg, msg)
   | Ok () ->
-    if not soundness then None
+    if not soundness then Clean []
     else begin
       match Soundness.check_app ~cfg app with
       | exception exn ->
         let msg = Printexc.to_string exn in
-        Some (Crash msg, msg)
+        Bad (Crash msg, msg)
       | reports -> (
         match Soundness.violations reports with
-        | [] -> None
+        | [] -> Clean reports
         | v :: _ ->
           let kind = if Soundness.pair_sound v then Relate_mismatch else Unsound_analysis in
-          Some (kind, Format.asprintf "%a" Soundness.pp_report v))
+          Bad (kind, Format.asprintf "%a" Soundness.pp_report v))
     end
+
+(* None = clean; used as the shrinking predicate (same kind must persist). *)
+let examine ~cfg ~modes ~soundness ~window_bug spec =
+  match examine_outcome ~cfg ~modes ~soundness ~window_bug spec with
+  | Clean _ -> None
+  | Bad (kind, detail) -> Some (kind, detail)
 
 let same_kind a b =
   match (a, b) with
@@ -69,18 +79,26 @@ let same_kind a b =
   | _ -> false
 
 let run ?(cfg = Config.titan_x_pascal) ?(modes = List.map snd Mode.known) ?(shrink = true)
-    ?(soundness = true) ?window_bug ?(log = fun _ -> ()) ~seed ~count () =
+    ?(soundness = true) ?window_bug ?(log = fun _ -> ()) ?jobs ~seed ~count () =
+  (* Spec generation consumes the seeded RNG strictly in index order — the
+     one sequential phase — so the generated stream is identical to a fully
+     sequential run regardless of how many domains examine it. *)
   let rng = Rng.create seed in
-  let failures = ref [] in
+  let specs = Array.init count (fun idx -> Genapp.generate rng idx) in
+  let outcomes =
+    Bm_parallel.map_ordered ?domains:jobs
+      (examine_outcome ~cfg ~modes ~soundness ~window_bug)
+      specs
+  in
   let pairs = ref 0 in
   (* pattern -> (count, ratio sum, finite-ratio count) *)
   let precision : (Pattern.t, int ref * float ref * int ref) Hashtbl.t = Hashtbl.create 8 in
-  for idx = 0 to count - 1 do
-    let spec = Genapp.generate rng idx in
-    (match examine ~cfg ~modes ~soundness ~window_bug spec with
-    | None ->
-      (* Clean: accumulate the precision statistics for the summary. *)
-      if soundness then
+  let bad = ref [] in
+  Array.iteri
+    (fun idx outcome ->
+      (match outcome with
+      | Clean reports ->
+        (* Clean: accumulate the precision statistics for the summary. *)
         List.iter
           (fun r ->
             incr pairs;
@@ -98,30 +116,37 @@ let run ?(cfg = Config.titan_x_pascal) ?(modes = List.map snd Mode.known) ?(shri
               sum := !sum +. rat;
               incr fin
             end)
-          (Soundness.check_app ~cfg (Genapp.build spec))
-    | Some (kind, detail) ->
-      log
-        (Printf.sprintf "app %d (%s): %s" idx (Genapp.to_string spec) (kind_name kind));
-      let shrunk, steps =
-        if not shrink then (None, 0)
-        else begin
-          let still_fails s =
-            match examine ~cfg ~modes ~soundness ~window_bug s with
-            | Some (k, _) -> same_kind k kind
-            | None -> false
-          in
-          let s, steps = Shrink.minimize still_fails spec in
-          (Some s, steps)
-        end
-      in
-      failures :=
-        { f_index = idx; f_kind = kind; f_detail = detail; f_spec = spec;
-          f_shrunk = shrunk; f_shrink_steps = steps }
-        :: !failures);
-    if (idx + 1) mod 50 = 0 then
-      log (Printf.sprintf "%d/%d apps checked, %d failure(s)" (idx + 1) count
-             (List.length !failures))
-  done;
+          reports
+      | Bad (kind, detail) ->
+        log
+          (Printf.sprintf "app %d (%s): %s" idx (Genapp.to_string specs.(idx)) (kind_name kind));
+        bad := (idx, kind, detail) :: !bad);
+      if (idx + 1) mod 50 = 0 then
+        log (Printf.sprintf "%d/%d apps checked, %d failure(s)" (idx + 1) count
+               (List.length !bad)))
+    outcomes;
+  (* Each failure shrinks independently (same per-task determinism: the
+     shrinker re-examines candidate specs, never the RNG), so failures
+     minimize in parallel too. *)
+  let failures =
+    Bm_parallel.map_list ?domains:jobs
+      (fun (idx, kind, detail) ->
+        let shrunk, steps =
+          if not shrink then (None, 0)
+          else begin
+            let still_fails s =
+              match examine ~cfg ~modes ~soundness ~window_bug s with
+              | Some (k, _) -> same_kind k kind
+              | None -> false
+            in
+            let s, steps = Shrink.minimize still_fails specs.(idx) in
+            (Some s, steps)
+          end
+        in
+        { f_index = idx; f_kind = kind; f_detail = detail; f_spec = specs.(idx);
+          f_shrunk = shrunk; f_shrink_steps = steps })
+      (List.rev !bad)
+  in
   let precision_list =
     Hashtbl.fold
       (fun p (cnt, sum, fin) acc ->
@@ -135,7 +160,7 @@ let run ?(cfg = Config.titan_x_pascal) ?(modes = List.map snd Mode.known) ?(shri
     r_modes = modes;
     r_pairs_checked = !pairs;
     r_precision = precision_list;
-    r_failures = List.rev !failures;
+    r_failures = failures;
   }
 
 let ok r = r.r_failures = []

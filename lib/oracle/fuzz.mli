@@ -48,6 +48,7 @@ val run :
   ?soundness:bool ->
   ?window_bug:int ->
   ?log:(string -> unit) ->
+  ?jobs:int ->
   seed:int ->
   count:int ->
   unit ->
@@ -56,7 +57,14 @@ val run :
     runs the Algorithm 1 oracle; [window_bug] injects a pre-launch-window
     mutation into the reference scheduler (see {!Diff.check}) so the
     harness can prove it catches scheduler bugs.  [log] receives progress
-    lines (default: drop them). *)
+    lines (default: drop them).
+
+    [jobs] (default {!Bm_parallel.default_jobs}) examines and shrinks the
+    generated apps on a domain pool.  Spec generation always consumes the
+    seeded RNG sequentially in index order, so the report — failure
+    indices, kinds, shrunk reproducers, precision statistics — is
+    identical for every domain count; with [jobs = 1] the run is exactly
+    the historical sequential path. *)
 
 val ok : report -> bool
 

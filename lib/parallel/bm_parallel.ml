@@ -1,0 +1,67 @@
+(* Fixed-size domain pool with deterministic, ordered result collection.
+
+   Work distribution is a single atomic task counter: each worker claims
+   the next index with fetch_and_add and writes its result into a
+   per-index slot.  Slots are disjoint and Domain.join publishes every
+   write before the caller reads them, so no further synchronization is
+   needed.  Exceptions are captured per task (with their backtraces) and
+   surfaced only after the pool drains, lowest task index first — the same
+   exception a sequential Array.map would have raised first. *)
+
+let max_default = 8
+
+let overridden = ref None
+
+let env_default () =
+  match Sys.getenv_opt "BM_JOBS" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> Some n
+    | Some _ | None -> None)
+  | None -> None
+
+let default_jobs () =
+  match !overridden with
+  | Some n -> n
+  | None -> (
+    match env_default () with
+    | Some n -> n
+    | None -> max 1 (min (Domain.recommended_domain_count ()) max_default))
+
+let set_default_jobs n =
+  if n < 1 then invalid_arg "Bm_parallel.set_default_jobs: need at least one domain";
+  overridden := Some n
+
+type 'b slot = Pending | Done of 'b | Failed of exn * Printexc.raw_backtrace
+
+let map_ordered ?domains f xs =
+  let n = Array.length xs in
+  let jobs = max 1 (min (match domains with Some d -> d | None -> default_jobs ()) n) in
+  if jobs = 1 then Array.map f xs
+  else begin
+    let results = Array.make n Pending in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (results.(i) <-
+            (match f xs.(i) with
+            | v -> Done v
+            | exception e -> Failed (e, Printexc.get_raw_backtrace ())));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    (* The caller's domain is worker number [jobs]; spawn the rest. *)
+    let spawned = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join spawned;
+    Array.iter
+      (function Failed (e, bt) -> Printexc.raise_with_backtrace e bt | Pending | Done _ -> ())
+      results;
+    Array.map (function Done v -> v | Pending | Failed _ -> assert false) results
+  end
+
+let map_list ?domains f xs = Array.to_list (map_ordered ?domains f (Array.of_list xs))

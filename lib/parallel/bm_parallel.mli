@@ -1,0 +1,51 @@
+(** Fixed-size domain pool for the experiment harness.
+
+    Every sweep in the repo — the bench app x mode matrix, the oracle
+    fuzzer's per-app differential runs, [bmctl] mode sweeps — is a bag of
+    independent deterministic tasks.  This module fans such a bag out over
+    OCaml 5 domains while keeping the results (and therefore every
+    simulated-cycle number) identical to a sequential run:
+
+    - {!map_ordered} assigns tasks to a fixed pool of worker domains and
+      collects results {e in input order}, so callers observe the same
+      array a plain [Array.map] would produce;
+    - a task that raises does not kill its sibling domains: the pool
+      drains, then the exception of the {e lowest-indexed} failed task is
+      re-raised with its original backtrace — again matching [Array.map],
+      which would have raised that same task's exception first;
+    - [~domains:1] (or a one-element input) short-circuits to [Array.map]
+      itself, byte-identical to the pre-parallel harness.
+
+    The simulator's mutable sinks ([Metrics], [Prof], [Trace]) are
+    single-domain by design; tasks must create their own and merge after
+    the pool drains ({!Bm_metrics.Metrics.merge}, {!Bm_metrics.Prof.merge}).
+
+    The default pool width is [BM_JOBS] when set, otherwise the machine's
+    recommended domain count capped at 8 (diminishing returns beyond that
+    for simulation sweeps, and it keeps CI machines polite).  CLI front
+    ends override it with [--jobs N] via {!set_default_jobs}. *)
+
+val max_default : int
+(** Cap on the {e inferred} default pool width ([8]); explicit [--jobs] /
+    [~domains] values are not clamped. *)
+
+val default_jobs : unit -> int
+(** Current default pool width: the last {!set_default_jobs} value if any,
+    else [BM_JOBS] if set to a positive integer, else
+    [min (Domain.recommended_domain_count ()) 8].  Always >= 1. *)
+
+val set_default_jobs : int -> unit
+(** Override the default pool width for subsequent calls ([--jobs N]).
+    @raise Invalid_argument if [n < 1]. *)
+
+val map_ordered : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map_ordered f xs] is observationally [Array.map f xs], computed by
+    [domains] (default {!default_jobs}) domains pulling tasks from a shared
+    queue.  Results are returned in input order.  If any task raises, the
+    pool still runs every remaining task to completion, then re-raises the
+    exception of the lowest-indexed failed task.  [f] must not assume it
+    runs on the caller's domain (no shared mutable state without its own
+    synchronization). *)
+
+val map_list : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+(** {!map_ordered} over lists (order preserved). *)

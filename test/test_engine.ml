@@ -27,6 +27,33 @@ let test_heap_peek () =
   Alcotest.(check (option (float 0.0))) "peek min" (Some 2.0) (Heap.peek_key h);
   Alcotest.(check int) "size" 2 (Heap.size h)
 
+(* pop must not strand popped entries in the backing array: a vacated slot
+   keeping its record alive pins the payload (simulation events hold
+   closures over large state) for the heap's whole lifetime.  stale_slots
+   counts slots in [size, capacity) still holding a real entry. *)
+let test_heap_no_stale_entries () =
+  let h = Heap.create () in
+  for i = 1 to 100 do
+    Heap.push h (float_of_int (i * 7 mod 31)) i
+  done;
+  (* Partial drain: the vacated tail must already be cleared. *)
+  for _ = 1 to 60 do
+    ignore (Heap.pop h)
+  done;
+  Alcotest.(check int) "no stale slots after partial drain" 0 (Heap.stale_slots h);
+  while not (Heap.is_empty h) do
+    ignore (Heap.pop h)
+  done;
+  Alcotest.(check int) "no stale slots when empty" 0 (Heap.stale_slots h);
+  (* Reuse after a drain, including the grow path, stays clean. *)
+  for i = 1 to 300 do
+    Heap.push h (Rng.jitter i 0) i
+  done;
+  for _ = 1 to 123 do
+    ignore (Heap.pop h)
+  done;
+  Alcotest.(check int) "no stale slots after regrow + drain" 0 (Heap.stale_slots h)
+
 let test_rng_deterministic () =
   let a = Rng.create 42 and b = Rng.create 42 in
   for _ = 1 to 100 do
@@ -78,6 +105,7 @@ let suite =
     Alcotest.test_case "heap: ordering" `Quick test_heap_order;
     Alcotest.test_case "heap: fifo on ties" `Quick test_heap_fifo_ties;
     Alcotest.test_case "heap: peek and size" `Quick test_heap_peek;
+    Alcotest.test_case "heap: pop clears vacated slots" `Quick test_heap_no_stale_entries;
     Alcotest.test_case "rng: determinism" `Quick test_rng_deterministic;
     Alcotest.test_case "rng: seed sensitivity" `Quick test_rng_seed_sensitivity;
     Alcotest.test_case "rng: jitter stable" `Quick test_jitter_stable;

@@ -14,5 +14,6 @@ let () =
       ("metrics", Test_metrics.suite);
       ("trace", Test_trace.suite);
       ("oracle", Test_oracle.suite);
+      ("parallel", Test_parallel.suite);
       ("integration", Test_integration.suite);
     ]

@@ -111,6 +111,66 @@ let test_metrics_csv_escapes () =
      in
      find 0)
 
+(* --- merging (the parallel harness's reduction step) ------------------- *)
+
+let test_metrics_merge () =
+  let a = Metrics.create () and b = Metrics.create () in
+  Metrics.add (Metrics.counter a "n") 2.0;
+  Metrics.add (Metrics.counter b "n") 3.0;
+  Metrics.add (Metrics.counter b "only_b") 7.0;
+  Metrics.set (Metrics.gauge a "g") ~at:1.0 5.0;
+  Metrics.set (Metrics.gauge b "g") ~at:2.0 9.0;
+  Metrics.set (Metrics.gauge b "g") ~at:3.0 1.0;
+  List.iter (Metrics.observe (Metrics.histogram a "h")) [ 1.0; 2.0 ];
+  List.iter (Metrics.observe (Metrics.histogram b "h")) [ 3.0; 4.0 ];
+  Metrics.merge ~into:a b;
+  Alcotest.(check (float 1e-9)) "counters sum" 5.0
+    (Metrics.counter_value (Metrics.counter a "n"));
+  Alcotest.(check (float 1e-9)) "absent counters copied" 7.0
+    (Metrics.counter_value (Metrics.counter a "only_b"));
+  let g = Metrics.gauge a "g" in
+  Alcotest.(check (float 1e-9)) "gauge high water is the max" 9.0 (Metrics.high_water g);
+  Alcotest.(check (float 1e-9)) "gauge last value from merged samples" 1.0
+    (Metrics.gauge_value g);
+  let hs =
+    (Metrics.snapshot a).Metrics.sn_histograms
+    |> Array.to_list
+    |> List.find (fun h -> h.Metrics.hs_name = "h")
+  in
+  Alcotest.(check int) "histogram samples pooled" 4 hs.Metrics.hs_count;
+  Alcotest.(check (float 1e-9)) "pooled mean" 2.5 hs.Metrics.hs_mean;
+  (* The source registry is read-only during merge. *)
+  Alcotest.(check (float 1e-9)) "source untouched" 3.0
+    (Metrics.counter_value (Metrics.counter b "n"));
+  (* Kind clashes surface instead of silently coercing. *)
+  let c = Metrics.create () in
+  ignore (Metrics.gauge c "n");
+  Alcotest.(check bool) "kind clash raises" true
+    (match Metrics.merge ~into:a c with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
+let test_prof_merge () =
+  let now = ref 0.0 in
+  let mk () = Prof.create ~clock:(fun () -> !now) () in
+  let a = mk () and b = mk () in
+  Prof.span a "prepare" (fun () ->
+      now := !now +. 2.0;
+      Prof.span a "analyze" (fun () -> now := !now +. 1.0));
+  Prof.span b "prepare" (fun () -> now := !now +. 4.0);
+  Prof.span b "simulate" (fun () -> now := !now +. 8.0);
+  Prof.merge ~into:a b;
+  let by_path path =
+    match List.find_opt (fun s -> s.Prof.s_path = path) (Prof.summaries a) with
+    | Some s -> s
+    | None -> Alcotest.failf "missing span %s" (String.concat ";" path)
+  in
+  Alcotest.(check (float 1e-9)) "shared path totals add" 7.0 (by_path [ "prepare" ]).Prof.s_total_s;
+  Alcotest.(check int) "shared path counts add" 2 (by_path [ "prepare" ]).Prof.s_count;
+  Alcotest.(check (float 1e-9)) "child kept" 1.0 (by_path [ "prepare"; "analyze" ]).Prof.s_total_s;
+  Alcotest.(check (float 1e-9)) "disjoint path grafted" 8.0 (by_path [ "simulate" ]).Prof.s_total_s;
+  Alcotest.(check (float 1e-9)) "grand total" 15.0 (Prof.total_s a)
+
 (* --- Json -------------------------------------------------------------- *)
 
 let test_json_roundtrip () =
@@ -137,6 +197,45 @@ let test_json_rejects_trailing_garbage () =
   match Json.of_string "{} x" with
   | Ok _ -> Alcotest.fail "accepted trailing garbage"
   | Error _ -> ()
+
+(* The number lexer speaks RFC 8259, not OCaml: float_of_string's extras
+   (nan, infinity, underscores, hex floats, leading +, bare dots) must be
+   parse errors, or a hand-edited BENCH file silently round-trips NaN. *)
+let test_json_number_grammar () =
+  let accept =
+    [
+      ("0", 0.0); ("-0", -0.0); ("123", 123.0); ("-9", -9.0); ("1.5", 1.5); ("0.5", 0.5);
+      ("10.25", 10.25); ("1e3", 1000.0); ("1E+3", 1000.0); ("2e-2", 0.02); ("-1.25e-4", -1.25e-4);
+      ("1.5E2", 150.0);
+    ]
+  in
+  List.iter
+    (fun (s, expect) ->
+      match Json.of_string s with
+      | Ok (Json.Num v) -> Alcotest.(check (float 1e-12)) ("accepts " ^ s) expect v
+      | Ok _ -> Alcotest.failf "%s parsed to a non-number" s
+      | Error e -> Alcotest.failf "rejected valid number %s: %s" s e)
+    accept;
+  let reject =
+    [
+      "nan"; "-nan"; "infinity"; "-infinity"; "inf"; "1_000"; "0x1p3"; "0x10"; "+1"; ".5"; "5.";
+      "1."; "01"; "-01"; "1e"; "1e+"; "1.e3"; "--1"; "- 1"; "0b1";
+    ]
+  in
+  List.iter
+    (fun s ->
+      match Json.of_string s with
+      | Ok v -> Alcotest.failf "accepted %s as %s" s (Json.to_string v)
+      | Error _ -> ())
+    reject;
+  (* The same strings embedded in structures fail too (regression guard for
+     the container fast paths). *)
+  List.iter
+    (fun s ->
+      match Json.of_string (Printf.sprintf "{\"x\": [%s]}" s) with
+      | Ok _ -> Alcotest.failf "accepted embedded %s" s
+      | Error _ -> ())
+    [ "nan"; "1_000"; "+1" ]
 
 (* --- Prof (injected clock: fully deterministic) ------------------------ *)
 
@@ -262,6 +361,30 @@ let test_benchfile_skips_missing_pairs () =
   in
   Alcotest.(check int) "no shared pairs" 0 (List.length (Benchfile.deltas ~old renamed))
 
+(* A zero-cycle old record (empty app, degenerate mode) used to vanish from
+   the comparison: new > 0 against old = 0 is the worst possible regression
+   and must gate, while 0 -> 0 must stay quiet at every threshold. *)
+let test_benchfile_zero_cycle_old () =
+  let old = sample_benchfile ~cycles:0.0 () in
+  (* Both modes of the sample share cycles via ~cycles; old is all-zero. *)
+  let grown = sample_benchfile ~cycles:1000.0 () in
+  let ds = Benchfile.deltas ~old grown in
+  Alcotest.(check int) "zero-cycle pairs still produce deltas" 2 (List.length ds);
+  List.iter
+    (fun (d : Benchfile.delta) ->
+      Alcotest.(check bool) ("0 -> >0 is +inf% in " ^ d.Benchfile.d_mode) true
+        (d.Benchfile.d_pct = infinity))
+    ds;
+  Alcotest.(check int) "0 -> >0 regresses at any threshold" 2
+    (List.length (Benchfile.regressions ~threshold_pct:1e9 ds));
+  let still_zero = Benchfile.deltas ~old (sample_benchfile ~cycles:0.0 ()) in
+  List.iter
+    (fun (d : Benchfile.delta) ->
+      Alcotest.(check (float 0.0)) "0 -> 0 is a 0% delta" 0.0 d.Benchfile.d_pct)
+    still_zero;
+  Alcotest.(check int) "0 -> 0 never regresses" 0
+    (List.length (Benchfile.regressions ~threshold_pct:0.0 still_zero))
+
 let test_benchfile_load_missing_file () =
   match Benchfile.load "/nonexistent/benchfile.json" with
   | Ok _ -> Alcotest.fail "loaded a nonexistent file"
@@ -349,7 +472,10 @@ let suite =
     Alcotest.test_case "registry: empty histogram" `Quick test_histogram_empty_is_nan;
     Alcotest.test_case "registry: csv escaping" `Quick test_metrics_csv_escapes;
     QCheck_alcotest.to_alcotest prop_histogram_percentiles_exact;
+    Alcotest.test_case "registry: merge" `Quick test_metrics_merge;
+    Alcotest.test_case "prof: merge" `Quick test_prof_merge;
     Alcotest.test_case "json: round-trip" `Quick test_json_roundtrip;
+    Alcotest.test_case "json: RFC 8259 number grammar" `Quick test_json_number_grammar;
     Alcotest.test_case "json: non-finite" `Quick test_json_nonfinite_is_null;
     Alcotest.test_case "json: trailing garbage" `Quick test_json_rejects_trailing_garbage;
     Alcotest.test_case "prof: nesting + aggregation" `Quick test_prof_nesting_and_aggregation;
@@ -359,6 +485,7 @@ let suite =
     Alcotest.test_case "benchfile: round-trip" `Quick test_benchfile_roundtrip;
     Alcotest.test_case "benchfile: schema version" `Quick test_benchfile_rejects_schema;
     Alcotest.test_case "benchfile: regression detection" `Quick test_benchfile_detects_regression;
+    Alcotest.test_case "benchfile: zero-cycle old record" `Quick test_benchfile_zero_cycle_old;
     Alcotest.test_case "benchfile: missing pairs" `Quick test_benchfile_skips_missing_pairs;
     Alcotest.test_case "benchfile: load errors" `Quick test_benchfile_load_missing_file;
     Alcotest.test_case "sim: metrics are cycle-exact" `Quick test_sim_metrics_cycle_exact;
