@@ -27,7 +27,7 @@
 open Blockmaestro
 open Cmdliner
 
-let version = "1.2.0"
+let version = "1.3.0"
 
 let exit_io_error = 2
 let exit_fuzz_counterexample = 3
@@ -62,15 +62,37 @@ let mode_conv =
 let app_arg =
   Arg.(required & pos 0 (some app_conv) None & info [] ~docv:"APP" ~doc:"Benchmark name (see list).")
 
-let jobs_arg =
-  let pos_int =
-    let parse s =
-      match int_of_string_opt s with
-      | Some n when n >= 1 -> Ok n
-      | Some _ | None -> Error (`Msg (Printf.sprintf "--jobs expects a positive integer, got %S" s))
-    in
-    Arg.conv (parse, Format.pp_print_int)
+(* stats also accepts the pseudo-app "suite": every Table II app prepared
+   against one cache, so the counters show cross-app cache effectiveness. *)
+let stats_target_conv =
+  let parse s =
+    if s = "suite" then Ok `Suite
+    else
+      match List.assoc_opt s Suite.all with
+      | Some gen -> Ok (`App (s, gen))
+      | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown application %S (try: suite, %s)" s
+               (String.concat ", " app_names)))
   in
+  let print ppf = function
+    | `Suite -> Format.pp_print_string ppf "suite"
+    | `App (name, _) -> Format.pp_print_string ppf name
+  in
+  Arg.conv (parse, print)
+
+let pos_int_conv flag =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> Ok n
+    | Some _ | None ->
+      Error (`Msg (Printf.sprintf "%s expects a positive integer, got %S" flag s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let jobs_arg =
+  let pos_int = pos_int_conv "--jobs" in
   Arg.(
     value
     & opt (some pos_int) None
@@ -185,7 +207,11 @@ let stats_cmd =
      attached, then report counters, gauges (with high-water marks), exact histogram \
      percentiles and per-stage wall-clock spans.  With repeated $(b,-m) options the modes \
      run as parallel tasks (see $(b,--jobs)), each with its own registry and profiler; \
-     $(b,--merged) folds the per-mode registries and span trees into one aggregate."
+     $(b,--merged) folds the per-mode registries and span trees into one aggregate.  Each \
+     task owns a launch-time analysis cache whose hit/miss/eviction counters land in the \
+     registry as $(b,prep.cache.*); $(b,--repeat) re-prepares against that cache and prints \
+     per-pass hit rates, and the pseudo-app $(b,suite) prepares every Table II benchmark \
+     (skipping simulation) so the counters cover the whole suite."
   in
   let modes =
     Arg.(
@@ -228,21 +254,47 @@ let stats_cmd =
         Printf.eprintf "bmctl: cannot write: %s\n" msg;
         exit exit_io_error)
   in
-  let run (name, gen) modes json csv out folded no_series merged jobs =
+  let run target modes json csv out folded no_series merged repeat jobs =
     set_jobs jobs;
     let modes = if modes = [] then [ Mode.Producer_priority ] else modes in
-    let app = gen () in
+    let name, apps =
+      match target with
+      | `App (name, gen) -> (name, [ gen () ])
+      | `Suite -> ("suite", List.map (fun (_, gen) -> gen ()) Suite.all)
+    in
     let cfg = Config.titan_x_pascal in
     (* One task per mode; the app structure is immutable and shared, every
-       mutable sink (registry, profiler) is task-local. *)
+       mutable sink (registry, profiler, analysis cache) is task-local. *)
     let runs =
       Parallel.map_list
         (fun mode ->
           let metrics = Metrics.create () in
           let prof = Prof.create () in
-          let prep = Prof.span prof "prepare" (fun () -> Runner.prepare ~cfg ~prof mode app) in
-          let stats = Prof.span prof "simulate" (fun () -> Sim.run ~metrics cfg mode prep) in
-          (mode, metrics, prof, stats))
+          let cache = Cache.create () in
+          (* --repeat re-prepares against the same cache; pass 2+ of an
+             unchanged app should hit on every lookup.  Per-pass rates fall
+             out of the counter deltas between passes. *)
+          let passes = ref [] in
+          let last = ref [] in
+          for pass = 1 to repeat do
+            last :=
+              List.map
+                (fun app ->
+                  Prof.span prof "prepare" (fun () -> Runner.prepare ~cfg ~prof ~cache mode app))
+                apps;
+            passes := (pass, Cache.counters cache) :: !passes
+          done;
+          Cache.export cache metrics;
+          let stats =
+            (* The suite pseudo-app only exercises preparation; a single app
+               simulates (off the last pass's prep — cached preparation is
+               cycle-identical, so the pass makes no difference). *)
+            match !last with
+            | [ prep ] ->
+              Some (Prof.span prof "simulate" (fun () -> Sim.run ~metrics cfg mode prep))
+            | _ -> None
+          in
+          (mode, metrics, prof, stats, List.rev !passes))
         modes
     in
     let reports =
@@ -251,16 +303,20 @@ let stats_cmd =
            of which domain ran which mode. *)
         let metrics = Metrics.create () and prof = Prof.create () in
         List.iter
-          (fun (_, m, p, _) ->
+          (fun (_, m, p, _, _) ->
             Metrics.merge ~into:metrics m;
             Prof.merge ~into:prof p)
           runs;
-        let label = String.concat "+" (List.map (fun (m, _, _, _) -> Mode.name m) runs) in
+        let label = String.concat "+" (List.map (fun (m, _, _, _, _) -> Mode.name m) runs) in
         [ (label, metrics, prof, None) ]
       end
       else
         List.map
-          (fun (m, metrics, prof, stats) -> (Mode.name m, metrics, prof, Some (m, stats)))
+          (fun (m, metrics, prof, stats, _) ->
+            ( Mode.name m,
+              metrics,
+              prof,
+              match stats with Some s -> Some (m, s) | None -> None ))
           runs
     in
     let json_of (label, metrics, prof, run) =
@@ -282,15 +338,54 @@ let stats_cmd =
     else if csv then
       write_out out
         (String.concat "" (List.map (fun (_, m, _, _) -> Metrics.to_csv (Metrics.snapshot m)) reports))
-    else
+    else begin
       List.iter
         (fun (label, metrics, prof, run) ->
           (match run with
           | Some (m, s) -> print_stats name m s
-          | None -> Printf.printf "%s aggregated over %s:\n" name label);
+          | None -> Printf.printf "%s under %s (prepare only):\n" name label);
           Report.print (Metrics.table ~title:(name ^ " metrics (" ^ label ^ ")") (Metrics.snapshot metrics));
           Report.print (Prof.table ~title:(name ^ " host pipeline spans (" ^ label ^ ")") prof))
         reports;
+      if repeat > 1 then
+        (* Hit rates per pass, from the counter deltas between passes: pass
+           1 is the cold fill, pass 2+ of an unchanged app should be ~100%
+           on every table. *)
+        let rate hits misses =
+          if hits + misses = 0 then "n/a"
+          else Printf.sprintf "%.1f%%" (100.0 *. float_of_int hits /. float_of_int (hits + misses))
+        in
+        List.iter
+          (fun (mode, _, _, _, passes) ->
+            let t =
+              Report.table
+                ~title:
+                  (Printf.sprintf "%s cache hit rates per pass (%s)" name (Mode.name mode))
+                ~columns:[ "pass"; "kernel"; "footprint"; "profile"; "pair" ]
+            in
+            let prev = ref None in
+            List.iter
+              (fun (pass, (c : Cache.counters)) ->
+                let d f = match !prev with None -> f c | Some p -> f c - f p in
+                Report.row t
+                  [
+                    string_of_int pass;
+                    rate
+                      (d (fun c -> c.Cache.kernel_hits))
+                      (d (fun c -> c.Cache.kernel_misses));
+                    rate
+                      (d (fun c -> c.Cache.footprint_hits))
+                      (d (fun c -> c.Cache.footprint_misses));
+                    rate
+                      (d (fun c -> c.Cache.profile_hits))
+                      (d (fun c -> c.Cache.profile_misses));
+                    rate (d (fun c -> c.Cache.pair_hits)) (d (fun c -> c.Cache.pair_misses));
+                  ];
+                prev := Some c)
+              passes;
+            Report.print t)
+          runs
+    end;
     match folded with
     | Some file ->
       let prof =
@@ -304,8 +399,25 @@ let stats_cmd =
       write_out (Some file) (Prof.folded prof)
     | None -> ()
   in
+  let target =
+    Arg.(
+      required
+      & pos 0 (some stats_target_conv) None
+      & info [] ~docv:"APP" ~doc:"Benchmark name (see list), or $(b,suite) for all of them.")
+  in
+  let repeat =
+    Arg.(
+      value
+      & opt (pos_int_conv "--repeat") 1
+      & info [ "repeat" ] ~docv:"N"
+          ~doc:
+            "Prepare the app(s) $(docv) times against one launch-time analysis cache and \
+             report per-pass cache hit rates.")
+  in
   Cmd.v (cmd_info "stats" ~doc)
-    Term.(const run $ app_arg $ modes $ json $ csv $ out $ folded $ no_series $ merged $ jobs_arg)
+    Term.(
+      const run $ target $ modes $ json $ csv $ out $ folded $ no_series $ merged $ repeat
+      $ jobs_arg)
 
 let trace_cmd =
   let doc =

@@ -1,0 +1,27 @@
+(** Structural kernel fingerprints for launch-time memoization.
+
+    Two kernels fingerprint equal iff they are alpha-equivalent: same
+    instruction sequence, same parameter declarations, same types/offsets/
+    guards — with virtual register and label names canonicalized by first
+    occurrence and the kernel name excluded entirely.  The symbolic
+    analysis ({!Symeval}) never depends on register spellings (its symbol
+    leaves are params/specials/counters), so alpha-twins are guaranteed to
+    produce identical analysis results up to the embedded kernel name.
+
+    The canonical form is the full serialized string, not a 64-bit digest:
+    a hash collision here would silently merge two different kernels'
+    analyses and break cycle-exactness, so equality is exact by
+    construction.  Hash-consing (sharing one key per structural class) is
+    layered on top by {!Bm_maestro.Cache}'s intern table. *)
+
+type t
+(** Canonical form of a kernel. Structural equality = alpha-equivalence. *)
+
+val of_kernel : Bm_ptx.Types.kernel -> t
+
+val equal : t -> t -> bool
+val hash : t -> int
+
+val to_string : t -> string
+(** The canonical serialization (registers renamed [%v0], [%v1], ... and
+    labels [L0], [L1], ... in first-occurrence order; no kernel name). *)

@@ -9,14 +9,14 @@
     ]}
 
     Layer map (bottom-up):
-    - {!Rng}, {!Heap}: deterministic simulation substrate
+    - {!Rng}, {!Heap}, {!Eheap}, {!Lru}: deterministic simulation substrate
     - {!Ptx}, {!Printer}, {!Parser}, {!Builder}, {!Cfg}: the PTX-like IR
-    - {!Sinterval}, {!Sym}, {!Slice}, {!Symeval}, {!Footprint}:
-      kernel-launch-time static analysis (Algorithm 1)
+    - {!Sinterval}, {!Sym}, {!Slice}, {!Symeval}, {!Footprint},
+      {!Fingerprint}: kernel-launch-time static analysis (Algorithm 1)
     - {!Bipartite}, {!Pattern}, {!Encode}: TB-level dependency graphs
     - {!Config}, {!Command}, {!Alloc}, {!Costmodel}, {!Stats}: GPU model
-    - {!Mode}, {!Reorder}, {!Prep}, {!Hardware}, {!Sim}, {!Runner}:
-      BlockMaestro proper
+    - {!Mode}, {!Reorder}, {!Cache}, {!Prep}, {!Hardware}, {!Sim},
+      {!Runner}: BlockMaestro proper
     - {!Templates}, {!Dsl}, {!Suite}, {!Microbench}, {!Wavefront},
       {!Genapp}: workloads
     - {!Cdp}, {!Wireframe}: comparison models
@@ -30,6 +30,8 @@
 
 module Rng = Bm_engine.Rng
 module Heap = Bm_engine.Heap
+module Eheap = Bm_engine.Eheap
+module Lru = Bm_engine.Lru
 
 module Ptx = Bm_ptx.Types
 module Printer = Bm_ptx.Printer
@@ -44,6 +46,7 @@ module Slice = Bm_analysis.Slice
 module Symeval = Bm_analysis.Symeval
 module Footprint = Bm_analysis.Footprint
 module Dynamic = Bm_analysis.Dynamic
+module Fingerprint = Bm_analysis.Fingerprint
 
 module Bipartite = Bm_depgraph.Bipartite
 module Pattern = Bm_depgraph.Pattern
@@ -57,6 +60,7 @@ module Stats = Bm_gpu.Stats
 
 module Mode = Bm_maestro.Mode
 module Reorder = Bm_maestro.Reorder
+module Cache = Bm_maestro.Cache
 module Prep = Bm_maestro.Prep
 module Hardware = Bm_maestro.Hardware
 module Sim = Bm_maestro.Sim

@@ -1,0 +1,104 @@
+(* Allocation-free binary min-heap over (float key, int seq) with an int
+   payload.  The three parallel arrays only grow; stale slots need no
+   clearing because ints and floats hold no pointers (the space-leak class
+   fixed in Heap for boxed entries cannot occur here). *)
+
+type t = {
+  mutable keys : float array;
+  mutable seqs : int array;
+  mutable evs : int array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let initial_capacity = 256
+
+let create () =
+  {
+    keys = Array.make initial_capacity 0.0;
+    seqs = Array.make initial_capacity 0;
+    evs = Array.make initial_capacity 0;
+    size = 0;
+    next_seq = 0;
+  }
+
+let is_empty t = t.size = 0
+let size t = t.size
+
+let grow t =
+  let cap = Array.length t.keys in
+  let cap' = 2 * cap in
+  let keys' = Array.make cap' 0.0 in
+  let seqs' = Array.make cap' 0 in
+  let evs' = Array.make cap' 0 in
+  Array.blit t.keys 0 keys' 0 t.size;
+  Array.blit t.seqs 0 seqs' 0 t.size;
+  Array.blit t.evs 0 evs' 0 t.size;
+  t.keys <- keys';
+  t.seqs <- seqs';
+  t.evs <- evs'
+
+(* (key, seq) at slot [i] orders before slot [j]? *)
+let before t i j =
+  let ki = Array.unsafe_get t.keys i and kj = Array.unsafe_get t.keys j in
+  ki < kj || (ki = kj && Array.unsafe_get t.seqs i < Array.unsafe_get t.seqs j)
+
+let swap t i j =
+  let k = t.keys.(i) in
+  t.keys.(i) <- t.keys.(j);
+  t.keys.(j) <- k;
+  let s = t.seqs.(i) in
+  t.seqs.(i) <- t.seqs.(j);
+  t.seqs.(j) <- s;
+  let e = t.evs.(i) in
+  t.evs.(i) <- t.evs.(j);
+  t.evs.(j) <- e
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before t i parent then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 in
+  if l < t.size then begin
+    let r = l + 1 in
+    let m = if r < t.size && before t r l then r else l in
+    if before t m i then begin
+      swap t i m;
+      sift_down t m
+    end
+  end
+
+let push t key ev =
+  if t.size = Array.length t.keys then grow t;
+  let i = t.size in
+  t.keys.(i) <- key;
+  t.seqs.(i) <- t.next_seq;
+  t.evs.(i) <- ev;
+  t.next_seq <- t.next_seq + 1;
+  t.size <- t.size + 1;
+  sift_up t i
+
+let min_key t =
+  if t.size = 0 then invalid_arg "Eheap.min_key: empty";
+  t.keys.(0)
+
+let pop_key = min_key
+
+let pop_ev t =
+  if t.size = 0 then invalid_arg "Eheap.pop_ev: empty";
+  let ev = t.evs.(0) in
+  let last = t.size - 1 in
+  t.size <- last;
+  if last > 0 then begin
+    t.keys.(0) <- t.keys.(last);
+    t.seqs.(0) <- t.seqs.(last);
+    t.evs.(0) <- t.evs.(last);
+    sift_down t 0
+  end;
+  ev

@@ -1,0 +1,71 @@
+(* Hashtbl + intrusive doubly-linked list.  Nodes move to the front on
+   access; eviction pops the tail.  O(1) find/add. *)
+
+type ('k, 'v) node = {
+  key : 'k;
+  mutable value : 'v;
+  mutable prev : ('k, 'v) node option;
+  mutable next : ('k, 'v) node option;
+}
+
+type ('k, 'v) t = {
+  tbl : ('k, ('k, 'v) node) Hashtbl.t;
+  cap : int;
+  mutable head : ('k, 'v) node option; (* most recently used *)
+  mutable tail : ('k, 'v) node option; (* least recently used *)
+  mutable evicted : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Lru.create: capacity must be >= 1";
+  { tbl = Hashtbl.create 64; cap = capacity; head = None; tail = None; evicted = 0 }
+
+let capacity t = t.cap
+let length t = Hashtbl.length t.tbl
+let evictions t = t.evicted
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.head;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let touch t n =
+  match t.head with
+  | Some h when h == n -> ()
+  | _ ->
+    unlink t n;
+    push_front t n
+
+let find t k =
+  match Hashtbl.find_opt t.tbl k with
+  | None -> None
+  | Some n ->
+    touch t n;
+    Some n.value
+
+let mem t k = Hashtbl.mem t.tbl k
+
+let evict_tail t =
+  match t.tail with
+  | None -> ()
+  | Some n ->
+    unlink t n;
+    Hashtbl.remove t.tbl n.key;
+    t.evicted <- t.evicted + 1
+
+let add t k v =
+  match Hashtbl.find_opt t.tbl k with
+  | Some n ->
+    n.value <- v;
+    touch t n
+  | None ->
+    if Hashtbl.length t.tbl >= t.cap then evict_tail t;
+    let n = { key = k; value = v; prev = None; next = None } in
+    Hashtbl.replace t.tbl k n;
+    push_front t n

@@ -1,0 +1,28 @@
+(** Bounded least-recently-used association table.
+
+    Backs the launch-time analysis memoization caches: lookups refresh
+    recency, inserts evict the coldest binding once [capacity] is reached.
+    Not thread-safe — per DESIGN §8 each worker domain owns its own cache
+    and never shares it across domains. *)
+
+type ('k, 'v) t
+
+val create : capacity:int -> ('k, 'v) t
+(** @raise Invalid_argument if [capacity < 1]. *)
+
+val capacity : ('k, 'v) t -> int
+val length : ('k, 'v) t -> int
+
+val find : ('k, 'v) t -> 'k -> 'v option
+(** Marks the binding most-recently-used on a hit. *)
+
+val mem : ('k, 'v) t -> 'k -> bool
+(** Does not refresh recency. *)
+
+val add : ('k, 'v) t -> 'k -> 'v -> unit
+(** Inserts or replaces; either way the binding becomes most-recently-used.
+    If a new key pushes the table past capacity, the least-recently-used
+    binding is evicted. *)
+
+val evictions : ('k, 'v) t -> int
+(** Bindings dropped by capacity pressure since [create]. *)

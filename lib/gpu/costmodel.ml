@@ -7,20 +7,43 @@ type t = {
   avg_tb_us : float;
 }
 
-let of_launch (cfg : Config.t) ~kernel_seq result (launch : Footprint.launch) =
+(* The launch-sequence-independent half of the model: per-TB dynamic
+   instruction and memory-instruction counts (range-analyzed loop trips
+   included) plus the block's warp geometry.  Everything here is a pure
+   function of (analysis result, launch configuration), so it is what the
+   launch-time cache memoizes; the jitter half below is keyed on the kernel
+   sequence number and is recomputed per launch. *)
+type profile = {
+  pr_insts : float array;  (* per-TB dynamic instructions *)
+  pr_mem : float array;    (* per-TB dynamic memory instructions *)
+  pr_warps : int;
+  pr_warp_waves : float;
+}
+
+let profile result (launch : Footprint.launch) =
   let n = Footprint.tb_count launch in
   let threads = Bm_ptx.Types.dim3_count launch.Footprint.block in
   let warps = max 1 ((threads + 31) / 32) in
   (* Four warp schedulers per SM: warps beyond four lanes serialize. *)
   let warp_waves = float_of_int (max 1 ((warps + 3) / 4)) in
+  let insts = Array.make n 0.0 in
+  let mem = Array.make n 0.0 in
+  for tb = 0 to n - 1 do
+    insts.(tb) <- Footprint.per_tb_insts result launch ~tb;
+    mem.(tb) <- Footprint.per_tb_mem_insts result launch ~tb
+  done;
+  { pr_insts = insts; pr_mem = mem; pr_warps = warps; pr_warp_waves = warp_waves }
+
+let of_profile (cfg : Config.t) ~kernel_seq p =
+  let n = Array.length p.pr_insts in
   let tb_us = Array.make n 0.0 in
   let tb_mem = Array.make n 0.0 in
   let sum = ref 0.0 in
   for tb = 0 to n - 1 do
-    let insts = Footprint.per_tb_insts result launch ~tb in
-    let mem = Footprint.per_tb_mem_insts result launch ~tb in
+    let insts = p.pr_insts.(tb) in
+    let mem = p.pr_mem.(tb) in
     let cycles = (insts *. cfg.Config.cpi) +. (mem *. cfg.Config.mem_extra_cycles) in
-    let base_us = Config.cycles_to_us cfg (cycles *. warp_waves) in
+    let base_us = Config.cycles_to_us cfg (cycles *. p.pr_warp_waves) in
     let j = Rng.jitter (cfg.Config.seed + kernel_seq) tb in
     (* Heavy-tailed straggler factor: most TBs are near nominal, a few run
        much longer (data-dependent work).  The tail weight scales with the
@@ -31,9 +54,11 @@ let of_launch (cfg : Config.t) ~kernel_seq result (launch : Footprint.launch) =
     in
     tb_us.(tb) <- jittered;
     (* One coalesced request per warp per executed memory instruction. *)
-    tb_mem.(tb) <- mem *. float_of_int warps;
+    tb_mem.(tb) <- mem *. float_of_int p.pr_warps;
     sum := !sum +. jittered
   done;
   { tb_us; tb_mem_requests = tb_mem; avg_tb_us = (if n = 0 then 0.0 else !sum /. float_of_int n) }
+
+let of_launch cfg ~kernel_seq result launch = of_profile cfg ~kernel_seq (profile result launch)
 
 let total_mem_requests t = Array.fold_left ( +. ) 0.0 t.tb_mem_requests

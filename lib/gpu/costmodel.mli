@@ -15,6 +15,20 @@ type t = {
   avg_tb_us : float;
 }
 
+type profile
+(** The launch-sequence-independent half of the model: per-TB dynamic
+    instruction/memory counts and warp geometry.  A pure function of
+    (analysis result, launch configuration) — this is what the launch-time
+    analysis cache memoizes. *)
+
+val profile : Bm_analysis.Symeval.result -> Bm_analysis.Footprint.launch -> profile
+
+val of_profile : Config.t -> kernel_seq:int -> profile -> t
+(** Apply the per-launch deterministic jitter (hashed from [kernel_seq] and
+    the TB id) to a profile.  [of_launch cfg ~kernel_seq r l] is exactly
+    [of_profile cfg ~kernel_seq (profile r l)] — splitting the two halves
+    never changes a single bit of the result. *)
+
 val of_launch :
   Config.t ->
   kernel_seq:int ->

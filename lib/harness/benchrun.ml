@@ -32,14 +32,19 @@ let cycles_of (cfg : Config.t) (s : Stats.t) =
 
 let collect_app cfg modes (name, gen) =
   let prof = Prof.create () in
+  (* Each app task owns its launch-time analysis cache, like its profiler
+     and registries: caches are single-domain sinks (DESIGN §8/§9).  The two
+     preparations of one app share it, so the reordered prep hits on every
+     kernel the plain prep analyzed. *)
+  let cache = Bm_maestro.Cache.create () in
   let app = Prof.span prof "build" gen in
   (* The two reordering variants share their preparation, like
      Runner.simulate_all; both charge the same "prepare" span. *)
   let prep_plain =
-    lazy (Prof.span prof "prepare" (fun () -> Prep.prepare ~reorder:false ~prof cfg app))
+    lazy (Prof.span prof "prepare" (fun () -> Prep.prepare ~reorder:false ~prof ~cache cfg app))
   in
   let prep_reordered =
-    lazy (Prof.span prof "prepare" (fun () -> Prep.prepare ~reorder:true ~prof cfg app))
+    lazy (Prof.span prof "prepare" (fun () -> Prep.prepare ~reorder:true ~prof ~cache cfg app))
   in
   let runs =
     List.map

@@ -1,0 +1,167 @@
+module Fingerprint = Bm_analysis.Fingerprint
+module Costmodel = Bm_gpu.Costmodel
+module Symeval = Bm_analysis.Symeval
+module Footprint = Bm_analysis.Footprint
+module Lru = Bm_engine.Lru
+module Metrics = Bm_metrics.Metrics
+
+type pair_result = {
+  pr_relation : Bm_depgraph.Bipartite.relation;
+  pr_pattern : Bm_depgraph.Pattern.t;
+  pr_sizes : Bm_depgraph.Encode.sizes;
+}
+
+type pair_key = {
+  pk_producer : int;
+  pk_pfl : Footprint.launch;
+  pk_consumer : int;
+  pk_cfl : Footprint.launch;
+  pk_degree : int;
+}
+
+type t = {
+  (* Hash-consing: canonical fingerprint -> interned id.  LRU-bounded like
+     everything else; ids are monotonic, so entries of an evicted id simply
+     age out of the downstream tables. *)
+  intern : (Fingerprint.t, int) Lru.t;
+  mutable next_id : int;
+  analysis : (int, Symeval.result) Lru.t;
+  footprints : (int * Footprint.launch, Footprint.kernel_footprints) Lru.t;
+  profiles : (int * Footprint.launch, Costmodel.profile) Lru.t;
+  pairs : (pair_key, pair_result) Lru.t;
+  mutable kernel_hits : int;
+  mutable kernel_misses : int;
+  mutable footprint_hits : int;
+  mutable footprint_misses : int;
+  mutable profile_hits : int;
+  mutable profile_misses : int;
+  mutable pair_hits : int;
+  mutable pair_misses : int;
+}
+
+let create ?(kernel_capacity = 256) ?(pair_capacity = 8192) () =
+  {
+    intern = Lru.create ~capacity:kernel_capacity;
+    next_id = 0;
+    analysis = Lru.create ~capacity:kernel_capacity;
+    footprints = Lru.create ~capacity:pair_capacity;
+    profiles = Lru.create ~capacity:pair_capacity;
+    pairs = Lru.create ~capacity:pair_capacity;
+    kernel_hits = 0;
+    kernel_misses = 0;
+    footprint_hits = 0;
+    footprint_misses = 0;
+    profile_hits = 0;
+    profile_misses = 0;
+    pair_hits = 0;
+    pair_misses = 0;
+  }
+
+let kernel_id t kernel =
+  let fp = Fingerprint.of_kernel kernel in
+  match Lru.find t.intern fp with
+  | Some id -> id
+  | None ->
+    let id = t.next_id in
+    t.next_id <- id + 1;
+    Lru.add t.intern fp id;
+    id
+
+let analysis t ~kid compute =
+  match Lru.find t.analysis kid with
+  | Some r ->
+    t.kernel_hits <- t.kernel_hits + 1;
+    r
+  | None ->
+    t.kernel_misses <- t.kernel_misses + 1;
+    let r = compute () in
+    Lru.add t.analysis kid r;
+    r
+
+let footprint t ~kid ~fl compute =
+  let key = (kid, fl) in
+  match Lru.find t.footprints key with
+  | Some fp ->
+    t.footprint_hits <- t.footprint_hits + 1;
+    fp
+  | None ->
+    t.footprint_misses <- t.footprint_misses + 1;
+    let fp = compute () in
+    Lru.add t.footprints key fp;
+    fp
+
+let profile t ~kid ~fl compute =
+  let key = (kid, fl) in
+  match Lru.find t.profiles key with
+  | Some p ->
+    t.profile_hits <- t.profile_hits + 1;
+    p
+  | None ->
+    t.profile_misses <- t.profile_misses + 1;
+    let p = compute () in
+    Lru.add t.profiles key p;
+    p
+
+let pair t ~pkid ~pfl ~ckid ~cfl ~max_degree compute =
+  let key =
+    { pk_producer = pkid; pk_pfl = pfl; pk_consumer = ckid; pk_cfl = cfl; pk_degree = max_degree }
+  in
+  match Lru.find t.pairs key with
+  | Some pr ->
+    t.pair_hits <- t.pair_hits + 1;
+    pr
+  | None ->
+    t.pair_misses <- t.pair_misses + 1;
+    let pr = compute () in
+    Lru.add t.pairs key pr;
+    pr
+
+type counters = {
+  kernel_hits : int;
+  kernel_misses : int;
+  kernel_evictions : int;
+  footprint_hits : int;
+  footprint_misses : int;
+  footprint_evictions : int;
+  profile_hits : int;
+  profile_misses : int;
+  profile_evictions : int;
+  pair_hits : int;
+  pair_misses : int;
+  pair_evictions : int;
+  interned : int;
+}
+
+let counters (c : t) =
+  {
+    kernel_hits = c.kernel_hits;
+    kernel_misses = c.kernel_misses;
+    kernel_evictions = Lru.evictions c.analysis;
+    footprint_hits = c.footprint_hits;
+    footprint_misses = c.footprint_misses;
+    footprint_evictions = Lru.evictions c.footprints;
+    profile_hits = c.profile_hits;
+    profile_misses = c.profile_misses;
+    profile_evictions = Lru.evictions c.profiles;
+    pair_hits = c.pair_hits;
+    pair_misses = c.pair_misses;
+    pair_evictions = Lru.evictions c.pairs;
+    interned = c.next_id;
+  }
+
+let export t registry =
+  let c = counters t in
+  let put name v = Metrics.add (Metrics.counter registry name) (float_of_int v) in
+  put "prep.cache.kernel.hits" c.kernel_hits;
+  put "prep.cache.kernel.misses" c.kernel_misses;
+  put "prep.cache.kernel.evictions" c.kernel_evictions;
+  put "prep.cache.footprint.hits" c.footprint_hits;
+  put "prep.cache.footprint.misses" c.footprint_misses;
+  put "prep.cache.footprint.evictions" c.footprint_evictions;
+  put "prep.cache.profile.hits" c.profile_hits;
+  put "prep.cache.profile.misses" c.profile_misses;
+  put "prep.cache.profile.evictions" c.profile_evictions;
+  put "prep.cache.pair.hits" c.pair_hits;
+  put "prep.cache.pair.misses" c.pair_misses;
+  put "prep.cache.pair.evictions" c.pair_evictions;
+  put "prep.cache.interned" c.interned

@@ -64,16 +64,41 @@ let command_rw cmd krw =
   | Command.Kernel_launch spec -> krw spec
   | Command.Device_synchronize -> { Reorder.reads = []; writes = [] }
 
-let prepare ?(reorder = true) ?prof (cfg : Config.t) (app : Command.app) =
-  (* Analyze every distinct kernel once (apps reuse kernels across many
-     launches; GAUSSIAN alone has 510 launches of 2 kernels). *)
+let prepare ?(reorder = true) ?prof ?cache (cfg : Config.t) (app : Command.app) =
+  (* Two memo layers.  L1 (per call, keyed by kernel name — unique within an
+     app): apps reuse kernels across many launches (GAUSSIAN alone has 510
+     launches of 2 kernels).  L2 ([?cache], keyed by structural fingerprint,
+     shared across calls on one domain): sweeps and re-runs skip the whole
+     pipeline for kernels they have seen before, under any name. *)
+  let kids : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let kid_of kernel =
+    match cache with
+    | None -> -1
+    | Some c -> (
+      let name = kernel.Bm_ptx.Types.kname in
+      match Hashtbl.find_opt kids name with
+      | Some kid -> kid
+      | None ->
+        let kid = Cache.kernel_id c kernel in
+        Hashtbl.add kids name kid;
+        kid)
+  in
   let results : (string, Symeval.result) Hashtbl.t = Hashtbl.create 16 in
   let analyze kernel =
     let name = kernel.Bm_ptx.Types.kname in
     match Hashtbl.find_opt results name with
     | Some r -> r
     | None ->
-      let r = Prof.with_span prof "analyze" (fun () -> Symeval.analyze kernel) in
+      let compute () = Prof.with_span prof "analyze" (fun () -> Symeval.analyze kernel) in
+      let r =
+        match cache with
+        | None -> compute ()
+        | Some c ->
+          let r = Cache.analysis c ~kid:(kid_of kernel) compute in
+          (* The cached result may come from an alpha-twin under another
+             name; everything but the embedded kernel is identical. *)
+          if r.Symeval.kernel == kernel then r else { r with Symeval.kernel }
+      in
       Hashtbl.add results name r;
       r
   in
@@ -86,15 +111,103 @@ let prepare ?(reorder = true) ?prof (cfg : Config.t) (app : Command.app) =
     match Hashtbl.find_opt fp_cache key with
     | Some fp -> fp
     | None ->
-      let fp =
+      let compute () =
         Prof.with_span prof "footprint" (fun () -> Footprint.of_result (analyze spec.Command.kernel) fl)
+      in
+      let fp =
+        match cache with
+        | None -> compute ()
+        | Some c -> Cache.footprint c ~kid:(kid_of spec.Command.kernel) ~fl compute
       in
       Hashtbl.add fp_cache key fp;
       fp
   in
+  (* Cost profiles (per-TB instruction/memory counts) are the
+     seq-independent half of the cost model; the jitter half is applied per
+     launch below and never cached. *)
+  let profile_memo = Hashtbl.create 64 in
+  let profile_of (spec : Command.launch_spec) =
+    let fl = Command.footprint_launch spec in
+    let key = (spec.Command.kernel.Bm_ptx.Types.kname, fl) in
+    match Hashtbl.find_opt profile_memo key with
+    | Some p -> p
+    | None ->
+      let compute () =
+        Prof.with_span prof "costmodel" (fun () ->
+            Costmodel.profile (analyze spec.Command.kernel) fl)
+      in
+      let p =
+        match cache with
+        | None -> compute ()
+        | Some c -> Cache.profile c ~kid:(kid_of spec.Command.kernel) ~fl compute
+      in
+      Hashtbl.add profile_memo key p;
+      p
+  in
+  (* Read/write buffer sets per (kernel, launch configuration): computing
+     one walks the whole per-TB footprint union, so the L1 memo matters for
+     iterative apps (it is called twice per launch).  Buffer ids are only
+     meaningful within this app, so this layer is per-call only — never the
+     cross-call cache. *)
+  let rw_memo = Hashtbl.create 64 in
+  let rw_of (spec : Command.launch_spec) fp =
+    let key = (spec.Command.kernel.Bm_ptx.Types.kname, Command.footprint_launch spec) in
+    match Hashtbl.find_opt rw_memo key with
+    | Some rw -> rw
+    | None ->
+      let rw = kernel_rw spec fp in
+      Hashtbl.add rw_memo key rw;
+      rw
+  in
+  (* Producer→consumer results, same two layers.  The pair is determined by
+     both kernels and both launch configurations (grids drive the
+     Fully_connected sizes), plus the degree cap. *)
+  let pair_memo = Hashtbl.create 64 in
+  let pair_of (pspec : Command.launch_spec) pfp (spec : Command.launch_spec) fp =
+    let pfl = Command.footprint_launch pspec in
+    let cfl = Command.footprint_launch spec in
+    let key =
+      ( pspec.Command.kernel.Bm_ptx.Types.kname,
+        pfl,
+        spec.Command.kernel.Bm_ptx.Types.kname,
+        cfl )
+    in
+    match Hashtbl.find_opt pair_memo key with
+    | Some pr -> pr
+    | None ->
+      let compute () =
+        let relation =
+          Prof.with_span prof "relate" (fun () ->
+              Bipartite.relate ~max_degree:cfg.Config.max_parent_degree pfp fp)
+        in
+        let pattern = Pattern.classify relation in
+        let sizes =
+          Prof.with_span prof "encode" (fun () ->
+              match relation with
+              | Bipartite.Fully_connected ->
+                Encode.measure_full
+                  ~n_parents:(Bm_ptx.Types.dim3_count pspec.Command.grid)
+                  ~n_children:(Bm_ptx.Types.dim3_count spec.Command.grid)
+              | Bipartite.Independent | Bipartite.Graph _ -> Encode.measure relation)
+        in
+        { Cache.pr_relation = relation; pr_pattern = pattern; pr_sizes = sizes }
+      in
+      let pr =
+        match cache with
+        | None -> compute ()
+        | Some c ->
+          Cache.pair c
+            ~pkid:(kid_of pspec.Command.kernel)
+            ~pfl
+            ~ckid:(kid_of spec.Command.kernel)
+            ~cfl ~max_degree:cfg.Config.max_parent_degree compute
+      in
+      Hashtbl.add pair_memo key pr;
+      pr
+  in
   (* Reorder (or keep) the command stream. *)
   let original = Array.of_list app.Command.commands in
-  let rws = Array.map (fun c -> command_rw c (fun spec -> kernel_rw spec (footprint spec))) original in
+  let rws = Array.map (fun c -> command_rw c (fun spec -> rw_of spec (footprint spec))) original in
   let final =
     if reorder then
       Prof.with_span prof "reorder" (fun () ->
@@ -124,32 +237,23 @@ let prepare ?(reorder = true) ?prof (cfg : Config.t) (app : Command.app) =
       | Command.Kernel_launch spec ->
         let result = analyze spec.Command.kernel in
         let fp = footprint spec in
-        let rw = kernel_rw spec fp in
+        let rw = rw_of spec fp in
         let prev = Hashtbl.find_opt stream_prev spec.Command.stream in
-        let relation =
+        let relation, pattern, sizes =
           match prev with
-          | None -> Bipartite.Independent
-          | Some (_, pfp, _) ->
-            Prof.with_span prof "relate" (fun () ->
-                Bipartite.relate ~max_degree:cfg.Config.max_parent_degree pfp fp)
-        in
-        let pattern = Pattern.classify relation in
-        let sizes =
-          Prof.with_span prof "encode" (fun () ->
-              match relation with
-              | Bipartite.Fully_connected ->
-                let n_parents =
-                  match prev with
-                  | Some (_, _, pspec) -> Bm_ptx.Types.dim3_count pspec.Command.grid
-                  | None -> 0
-                in
-                Encode.measure_full ~n_parents
-                  ~n_children:(Bm_ptx.Types.dim3_count spec.Command.grid)
-              | Bipartite.Independent | Bipartite.Graph _ -> Encode.measure relation)
+          | None ->
+            (Bipartite.Independent, Pattern.classify Bipartite.Independent,
+             Encode.measure Bipartite.Independent)
+          | Some (_, pfp, pspec) ->
+            let pr = pair_of pspec pfp spec fp in
+            (pr.Cache.pr_relation, pr.Cache.pr_pattern, pr.Cache.pr_sizes)
         in
         let cost =
+          (* The jitter application is never cached: it is keyed on the
+             launch sequence number, which differs between structurally
+             equal launches.  Only the profile underneath is memoized. *)
           Prof.with_span prof "costmodel" (fun () ->
-              Costmodel.of_launch cfg ~kernel_seq:!seq result (Command.footprint_launch spec))
+              Costmodel.of_profile cfg ~kernel_seq:!seq (profile_of spec))
         in
         let copy_deps =
           List.filter_map (fun buf_id -> Hashtbl.find_opt pending_h2d buf_id) rw.Reorder.reads

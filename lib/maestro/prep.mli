@@ -36,7 +36,12 @@ val kernel_rw : Bm_gpu.Command.launch_spec -> Bm_analysis.Footprint.kernel_footp
 val command_rw : Bm_gpu.Command.t -> (Bm_gpu.Command.launch_spec -> Reorder.rw) -> Reorder.rw
 
 val prepare :
-  ?reorder:bool -> ?prof:Bm_metrics.Prof.t -> Bm_gpu.Config.t -> Bm_gpu.Command.app -> t
+  ?reorder:bool ->
+  ?prof:Bm_metrics.Prof.t ->
+  ?cache:Cache.t ->
+  Bm_gpu.Config.t ->
+  Bm_gpu.Command.app ->
+  t
 (** Analyze and (when [reorder], default true) reorder the app.
 
     [prof] records wall-clock spans for the pipeline stages — [analyze]
@@ -44,7 +49,12 @@ val prepare :
     graph construction), [encode] and [costmodel] — nested under whatever
     span the caller has open.  Cached stages (a kernel analyzed once, a
     footprint reused across relaunches) only charge their first
-    computation. *)
+    computation.
+
+    [cache] memoizes analysis, footprint and pair results across [prepare]
+    calls by structural kernel fingerprint ({!Cache}); results are
+    cycle-identical with and without it.  The cache is single-domain
+    state — pass one cache per worker domain, never a shared one. *)
 
 val with_relation : t -> seq:int -> Bm_depgraph.Bipartite.relation -> t
 (** Replace the dependency relation of launch [seq] (with its predecessor).

@@ -1,25 +1,25 @@
 module Config = Bm_gpu.Config
 module Stats = Bm_gpu.Stats
 
-let prepare ?(cfg = Config.titan_x_pascal) ?prof mode app =
-  Prep.prepare ~reorder:(Mode.reorders mode) ?prof cfg app
+let prepare ?(cfg = Config.titan_x_pascal) ?prof ?cache mode app =
+  Prep.prepare ~reorder:(Mode.reorders mode) ?prof ?cache cfg app
 
-let simulate ?(cfg = Config.titan_x_pascal) ?metrics ?prof ?trace mode app =
-  let prep = prepare ~cfg ?prof mode app in
+let simulate ?(cfg = Config.titan_x_pascal) ?metrics ?prof ?cache ?trace mode app =
+  let prep = prepare ~cfg ?prof ?cache mode app in
   Sim.run ?metrics ?trace cfg mode prep
 
-let simulate_all ?(cfg = Config.titan_x_pascal) ?(modes = Mode.all_fig9) app =
+let simulate_all ?(cfg = Config.titan_x_pascal) ?(modes = Mode.all_fig9) ?cache app =
   (* The two reordering variants share their preparation. *)
-  let prep_plain = lazy (Prep.prepare ~reorder:false cfg app) in
-  let prep_reordered = lazy (Prep.prepare ~reorder:true cfg app) in
+  let prep_plain = lazy (Prep.prepare ~reorder:false ?cache cfg app) in
+  let prep_reordered = lazy (Prep.prepare ~reorder:true ?cache cfg app) in
   List.map
     (fun mode ->
       let prep = if Mode.reorders mode then Lazy.force prep_reordered else Lazy.force prep_plain in
       (mode, Sim.run cfg mode prep))
     modes
 
-let speedups ?(cfg = Config.titan_x_pascal) ?(modes = Mode.all_fig9) app =
-  let results = simulate_all ~cfg ~modes:(Mode.Baseline :: modes) app in
+let speedups ?(cfg = Config.titan_x_pascal) ?(modes = Mode.all_fig9) ?cache app =
+  let results = simulate_all ~cfg ~modes:(Mode.Baseline :: modes) ?cache app in
   let baseline = List.assoc Mode.Baseline results in
   List.filter_map
     (fun (mode, stats) ->

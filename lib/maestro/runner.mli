@@ -8,14 +8,22 @@
     ]} *)
 
 val prepare :
-  ?cfg:Bm_gpu.Config.t -> ?prof:Bm_metrics.Prof.t -> Mode.t -> Bm_gpu.Command.app -> Prep.t
+  ?cfg:Bm_gpu.Config.t ->
+  ?prof:Bm_metrics.Prof.t ->
+  ?cache:Cache.t ->
+  Mode.t ->
+  Bm_gpu.Command.app ->
+  Prep.t
 (** Launch-time analysis with the mode's reordering policy.  [prof] records
-    per-stage wall-clock spans (see {!Prep.prepare}). *)
+    per-stage wall-clock spans and [cache] memoizes analysis results across
+    calls (see {!Prep.prepare}); results are identical with and without a
+    cache. *)
 
 val simulate :
   ?cfg:Bm_gpu.Config.t ->
   ?metrics:Bm_metrics.Metrics.t ->
   ?prof:Bm_metrics.Prof.t ->
+  ?cache:Cache.t ->
   ?trace:Bm_gpu.Stats.sink ->
   Mode.t ->
   Bm_gpu.Command.app ->
@@ -27,6 +35,7 @@ val simulate :
 val simulate_all :
   ?cfg:Bm_gpu.Config.t ->
   ?modes:Mode.t list ->
+  ?cache:Cache.t ->
   Bm_gpu.Command.app ->
   (Mode.t * Bm_gpu.Stats.t) list
 (** Run the Fig. 9 mode set (or [modes]) over one application. *)
@@ -34,6 +43,7 @@ val simulate_all :
 val speedups :
   ?cfg:Bm_gpu.Config.t ->
   ?modes:Mode.t list ->
+  ?cache:Cache.t ->
   Bm_gpu.Command.app ->
   (Mode.t * float) list
 (** Speedups over [Mode.Baseline]. *)

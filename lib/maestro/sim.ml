@@ -2,13 +2,15 @@ module Command = Bm_gpu.Command
 module Config = Bm_gpu.Config
 module Stats = Bm_gpu.Stats
 module Bipartite = Bm_depgraph.Bipartite
-module Heap = Bm_engine.Heap
+module Eheap = Bm_engine.Eheap
 module Metrics = Bm_metrics.Metrics
 
 type tb_state = Waiting | Queued | Running | Finished
 
 type kstate = {
   info : Prep.launch_info;
+  ntbs : int;                (* = info.li_tbs, hoisted for the hot loops *)
+  tb_us : float array;       (* = info.li_cost.tb_us, precomputed at prep *)
   mutable launched : bool;
   mutable started_tbs : int;
   mutable done_tbs : int;
@@ -17,17 +19,42 @@ type kstate = {
   mutable completed : bool;
   tb_state : tb_state array;
   pc : int array;  (* pending parent counts (Graph relation only) *)
-  ready : int Queue.t;
+  (* Ready-TB ring: each TB is enqueued at most once (Waiting -> Queued is a
+     one-way transition), so a plain array with monotonic head/tail indices
+     replaces the cell-allocating [Queue.t] with identical FIFO order. *)
+  ready : int array;
+  mutable rhead : int;
+  mutable rtail : int;
   dep_ready_time : float array;
   start_time : float array;
   finish_time : float array;
 }
 
-type ev =
-  | Launch_done of int        (* kernel seq *)
-  | Tb_done of int * int      (* kernel seq, tb id *)
-  | Copy_done of int          (* command index *)
-  | Cmd_done of int           (* serial host command (malloc / serial copy) *)
+(* Events are packed into immediate ints so heap traffic allocates nothing
+   (the generic boxed-entry {!Bm_engine.Heap} cost ~18 words per event):
+   bits 0-1 tag — 0 Launch_done(seq), 1 Tb_done(k, tb), 2 Copy_done(ci),
+   3 Cmd_done(ci).  Tags 0/2/3 keep their payload in bits 2+; Tb_done packs
+   the TB id in bits 2-31 and the kernel seq in bits 32+.  Both fields are
+   bounds-checked once at startup (they fit any realistic app by ~9 orders
+   of magnitude). *)
+let ev_launch seq = seq lsl 2
+let ev_tb k tb = 1 lor (tb lsl 2) lor (k lsl 32)
+let ev_copy ci = 2 lor (ci lsl 2)
+let ev_cmd ci = 3 lor (ci lsl 2)
+let packed_limit = 1 lsl 30
+
+(* Simulated-clock state.  All-float records are unboxed by the compiler,
+   so updating these fields in the hot loop allocates nothing — unlike
+   [float ref], which boxes on every store. *)
+type fstate = {
+  mutable now : float;
+  mutable last_t : float;   (* concurrency integration frontier *)
+  mutable area : float;     (* integral of running TBs over time *)
+  mutable busy : float;     (* time with >= 1 running TB *)
+  mutable end_time : float;
+  mutable launch_free : float;  (* serial launch engine *)
+  mutable copy_free : float;    (* copy engine *)
+}
 
 let memcpy_us (cfg : Config.t) bytes =
   cfg.Config.memcpy_latency_us +. (float_of_int bytes /. (cfg.Config.memcpy_gb_per_s *. 1000.0))
@@ -142,11 +169,14 @@ let run ?(host_blocking_copies = false) ?metrics ?trace (cfg : Config.t) mode (p
   let serial = Mode.serial_commands mode in
   let launch_us = Mode.launch_overhead cfg mode in
   let total_slots = Config.total_tb_slots cfg in
+  if nk >= packed_limit || nc >= packed_limit then
+    failwith "Sim.run: too many launches/commands for packed events";
 
   let ks =
     Array.map
       (fun (info : Prep.launch_info) ->
         let n = info.Prep.li_tbs in
+        if n >= packed_limit then failwith "Sim.run: kernel too large for packed events";
         let pc =
           match info.Prep.li_relation with
           | Bipartite.Graph g -> Array.map Array.length g.Bipartite.parents_of
@@ -154,6 +184,8 @@ let run ?(host_blocking_copies = false) ?metrics ?trace (cfg : Config.t) mode (p
         in
         {
           info;
+          ntbs = n;
+          tb_us = info.Prep.li_cost.Bm_gpu.Costmodel.tb_us;
           launched = false;
           started_tbs = 0;
           done_tbs = 0;
@@ -162,7 +194,9 @@ let run ?(host_blocking_copies = false) ?metrics ?trace (cfg : Config.t) mode (p
           completed = false;
           tb_state = Array.make n Waiting;
           pc;
-          ready = Queue.create ();
+          ready = Array.make (max n 1) 0;
+          rhead = 0;
+          rtail = 0;
           dep_ready_time = Array.make n 0.0;
           start_time = Array.make n 0.0;
           finish_time = Array.make n 0.0;
@@ -181,19 +215,36 @@ let run ?(host_blocking_copies = false) ?metrics ?trace (cfg : Config.t) mode (p
   let stream_of =
     Array.map (fun (li : Prep.launch_info) -> li.Prep.li_spec.Command.stream) launches
   in
-  let heap : ev Heap.t = Heap.create () in
-  let now = ref 0.0 in
+  (* Dense stream indexing: per-stream residency counts and dispatch-time
+     blocked flags live in arrays instead of hashtables of refs. *)
+  let sidx = Array.make nk 0 in
+  let nstreams =
+    let seen : (int, int) Hashtbl.t = Hashtbl.create 4 in
+    Array.iteri
+      (fun k s ->
+        match Hashtbl.find_opt seen s with
+        | Some i -> sidx.(k) <- i
+        | None ->
+          let i = Hashtbl.length seen in
+          Hashtbl.add seen s i;
+          sidx.(k) <- i)
+      stream_of;
+    Hashtbl.length seen
+  in
+  let resident = Array.make (max nstreams 1) 0 in
+  let heap = Eheap.create () in
+  let f =
+    { now = 0.0; last_t = 0.0; area = 0.0; busy = 0.0; end_time = 0.0;
+      launch_free = 0.0; copy_free = 0.0 }
+  in
 
   (* Concurrency integration. *)
   let running = ref 0 in
-  let last_t = ref 0.0 in
-  let area = ref 0.0 in
-  let busy = ref 0.0 in
   let advance t =
-    if t > !last_t then begin
-      area := !area +. (float_of_int !running *. (t -. !last_t));
-      if !running > 0 then busy := !busy +. (t -. !last_t);
-      last_t := t
+    if t > f.last_t then begin
+      f.area <- f.area +. (float_of_int !running *. (t -. f.last_t));
+      if !running > 0 then f.busy <- f.busy +. (t -. f.last_t);
+      f.last_t <- t
     end
   in
 
@@ -270,17 +321,6 @@ let run ?(host_blocking_copies = false) ?metrics ?trace (cfg : Config.t) mode (p
   in
 
   let free_slots = ref total_slots in
-  let launch_engine_free = ref 0.0 in
-  let copy_engine_free = ref 0.0 in
-  let resident : (int, int ref) Hashtbl.t = Hashtbl.create 4 in
-  let resident_of stream =
-    match Hashtbl.find_opt resident stream with
-    | Some r -> r
-    | None ->
-      let r = ref 0 in
-      Hashtbl.add resident stream r;
-      r
-  in
   let next_cmd = ref 0 in
   let copy_done = Array.make (max nc 1) false in
   (* In serial mode the host stalls on the in-flight command. *)
@@ -288,15 +328,15 @@ let run ?(host_blocking_copies = false) ?metrics ?trace (cfg : Config.t) mode (p
   let serial_wait_kernel = ref (-1) in
   (* D2H copies parked until their producing kernel completes. *)
   let pending_d2h : (int * float) list array = Array.make (max nk 1) [] in
-  let end_time = ref 0.0 in
-  let bump t = if t > !end_time then end_time := t in
+  let bump t = if t > f.end_time then f.end_time <- t in
 
   let queue_tb k tb =
     let st = ks.(k) in
     match st.tb_state.(tb) with
     | Waiting ->
       st.tb_state.(tb) <- Queued;
-      Queue.push tb st.ready
+      st.ready.(st.rtail) <- tb;
+      st.rtail <- st.rtail + 1
     | Queued | Running | Finished -> ()
   in
 
@@ -310,67 +350,89 @@ let run ?(host_blocking_copies = false) ?metrics ?trace (cfg : Config.t) mode (p
       in
       match st.info.Prep.li_relation with
       | Bipartite.Independent ->
-        Array.iteri (fun tb s -> if s = Waiting then queue_tb k tb) st.tb_state
+        for tb = 0 to st.ntbs - 1 do
+          if st.tb_state.(tb) = Waiting then queue_tb k tb
+        done
       | Bipartite.Fully_connected ->
         if parent_drained then
-          Array.iteri (fun tb s -> if s = Waiting then queue_tb k tb) st.tb_state
+          for tb = 0 to st.ntbs - 1 do
+            if st.tb_state.(tb) = Waiting then queue_tb k tb
+          done
       | Bipartite.Graph _ ->
-        if fine then
-          Array.iteri
-            (fun tb s -> if s = Waiting && st.pc.(tb) = 0 then queue_tb k tb)
-            st.tb_state
+        if fine then begin
+          for tb = 0 to st.ntbs - 1 do
+            if st.tb_state.(tb) = Waiting && st.pc.(tb) = 0 then queue_tb k tb
+          done
+        end
         else if parent_drained then
-          Array.iteri (fun tb s -> if s = Waiting then queue_tb k tb) st.tb_state
+          for tb = 0 to st.ntbs - 1 do
+            if st.tb_state.(tb) = Waiting then queue_tb k tb
+          done
     end
   in
 
   (* Scheduling: fill free slots from ready queues, producer- or
-     consumer-priority across resident kernels. *)
-  let dispatch () =
-    let order =
-      let active = ref [] in
-      for k = nk - 1 downto 0 do
-        if ks.(k).launched && not ks.(k).drained then active := k :: !active
-      done;
-      match Mode.policy mode with
-      | Mode.Oldest_first -> !active
-      | Mode.Newest_first -> List.rev !active
-    in
-    (* Producer priority is strict (paper §III-D): a consuming kernel's TBs
-       are not scheduled until every TB of the producing kernel has been
-       scheduled.  Consumer priority lets newer kernels' ready TBs run
-       ahead freely. *)
-    let eligible =
-      match Mode.policy mode with
-      | Mode.Newest_first -> fun _ -> true
-      | Mode.Oldest_first ->
-        fun k ->
-          List.for_all
-            (fun k' ->
-              k' >= k
-              || stream_of.(k') <> stream_of.(k)
-              || ks.(k').started_tbs = ks.(k').info.Prep.li_tbs)
-            order
-    in
-    let continue_ = ref true in
-    while !free_slots > 0 && !continue_ do
-      match
-        List.find_opt (fun k -> (not (Queue.is_empty ks.(k).ready)) && eligible k) order
-      with
-      | None -> continue_ := false
-      | Some k ->
-        let st = ks.(k) in
-        let tb = Queue.pop st.ready in
-        st.tb_state.(tb) <- Running;
-        st.start_time.(tb) <- !now;
-        st.started_tbs <- st.started_tbs + 1;
-        decr free_slots;
-        incr running;
-        if tracing then emit !now (Stats.Tb_dispatch { seq = k; tb });
-        (match ms with Some m -> Metrics.incr m.m_tb_dispatched | None -> ());
-        let dur = st.info.Prep.li_cost.Bm_gpu.Costmodel.tb_us.(tb) in
-        Heap.push heap (!now +. dur) (Tb_done (k, tb))
+     consumer-priority across resident kernels.
+
+     One closure-free pass over the active kernels replaces the old
+     rebuild-a-list + [List.find_opt]-per-TB scan.  Correctness argument:
+     readiness and the active set cannot change while dispatching (we only
+     push future events), so greedily draining each kernel's ready ring in
+     priority order issues exactly the TB sequence the per-TB search did.
+     Producer priority (strict, paper §III-D) means a kernel is eligible
+     only when every older active kernel in its stream has all TBs
+     started; draining in ascending order with a per-stream blocked flag
+     enforces precisely that, because dispatching from [k] never changes
+     any older kernel's eligibility. *)
+  let newest_first = match Mode.policy mode with Mode.Newest_first -> true | Mode.Oldest_first -> false in
+  let blocked_gen = Array.make (max nstreams 1) 0 in
+  let dispatch_gen = ref 0 in
+  let drain_kernel k =
+    let st = ks.(k) in
+    while !free_slots > 0 && st.rhead < st.rtail do
+      let tb = st.ready.(st.rhead) in
+      st.rhead <- st.rhead + 1;
+      st.tb_state.(tb) <- Running;
+      st.start_time.(tb) <- f.now;
+      st.started_tbs <- st.started_tbs + 1;
+      decr free_slots;
+      incr running;
+      if tracing then emit f.now (Stats.Tb_dispatch { seq = k; tb });
+      (match ms with Some m -> Metrics.incr m.m_tb_dispatched | None -> ());
+      Eheap.push heap (f.now +. st.tb_us.(tb)) (ev_tb k tb)
     done
+  in
+  let dispatch () =
+    if !free_slots > 0 then begin
+      if newest_first then begin
+        (* Consumer priority: any ready TB of any active kernel may run;
+           newest kernels first. *)
+        let k = ref (nk - 1) in
+        while !free_slots > 0 && !k >= 0 do
+          let st = ks.(!k) in
+          if st.launched && not st.drained then drain_kernel !k;
+          decr k
+        done
+      end
+      else begin
+        incr dispatch_gen;
+        let gen = !dispatch_gen in
+        let k = ref 0 in
+        while !free_slots > 0 && !k < nk do
+          let st = ks.(!k) in
+          if st.launched && not st.drained then begin
+            let s = sidx.(!k) in
+            if blocked_gen.(s) <> gen then begin
+              drain_kernel !k;
+              (* Younger kernels in this stream stay ineligible until every
+                 TB here has been scheduled. *)
+              if st.started_tbs < st.ntbs then blocked_gen.(s) <- gen
+            end
+          end;
+          incr k
+        done
+      end
+    end
   in
 
   (* In-order kernel completion, per stream: kernel k completes only once
@@ -380,21 +442,21 @@ let run ?(host_blocking_copies = false) ?metrics ?trace (cfg : Config.t) mode (p
        && (prev_of.(k) < 0 || ks.(prev_of.(k)).completed)
     then begin
       ks.(k).completed <- true;
-      decr (resident_of stream_of.(k));
-      if tracing then emit !now (Stats.Kernel_completed { seq = k; stream = stream_of.(k) });
-      m_completed ~t:!now;
+      resident.(sidx.(k)) <- resident.(sidx.(k)) - 1;
+      if tracing then emit f.now (Stats.Kernel_completed { seq = k; stream = stream_of.(k) });
+      m_completed ~t:f.now;
       (* Release the copies gated on this kernel. *)
       List.iter
         (fun (ci, dur) ->
-          let start = max !now !copy_engine_free in
-          copy_engine_free := start +. dur;
+          let start = max f.now f.copy_free in
+          f.copy_free <- start +. dur;
           if tracing then
             emit start (copy_event ~start:true ~blocking:false commands.(ci) ci);
           m_copy_cmd ~dur ci commands.(ci);
-          Heap.push heap (start +. dur) (Copy_done ci))
+          Eheap.push heap (start +. dur) (ev_copy ci))
         (List.rev pending_d2h.(k));
       pending_d2h.(k) <- [];
-      bump !now;
+      bump f.now;
       try_complete next_of.(k)
     end
   in
@@ -418,7 +480,7 @@ let run ?(host_blocking_copies = false) ?metrics ?trace (cfg : Config.t) mode (p
           progressed := true
         | Command.Malloc _ ->
           (* cudaMalloc blocks the host in every mode (paper §III-C). *)
-          Heap.push heap (!now +. cfg.Config.malloc_us) (Cmd_done ci);
+          Eheap.push heap (f.now +. cfg.Config.malloc_us) (ev_cmd ci);
           serial_blocked := true;
           blocked := true;
           progressed := true
@@ -428,18 +490,18 @@ let run ?(host_blocking_copies = false) ?metrics ?trace (cfg : Config.t) mode (p
             (* Synchronous cudaMemcpy: the host stalls until it returns
                (the default CUDA behaviour BlockMaestro's non-blocking
                treatment removes, paper SIII-C). *)
-            if tracing then emit !now (copy_event ~start:true ~blocking:true commands.(ci) ci);
+            if tracing then emit f.now (copy_event ~start:true ~blocking:true commands.(ci) ci);
             m_copy ~d2h:false ~bytes:b.Command.bytes ~dur;
-            Heap.push heap (!now +. dur) (Cmd_done ci);
+            Eheap.push heap (f.now +. dur) (ev_cmd ci);
             serial_blocked := true;
             blocked := true
           end
           else begin
-            let start = max !now !copy_engine_free in
-            copy_engine_free := start +. dur;
+            let start = max f.now f.copy_free in
+            f.copy_free <- start +. dur;
             if tracing then emit start (copy_event ~start:true ~blocking:false commands.(ci) ci);
             m_copy ~d2h:false ~bytes:b.Command.bytes ~dur;
-            Heap.push heap (start +. dur) (Copy_done ci);
+            Eheap.push heap (start +. dur) (ev_copy ci);
             incr next_cmd
           end;
           progressed := true
@@ -448,20 +510,20 @@ let run ?(host_blocking_copies = false) ?metrics ?trace (cfg : Config.t) mode (p
           let dur = memcpy_us cfg b.Command.bytes in
           if serial then
             if kernel_completed gate then begin
-              if tracing then emit !now (copy_event ~start:true ~blocking:true commands.(ci) ci);
+              if tracing then emit f.now (copy_event ~start:true ~blocking:true commands.(ci) ci);
               m_copy ~d2h:true ~bytes:b.Command.bytes ~dur;
-              Heap.push heap (!now +. dur) (Cmd_done ci);
+              Eheap.push heap (f.now +. dur) (ev_cmd ci);
               serial_blocked := true;
               blocked := true;
               progressed := true
             end
             else blocked := true
           else if kernel_completed gate then begin
-            let start = max !now !copy_engine_free in
-            copy_engine_free := start +. dur;
+            let start = max f.now f.copy_free in
+            f.copy_free <- start +. dur;
             if tracing then emit start (copy_event ~start:true ~blocking:false commands.(ci) ci);
             m_copy ~d2h:true ~bytes:b.Command.bytes ~dur;
-            Heap.push heap (start +. dur) (Copy_done ci);
+            Eheap.push heap (start +. dur) (ev_copy ci);
             incr next_cmd;
             progressed := true
           end
@@ -481,15 +543,15 @@ let run ?(host_blocking_copies = false) ?metrics ?trace (cfg : Config.t) mode (p
           if serial then begin
             (* Baseline stream: the kernel is the only device work. *)
             if copies_ok then begin
-              incr (resident_of stream_of.(seq));
+              resident.(sidx.(seq)) <- resident.(sidx.(seq)) + 1;
               if tracing then
-                emit !now
+                emit f.now
                   (Stats.Kernel_enqueue
                      { seq; stream = stream_of.(seq); tbs = st.info.Prep.li_tbs });
-              m_enqueue seq ~now:!now ~busy:!busy;
-              let start = max !now !launch_engine_free in
-              launch_engine_free := start +. launch_us;
-              Heap.push heap (start +. launch_us) (Launch_done seq);
+              m_enqueue seq ~now:f.now ~busy:f.busy;
+              let start = max f.now f.launch_free in
+              f.launch_free <- start +. launch_us;
+              Eheap.push heap (start +. launch_us) (ev_launch seq);
               serial_blocked := true;
               serial_wait_kernel := seq;
               blocked := true;
@@ -497,17 +559,17 @@ let run ?(host_blocking_copies = false) ?metrics ?trace (cfg : Config.t) mode (p
             end
             else blocked := true
           end
-          else if !(resident_of stream_of.(seq)) < window && copies_ok then begin
+          else if resident.(sidx.(seq)) < window && copies_ok then begin
             (* Launch processing pipelines across pre-launched kernels: the
                per-stream residency window, not a serial engine, is the
                limit. *)
-            incr (resident_of stream_of.(seq));
+            resident.(sidx.(seq)) <- resident.(sidx.(seq)) + 1;
             if tracing then
-              emit !now
+              emit f.now
                 (Stats.Kernel_enqueue
                    { seq; stream = stream_of.(seq); tbs = st.info.Prep.li_tbs });
-            m_enqueue seq ~now:!now ~busy:!busy;
-            Heap.push heap (!now +. launch_us) (Launch_done seq);
+            m_enqueue seq ~now:f.now ~busy:f.busy;
+            Eheap.push heap (f.now +. launch_us) (ev_launch seq);
             incr next_cmd;
             progressed := true
           end
@@ -526,41 +588,45 @@ let run ?(host_blocking_copies = false) ?metrics ?trace (cfg : Config.t) mode (p
   let on_tb_done k tb =
     let st = ks.(k) in
     st.tb_state.(tb) <- Finished;
-    st.finish_time.(tb) <- !now;
+    st.finish_time.(tb) <- f.now;
     st.done_tbs <- st.done_tbs + 1;
     incr free_slots;
     decr running;
-    bump !now;
-    if tracing then emit !now (Stats.Tb_finish { seq = k; tb });
-    (match ms with Some m -> Metrics.observe m.m_tb_exec (!now -. st.start_time.(tb)) | None -> ());
+    bump f.now;
+    if tracing then emit f.now (Stats.Tb_finish { seq = k; tb });
+    (match ms with Some m -> Metrics.observe m.m_tb_exec (f.now -. st.start_time.(tb)) | None -> ());
     (* Fine-grain child updates (tracked in every mode for Fig. 11). *)
     let kc = next_of.(k) in
     if kc >= 0 then begin
       let child = ks.(kc) in
       match child.info.Prep.li_relation with
       | Bipartite.Graph g ->
-        Array.iter
-          (fun c ->
-            child.pc.(c) <- child.pc.(c) - 1;
-            if !now > child.dep_ready_time.(c) then child.dep_ready_time.(c) <- !now;
-            if tracing && child.pc.(c) = 0 then emit !now (Stats.Dep_satisfied { seq = kc; tb = c });
-            if fine && child.pc.(c) = 0 && child.launched then queue_tb kc c)
-          g.Bipartite.children_of.(tb)
+        let cs = g.Bipartite.children_of.(tb) in
+        for i = 0 to Array.length cs - 1 do
+          let c = cs.(i) in
+          child.pc.(c) <- child.pc.(c) - 1;
+          if f.now > child.dep_ready_time.(c) then child.dep_ready_time.(c) <- f.now;
+          if tracing && child.pc.(c) = 0 then emit f.now (Stats.Dep_satisfied { seq = kc; tb = c });
+          if fine && child.pc.(c) = 0 && child.launched then queue_tb kc c
+        done
       | Bipartite.Independent | Bipartite.Fully_connected -> ()
     end;
-    if st.done_tbs = st.info.Prep.li_tbs then begin
+    if st.done_tbs = st.ntbs then begin
       st.drained <- true;
-      st.drained_at <- !now;
-      if tracing then emit !now (Stats.Kernel_drained { seq = k; stream = stream_of.(k) });
-      m_drained k ~t:!now;
+      st.drained_at <- f.now;
+      if tracing then emit f.now (Stats.Kernel_drained { seq = k; stream = stream_of.(k) });
+      m_drained k ~t:f.now;
       (* A fully-connected child's dependencies are all satisfied now. *)
       if kc >= 0 then begin
         let child = ks.(kc) in
         match child.info.Prep.li_relation with
         | Bipartite.Fully_connected ->
-          Array.iteri (fun c t -> if t < !now then child.dep_ready_time.(c) <- !now) child.dep_ready_time;
+          let drt = child.dep_ready_time in
+          for c = 0 to Array.length drt - 1 do
+            if drt.(c) < f.now then drt.(c) <- f.now
+          done;
           if tracing then
-            Array.iteri (fun c _ -> emit !now (Stats.Dep_satisfied { seq = kc; tb = c }))
+            Array.iteri (fun c _ -> emit f.now (Stats.Dep_satisfied { seq = kc; tb = c }))
               child.dep_ready_time
         | Bipartite.Independent | Bipartite.Graph _ -> ()
       end;
@@ -580,15 +646,18 @@ let run ?(host_blocking_copies = false) ?metrics ?trace (cfg : Config.t) mode (p
   progress ();
   let steps = ref 0 in
   let rec loop () =
-    match Heap.pop heap with
-    | None -> ()
-    | Some (t, ev) ->
+    if not (Eheap.is_empty heap) then begin
+      let t = Eheap.pop_key heap in
+      let e = Eheap.pop_ev heap in
       incr steps;
       if !steps > 100_000_000 then failwith "Sim.run: event budget exceeded";
       advance t;
-      now := t;
-      (match ev with
-      | Launch_done seq ->
+      f.now <- t;
+      let payload = e lsr 2 in
+      (match e land 3 with
+      | 1 -> on_tb_done (e lsr 32) (payload land 0x3FFF_FFFF)
+      | 0 ->
+        let seq = payload in
         ks.(seq).launched <- true;
         if tracing then begin
           emit t (Stats.Kernel_launched { seq; stream = stream_of.(seq) });
@@ -598,9 +667,9 @@ let run ?(host_blocking_copies = false) ?metrics ?trace (cfg : Config.t) mode (p
               (table_spills cfg seq ks.(seq).info.Prep.li_relation
                  ~n_children:ks.(seq).info.Prep.li_tbs)
         end;
-        m_launched seq ~t ~busy:!busy ~fine ks.(seq).info.Prep.li_relation
+        m_launched seq ~t ~busy:f.busy ~fine ks.(seq).info.Prep.li_relation
           ~n_children:ks.(seq).info.Prep.li_tbs;
-        if ks.(seq).info.Prep.li_tbs = 0 then begin
+        if ks.(seq).ntbs = 0 then begin
           ks.(seq).drained <- true;
           ks.(seq).drained_at <- t;
           if tracing then emit t (Stats.Kernel_drained { seq; stream = stream_of.(seq) });
@@ -609,14 +678,13 @@ let run ?(host_blocking_copies = false) ?metrics ?trace (cfg : Config.t) mode (p
         end
         else refresh_ready seq;
         bump t
-      | Tb_done (k, tb) -> on_tb_done k tb
-      | Copy_done ci ->
-        if ci >= 0 then begin
-          copy_done.(ci) <- true;
-          if tracing then emit t (copy_event ~start:false ~blocking:false commands.(ci) ci);
-          bump t
-        end
-      | Cmd_done ci ->
+      | 2 ->
+        let ci = payload in
+        copy_done.(ci) <- true;
+        if tracing then emit t (copy_event ~start:false ~blocking:false commands.(ci) ci);
+        bump t
+      | _ ->
+        let ci = payload in
         serial_blocked := false;
         (match commands.(ci) with
         | Command.Memcpy_h2d _ | Command.Memcpy_d2h _ ->
@@ -627,6 +695,7 @@ let run ?(host_blocking_copies = false) ?metrics ?trace (cfg : Config.t) mode (p
         incr next_cmd);
       progress ();
       loop ()
+    end
   in
   loop ();
   if !next_cmd < nc then
@@ -638,20 +707,26 @@ let run ?(host_blocking_copies = false) ?metrics ?trace (cfg : Config.t) mode (p
       if not st.completed then failwith (Printf.sprintf "Sim.run: kernel %d never completed" k))
     ks;
 
-  (* Collect statistics. *)
-  let records = ref [] in
+  (* Collect statistics.  Records are filled straight into the result array
+     (kernel-major, TB-minor — the order the old list-and-reverse built). *)
+  let total_tbs = Array.fold_left (fun acc st -> acc + st.ntbs) 0 ks in
+  let records =
+    Array.make total_tbs
+      { Stats.r_kernel = 0; r_tb = 0; r_dep_ready = 0.0; r_start = 0.0; r_finish = 0.0 }
+  in
+  let ri = ref 0 in
   Array.iteri
     (fun k st ->
-      for tb = 0 to st.info.Prep.li_tbs - 1 do
-        records :=
+      for tb = 0 to st.ntbs - 1 do
+        records.(!ri) <-
           {
             Stats.r_kernel = k;
             r_tb = tb;
             r_dep_ready = st.dep_ready_time.(tb);
             r_start = st.start_time.(tb);
             r_finish = st.finish_time.(tb);
-          }
-          :: !records
+          };
+        incr ri
       done)
     ks;
   let base_mem =
@@ -675,12 +750,12 @@ let run ?(host_blocking_copies = false) ?metrics ?trace (cfg : Config.t) mode (p
             else acc +. 2.0 (* kernel-granular gating: a flag write + read *))
         0.0 ks
   in
-  let total = !end_time in
+  let total = f.end_time in
   {
     Stats.total_us = total;
-    busy_us = !busy;
-    records = Array.of_list (List.rev !records);
-    avg_concurrency = (if total > 0.0 then !area /. total else 0.0);
+    busy_us = f.busy;
+    records;
+    avg_concurrency = (if total > 0.0 then f.area /. total else 0.0);
     base_mem_requests = base_mem;
     dep_mem_requests = dep_mem;
   }

@@ -45,10 +45,11 @@ let diff_stats (s : Stats.t) (r : Stats.t) =
   in
   List.rev acc
 
-let check ?(cfg = Config.titan_x_pascal) ?(modes = List.map snd Mode.known) ?window_bug app =
+let check ?(cfg = Config.titan_x_pascal) ?(modes = List.map snd Mode.known) ?cache ?window_bug
+    app =
   (* The two reorder classes share one preparation each, like Runner. *)
-  let prep_plain = lazy (Prep.prepare ~reorder:false cfg app) in
-  let prep_reordered = lazy (Prep.prepare ~reorder:true cfg app) in
+  let prep_plain = lazy (Prep.prepare ~reorder:false ?cache cfg app) in
+  let prep_reordered = lazy (Prep.prepare ~reorder:true ?cache cfg app) in
   let mms =
     List.filter_map
       (fun mode ->

@@ -21,6 +21,7 @@ val diff_stats : Bm_gpu.Stats.t -> Bm_gpu.Stats.t -> string list
 val check :
   ?cfg:Bm_gpu.Config.t ->
   ?modes:Bm_maestro.Mode.t list ->
+  ?cache:Bm_maestro.Cache.t ->
   ?window_bug:int ->
   Bm_gpu.Command.app ->
   (unit, mismatch list) result
@@ -28,6 +29,9 @@ val check :
     engines and collect disagreements.  [window_bug] adds its value to the
     pre-launch window bound of the {e reference} engine only — an
     intentionally injected bug for validating that the harness detects and
-    shrinks scheduler divergence (see [Fuzz]). *)
+    shrinks scheduler divergence (see [Fuzz]).  [cache] memoizes the
+    launch-time analysis across apps ({!Bm_maestro.Cache}); preparation is
+    cycle-identical with and without it, which this checker is itself the
+    gate for. *)
 
 val pp_mismatch : Format.formatter -> mismatch -> unit

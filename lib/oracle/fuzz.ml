@@ -41,9 +41,19 @@ type outcome =
   | Clean of Soundness.pair_report list
   | Bad of kind * string
 
+(* One launch-time analysis cache per worker domain (DESIGN §8/§9: caches
+   are single-domain sinks, never shared across domains).  Generated apps
+   reuse kernel structures heavily, and cached preparation is
+   cycle-identical — this very harness is the gate for that — so verdicts
+   do not depend on which domain (and therefore which cache) examines an
+   app. *)
+let domain_cache : Bm_maestro.Cache.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Bm_maestro.Cache.create ())
+
 let examine_outcome ~cfg ~modes ~soundness ~window_bug spec =
   let app = Genapp.build spec in
-  match Diff.check ~cfg ~modes ?window_bug app with
+  let cache = Domain.DLS.get domain_cache in
+  match Diff.check ~cfg ~modes ~cache ?window_bug app with
   | Error (mm :: _) -> Bad (Scheduler_mismatch, Format.asprintf "%a" Diff.pp_mismatch mm)
   | Error [] -> Clean [] (* unreachable: Error implies at least one mismatch *)
   | exception exn ->
@@ -79,58 +89,69 @@ let same_kind a b =
   | _ -> false
 
 let run ?(cfg = Config.titan_x_pascal) ?(modes = List.map snd Mode.known) ?(shrink = true)
-    ?(soundness = true) ?window_bug ?(log = fun _ -> ()) ?jobs ~seed ~count () =
+    ?(soundness = true) ?window_bug ?(log = fun _ -> ()) ?jobs ?(chunk = 256) ~seed ~count () =
+  if chunk < 1 then invalid_arg "Fuzz.run: chunk must be >= 1";
   (* Spec generation consumes the seeded RNG strictly in index order — the
      one sequential phase — so the generated stream is identical to a fully
-     sequential run regardless of how many domains examine it. *)
+     sequential run regardless of how many domains examine it, and identical
+     for every chunk size: chunking only bounds how many specs are alive at
+     once (memory stays flat for huge --count), never the generation order,
+     the verdicts or the log lines.  Only failing specs are retained. *)
   let rng = Rng.create seed in
-  let specs = Array.init count (fun idx -> Genapp.generate rng idx) in
-  let outcomes =
-    Bm_parallel.map_ordered ?domains:jobs
-      (examine_outcome ~cfg ~modes ~soundness ~window_bug)
-      specs
-  in
   let pairs = ref 0 in
   (* pattern -> (count, ratio sum, finite-ratio count) *)
   let precision : (Pattern.t, int ref * float ref * int ref) Hashtbl.t = Hashtbl.create 8 in
   let bad = ref [] in
-  Array.iteri
-    (fun idx outcome ->
-      (match outcome with
-      | Clean reports ->
-        (* Clean: accumulate the precision statistics for the summary. *)
-        List.iter
-          (fun r ->
-            incr pairs;
-            let cnt, sum, fin =
-              match Hashtbl.find_opt precision r.Soundness.pr_pattern with
-              | Some t -> t
-              | None ->
-                let t = (ref 0, ref 0.0, ref 0) in
-                Hashtbl.add precision r.Soundness.pr_pattern t;
-                t
-            in
-            incr cnt;
-            let rat = Soundness.ratio r in
-            if rat < infinity then begin
-              sum := !sum +. rat;
-              incr fin
-            end)
-          reports
-      | Bad (kind, detail) ->
-        log
-          (Printf.sprintf "app %d (%s): %s" idx (Genapp.to_string specs.(idx)) (kind_name kind));
-        bad := (idx, kind, detail) :: !bad);
-      if (idx + 1) mod 50 = 0 then
-        log (Printf.sprintf "%d/%d apps checked, %d failure(s)" (idx + 1) count
-               (List.length !bad)))
-    outcomes;
+  let next = ref 0 in
+  while !next < count do
+    let base = !next in
+    let n = min chunk (count - base) in
+    let specs = Array.init n (fun i -> Genapp.generate rng (base + i)) in
+    let outcomes =
+      Bm_parallel.map_ordered ?domains:jobs
+        (examine_outcome ~cfg ~modes ~soundness ~window_bug)
+        specs
+    in
+    Array.iteri
+      (fun i outcome ->
+        let idx = base + i in
+        (match outcome with
+        | Clean reports ->
+          (* Clean: accumulate the precision statistics for the summary. *)
+          List.iter
+            (fun r ->
+              incr pairs;
+              let cnt, sum, fin =
+                match Hashtbl.find_opt precision r.Soundness.pr_pattern with
+                | Some t -> t
+                | None ->
+                  let t = (ref 0, ref 0.0, ref 0) in
+                  Hashtbl.add precision r.Soundness.pr_pattern t;
+                  t
+              in
+              incr cnt;
+              let rat = Soundness.ratio r in
+              if rat < infinity then begin
+                sum := !sum +. rat;
+                incr fin
+              end)
+            reports
+        | Bad (kind, detail) ->
+          log
+            (Printf.sprintf "app %d (%s): %s" idx (Genapp.to_string specs.(i)) (kind_name kind));
+          bad := (idx, kind, detail, specs.(i)) :: !bad);
+        if (idx + 1) mod 50 = 0 then
+          log (Printf.sprintf "%d/%d apps checked, %d failure(s)" (idx + 1) count
+                 (List.length !bad)))
+      outcomes;
+    next := base + n
+  done;
   (* Each failure shrinks independently (same per-task determinism: the
      shrinker re-examines candidate specs, never the RNG), so failures
      minimize in parallel too. *)
   let failures =
     Bm_parallel.map_list ?domains:jobs
-      (fun (idx, kind, detail) ->
+      (fun (idx, kind, detail, spec) ->
         let shrunk, steps =
           if not shrink then (None, 0)
           else begin
@@ -139,11 +160,11 @@ let run ?(cfg = Config.titan_x_pascal) ?(modes = List.map snd Mode.known) ?(shri
               | Some (k, _) -> same_kind k kind
               | None -> false
             in
-            let s, steps = Shrink.minimize still_fails specs.(idx) in
+            let s, steps = Shrink.minimize still_fails spec in
             (Some s, steps)
           end
         in
-        { f_index = idx; f_kind = kind; f_detail = detail; f_spec = specs.(idx);
+        { f_index = idx; f_kind = kind; f_detail = detail; f_spec = spec;
           f_shrunk = shrunk; f_shrink_steps = steps })
       (List.rev !bad)
   in

@@ -49,6 +49,7 @@ val run :
   ?window_bug:int ->
   ?log:(string -> unit) ->
   ?jobs:int ->
+  ?chunk:int ->
   seed:int ->
   count:int ->
   unit ->
@@ -64,7 +65,19 @@ val run :
     seeded RNG sequentially in index order, so the report — failure
     indices, kinds, shrunk reproducers, precision statistics — is
     identical for every domain count; with [jobs = 1] the run is exactly
-    the historical sequential path. *)
+    the historical sequential path.
+
+    [chunk] (default 256) bounds how many generated specs are alive at
+    once: specs are generated and examined in bounded sequential chunks,
+    and only failing specs are retained, so memory stays flat for huge
+    [count].  Generation order, verdicts, shrunk reproducers and log lines
+    are identical for every chunk size.
+
+    Each worker domain keeps its own launch-time analysis cache
+    ({!Bm_maestro.Cache}, single-domain per DESIGN §8), so structurally
+    repeated kernels across generated apps are analyzed once per domain;
+    cached preparation is cycle-identical, so verdicts do not depend on
+    task-to-domain assignment. *)
 
 val ok : report -> bool
 

@@ -405,3 +405,106 @@ let nested_suite =
   ]
 
 let suite = suite @ nested_suite
+
+(* --- structural fingerprint (launch-time cache key) -------------------- *)
+
+module Fingerprint = Bm_analysis.Fingerprint
+module Templates = Bm_workloads.Templates
+
+(* A genuine alpha-renaming: every distinct register maps to a fresh name
+   drawn from a seeded permutation, labels get a suffix, and the kernel
+   name changes too (the fingerprint must not depend on it). *)
+let alpha_rename seed (k : T.kernel) =
+  let regs : (string, string) Hashtbl.t = Hashtbl.create 16 in
+  let n = ref 0 in
+  let ren r =
+    match Hashtbl.find_opt regs r with
+    | Some r' -> r'
+    | None ->
+      let r' = Printf.sprintf "%%renamed_%d_%d" ((seed + !n) mod 97) !n in
+      incr n;
+      Hashtbl.add regs r r';
+      r'
+  in
+  let operand = function T.Reg r -> T.Reg (ren r) | o -> o in
+  let body =
+    Array.map
+      (function
+        | T.Label l -> T.Label (l ^ "_t")
+        | T.I { op; ty; dst; srcs; offset; guard } ->
+          let op = match op with T.Bra l -> T.Bra (l ^ "_t") | op -> op in
+          T.I
+            {
+              op;
+              ty;
+              dst = Option.map operand dst;
+              srcs = List.map operand srcs;
+              offset;
+              guard = Option.map (fun (neg, p) -> (neg, ren p)) guard;
+            })
+      k.T.kbody
+  in
+  { k with T.kname = k.T.kname ^ "_twin"; T.kbody = body }
+
+(* Single-instruction mutations that must change the fingerprint. *)
+let mutate which at (k : T.kernel) =
+  let body = Array.copy k.T.kbody in
+  let is = ref [] in
+  Array.iteri (fun i instr -> match instr with T.I _ -> is := i :: !is | T.Label _ -> ()) body;
+  let is = Array.of_list (List.rev !is) in
+  let i = is.(at mod Array.length is) in
+  (match body.(i) with
+  | T.Label _ -> assert false
+  | T.I { op; ty; dst; srcs; offset; guard } ->
+    body.(i) <-
+      (if which then T.I { op; ty; dst; srcs; offset = offset + 4; guard }
+       else T.I { op; ty; dst; srcs = srcs @ [ T.Imm 424242 ]; offset; guard }));
+  { k with T.kbody = body }
+
+let gen_template =
+  QCheck2.Gen.(
+    let* which = int_range 0 3 in
+    let* work = int_range 0 12 in
+    let+ halo = int_range 1 3 in
+    match which with
+    | 0 -> Templates.map1 ~name:"fp_map1" ~work
+    | 1 -> Templates.stencil1d ~name:"fp_sten" ~halo ~work
+    | 2 -> Templates.matvec ~name:"fp_mv" ~work
+    | _ -> Templates.matmul ~name:"fp_mm" ~work)
+
+let prop_fingerprint_alpha =
+  QCheck2.Test.make ~name:"alpha-equivalent kernels share a fingerprint" ~count:100
+    QCheck2.Gen.(pair gen_template small_nat)
+    (fun (k, seed) ->
+      Fingerprint.equal (Fingerprint.of_kernel k) (Fingerprint.of_kernel (alpha_rename seed k)))
+
+let prop_fingerprint_mutation =
+  QCheck2.Test.make ~name:"single-instruction mutation changes the fingerprint" ~count:100
+    QCheck2.Gen.(triple gen_template bool small_nat)
+    (fun (k, which, at) ->
+      not (Fingerprint.equal (Fingerprint.of_kernel k) (Fingerprint.of_kernel (mutate which at k))))
+
+let test_fingerprint_params_semantic () =
+  (* Parameter names bind footprint args, so renaming one must NOT collide. *)
+  let k = Templates.map1 ~name:"fp_p" ~work:2 in
+  let renamed =
+    {
+      k with
+      T.kparams =
+        List.map
+          (fun (p : T.param) ->
+            if p.T.pptr then { p with T.pname = p.T.pname ^ "_r" } else p)
+          k.T.kparams;
+    }
+  in
+  Alcotest.(check bool) "param rename changes fingerprint" false
+    (Fingerprint.equal (Fingerprint.of_kernel k) (Fingerprint.of_kernel renamed))
+
+let fingerprint_suite =
+  [
+    QCheck_alcotest.to_alcotest prop_fingerprint_alpha;
+    QCheck_alcotest.to_alcotest prop_fingerprint_mutation;
+    Alcotest.test_case "fingerprint: param names semantic" `Quick test_fingerprint_params_semantic;
+  ]
+
+let suite = suite @ fingerprint_suite

@@ -1,6 +1,8 @@
 (* Unit and property tests for the simulation-engine substrate. *)
 
 module Heap = Bm_engine.Heap
+module Eheap = Bm_engine.Eheap
+module Lru = Bm_engine.Lru
 module Rng = Bm_engine.Rng
 
 let test_heap_empty () =
@@ -92,6 +94,99 @@ let prop_heap_conserves =
       let out = drain [] in
       List.sort compare out = List.sort compare (List.map snd entries))
 
+let test_eheap_basics () =
+  let h = Eheap.create () in
+  Alcotest.(check bool) "fresh empty" true (Eheap.is_empty h);
+  Eheap.push h 3.0 30;
+  Eheap.push h 1.0 10;
+  Eheap.push h 2.0 20;
+  Alcotest.(check int) "size" 3 (Eheap.size h);
+  Alcotest.(check (float 0.0)) "min key" 1.0 (Eheap.min_key h);
+  Alcotest.(check (float 0.0)) "pop key" 1.0 (Eheap.pop_key h);
+  Alcotest.(check int) "pop ev" 10 (Eheap.pop_ev h);
+  Alcotest.(check int) "pop ev again" 20 (Eheap.pop_ev h);
+  Alcotest.(check int) "last" 30 (Eheap.pop_ev h);
+  Alcotest.(check bool) "drained" true (Eheap.is_empty h)
+
+let test_eheap_fifo_ties () =
+  let h = Eheap.create () in
+  List.iter (fun v -> Eheap.push h 1.0 v) [ 1; 2; 3; 4 ];
+  let popped = List.init 4 (fun _ -> Eheap.pop_ev h) in
+  Alcotest.(check (list int)) "insertion order on ties" [ 1; 2; 3; 4 ] popped
+
+(* The generic Heap is the model: the specialized event heap must pop the
+   exact same (key, payload) stream, ties included, because the simulator's
+   cycle-exact behavior depends on the pop order. *)
+let prop_eheap_matches_heap =
+  QCheck2.Test.make ~name:"eheap pops exactly like the generic heap" ~count:300
+    QCheck2.Gen.(list (pair (float_bound_exclusive 100.0) small_nat))
+    (fun entries ->
+      let h = Heap.create () and e = Eheap.create () in
+      List.iter
+        (fun (k, v) ->
+          Heap.push h k v;
+          Eheap.push e k v)
+        entries;
+      let rec drain () =
+        match Heap.pop h with
+        | None -> Eheap.is_empty e
+        | Some (k, v) ->
+          (not (Eheap.is_empty e)) && Eheap.pop_key e = k && Eheap.pop_ev e = v && drain ()
+      in
+      drain ())
+
+let prop_eheap_interleaved =
+  QCheck2.Test.make ~name:"eheap matches heap under interleaved push/pop" ~count:200
+    QCheck2.Gen.(list (pair (float_bound_exclusive 50.0) small_nat))
+    (fun ops ->
+      let h = Heap.create () and e = Eheap.create () in
+      let ok = ref true in
+      List.iter
+        (fun (k, v) ->
+          if v mod 3 = 0 && not (Heap.is_empty h) then (
+            match Heap.pop h with
+            | Some (hk, hv) -> ok := !ok && Eheap.pop_key e = hk && Eheap.pop_ev e = hv
+            | None -> ok := false)
+          else begin
+            Heap.push h k v;
+            Eheap.push e k v
+          end)
+        ops;
+      let rec drain () =
+        match Heap.pop h with
+        | None -> Eheap.is_empty e
+        | Some (k, v) -> Eheap.pop_key e = k && Eheap.pop_ev e = v && drain ()
+      in
+      !ok && drain ())
+
+let test_lru_basics () =
+  let l = Lru.create ~capacity:2 in
+  Alcotest.(check int) "capacity" 2 (Lru.capacity l);
+  Lru.add l "a" 1;
+  Lru.add l "b" 2;
+  Alcotest.(check (option int)) "find a" (Some 1) (Lru.find l "a");
+  (* "a" was just refreshed, so the third insert evicts "b". *)
+  Lru.add l "c" 3;
+  Alcotest.(check (option int)) "b evicted" None (Lru.find l "b");
+  Alcotest.(check (option int)) "a kept (refreshed)" (Some 1) (Lru.find l "a");
+  Alcotest.(check int) "one eviction" 1 (Lru.evictions l);
+  Alcotest.(check int) "length at capacity" 2 (Lru.length l)
+
+let test_lru_replace_and_mem () =
+  let l = Lru.create ~capacity:2 in
+  Lru.add l 1 "x";
+  Lru.add l 1 "y";
+  Alcotest.(check (option string)) "replaced in place" (Some "y") (Lru.find l 1);
+  Alcotest.(check int) "no eviction on replace" 0 (Lru.evictions l);
+  Lru.add l 2 "b";
+  (* mem must not refresh recency: key 1 stays coldest and gets evicted. *)
+  Alcotest.(check bool) "mem sees 1" true (Lru.mem l 1);
+  Lru.add l 3 "c";
+  Alcotest.(check bool) "1 evicted despite mem" false (Lru.mem l 1);
+  Alcotest.(check bool) "2 kept" true (Lru.mem l 2);
+  Alcotest.check_raises "capacity < 1 rejected" (Invalid_argument "Lru.create: capacity must be >= 1")
+    (fun () -> ignore (Lru.create ~capacity:0))
+
 let prop_float01_range =
   QCheck2.Test.make ~name:"float_01 stays in [0,1)" ~count:500 QCheck2.Gen.small_int
     (fun seed ->
@@ -109,7 +204,13 @@ let suite =
     Alcotest.test_case "rng: determinism" `Quick test_rng_deterministic;
     Alcotest.test_case "rng: seed sensitivity" `Quick test_rng_seed_sensitivity;
     Alcotest.test_case "rng: jitter stable" `Quick test_jitter_stable;
+    Alcotest.test_case "eheap: basics" `Quick test_eheap_basics;
+    Alcotest.test_case "eheap: fifo on ties" `Quick test_eheap_fifo_ties;
+    Alcotest.test_case "lru: eviction order" `Quick test_lru_basics;
+    Alcotest.test_case "lru: replace and mem" `Quick test_lru_replace_and_mem;
     QCheck_alcotest.to_alcotest prop_heap_sorted;
     QCheck_alcotest.to_alcotest prop_heap_conserves;
+    QCheck_alcotest.to_alcotest prop_eheap_matches_heap;
+    QCheck_alcotest.to_alcotest prop_eheap_interleaved;
     QCheck_alcotest.to_alcotest prop_float01_range;
   ]

@@ -23,6 +23,9 @@ module Diff = Bm_oracle.Diff
 module Soundness = Bm_oracle.Soundness
 module Shrink = Bm_oracle.Shrink
 module Fuzz = Bm_oracle.Fuzz
+module Cache = Bm_maestro.Cache
+module Runner = Bm_maestro.Runner
+module Suite = Bm_workloads.Suite
 
 let cfg = Config.titan_x_pascal
 
@@ -262,9 +265,70 @@ let test_genapp_to_ocaml () =
     src;
   Alcotest.(check int) "one Dsl.launch per kernel" (Genapp.kernels spec) !launches
 
+(* --- launch-time analysis cache -------------------------------------- *)
+
+let check_stats_identical label plain cached =
+  List.iter2
+    (fun (m, a) (m', b) ->
+      assert (m = m');
+      match Diff.diff_stats a b with
+      | [] -> ()
+      | ds ->
+        Alcotest.failf "%s under %s: cached prep diverged: %s" label (Mode.name m)
+          (String.concat "; " ds))
+    plain cached
+
+(* Cached preparation must be cycle-exact (exact float equality on every
+   Stats.t field) across the whole Table II suite under every known mode,
+   with a single cache shared across the sweep so cross-app hits happen. *)
+let test_cache_cycle_identity () =
+  let cache = Cache.create () in
+  let modes = List.map snd Mode.known in
+  List.iter
+    (fun (name, gen) ->
+      let app = gen () in
+      check_stats_identical name
+        (Runner.simulate_all ~cfg ~modes app)
+        (Runner.simulate_all ~cfg ~modes ~cache app))
+    Suite.all
+
+(* Second pass over the suite against a warm cache: every pair-level
+   lookup should hit (the acceptance bar is >= 90%). *)
+let test_cache_second_pass_hits () =
+  let cache = Cache.create () in
+  let apps = List.map (fun (_, gen) -> gen ()) Suite.all in
+  let pass () = List.iter (fun app -> ignore (Runner.prepare ~cfg ~cache Mode.Producer_priority app)) apps in
+  pass ();
+  let c1 = Cache.counters cache in
+  pass ();
+  let c2 = Cache.counters cache in
+  let hits = c2.Cache.pair_hits - c1.Cache.pair_hits in
+  let misses = c2.Cache.pair_misses - c1.Cache.pair_misses in
+  Alcotest.(check bool) "pair lookups happened" true (hits + misses > 0);
+  if 10 * hits < 9 * (hits + misses) then
+    Alcotest.failf "second-pass pair hit rate below 90%%: %d hits, %d misses" hits misses
+
+(* Randomized sweep: many structurally-overlapping generated apps through
+   one shared cache, each compared against an uncached preparation. *)
+let test_cache_genapp_sweep () =
+  let rng = Rng.create 0xcac4e in
+  let cache = Cache.create () in
+  for idx = 0 to 29 do
+    let app = Genapp.build (Genapp.generate rng idx) in
+    check_stats_identical
+      (Printf.sprintf "genapp %d" idx)
+      (Runner.simulate_all ~cfg app)
+      (Runner.simulate_all ~cfg ~cache app)
+  done
+
 let suite =
   [
     Alcotest.test_case "diff: 50 random apps x all modes" `Slow test_diff_random;
+    Alcotest.test_case "cache: cycle-identical over Table II suite" `Slow
+      test_cache_cycle_identity;
+    Alcotest.test_case "cache: second suite pass >=90% pair hits" `Quick
+      test_cache_second_pass_hits;
+    Alcotest.test_case "cache: randomized genapp sweep" `Slow test_cache_genapp_sweep;
     Alcotest.test_case "diff: window-full chain" `Quick test_diff_window_full;
     Alcotest.test_case "diff: slot overrun" `Quick test_diff_slot_overrun;
     Alcotest.test_case "diff: priority dual stream" `Quick test_diff_priority_two_streams;

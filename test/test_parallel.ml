@@ -108,6 +108,33 @@ let test_fuzz_jobs_identity () =
           Fuzz.pp_failure b)
     seq.Fuzz.r_failures par.Fuzz.r_failures
 
+(* Chunked generation is a memory optimization only: the failure set, the
+   precision statistics and every log line must be byte-identical for any
+   chunk size (and any domain count on top). *)
+let test_fuzz_chunk_identity () =
+  let cfg = Config.titan_x_pascal in
+  let run ~chunk ~jobs =
+    let logs = ref [] in
+    let r =
+      Fuzz.run ~cfg ~seed:42 ~count:10 ~soundness:false ~window_bug:1 ~chunk ~jobs
+        ~log:(fun s -> logs := s :: !logs)
+        ()
+    in
+    (List.map failure_key r.Fuzz.r_failures, List.rev !logs)
+  in
+  let reference = run ~chunk:256 ~jobs:1 in
+  List.iter
+    (fun (chunk, jobs) ->
+      let keys, logs = run ~chunk ~jobs in
+      Alcotest.(check (list string))
+        (Printf.sprintf "logs identical at chunk=%d jobs=%d" chunk jobs)
+        (snd reference) logs;
+      if keys <> fst reference then
+        Alcotest.failf "failures diverged at chunk=%d jobs=%d" chunk jobs)
+    [ (1, 1); (3, 4); (7, 2); (10, 1) ];
+  Alcotest.check_raises "chunk < 1 rejected" (Invalid_argument "Fuzz.run: chunk must be >= 1")
+    (fun () -> ignore (Fuzz.run ~cfg ~seed:1 ~count:1 ~chunk:0 ()))
+
 (* --- bench collection determinism ------------------------------------ *)
 
 (* Everything except the host wall-clock spans must be byte-identical; the
@@ -151,6 +178,7 @@ let suite =
     Alcotest.test_case "default_jobs knob" `Quick test_default_jobs_knob;
     Alcotest.test_case "fuzz: --jobs 4 = --jobs 1 (same counterexamples)" `Slow
       test_fuzz_jobs_identity;
+    Alcotest.test_case "fuzz: chunked generation is invisible" `Slow test_fuzz_chunk_identity;
     Alcotest.test_case "benchrun: --jobs 4 = --jobs 1 (cycle-identical)" `Slow
       test_benchrun_jobs_identity;
   ]
