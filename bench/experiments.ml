@@ -25,19 +25,28 @@ type app_results = {
   ar_runs : (Mode.t * Stats.t) list;  (* baseline + fig9 modes *)
 }
 
+(* Engine behind the shared experiment matrix (main.exe --backend):
+   [`Replay] runs every (app, mode) cell through graph capture and
+   event-trigger replay instead of fresh prepare + simulate.  The two are
+   cycle-exact identical, so all printed tables must not change — which
+   makes the full experiment pass under [`Replay] a whole-suite
+   equivalence check in itself.  Must be set before [results] is forced. *)
+let backend : [ `Sim | `Replay ] ref = ref `Sim
+
 (* Each app's prepare + 7-mode simulation is one independent task on the
    domain pool (the shared matrix behind table2/3 and fig9/10/11/13).
    Results come back in suite order, so every printed table is identical
    for any --jobs value. *)
 let results : app_results list Lazy.t =
   lazy
-    (Parallel.map_list
+    (let backend = !backend in
+     Parallel.map_list
        (fun (name, gen) ->
          let app = gen () in
          {
            ar_name = name;
            ar_prep = Runner.prepare Mode.Producer_priority app;
-           ar_runs = Runner.simulate_all ~modes:(Mode.Baseline :: fig9_modes) app;
+           ar_runs = Runner.simulate_all ~backend ~modes:(Mode.Baseline :: fig9_modes) app;
          })
        Suite.all)
 

@@ -138,6 +138,20 @@ let bechamel_tests =
        let cache = Cache.create () in
        let _warmup = Prep.prepare ~cache cfg app in
        Staged.stage (fun () -> Sys.opaque_identity (Prep.prepare ~cache cfg app)));
+    (* Capture/replay: capture cost (two preparations + lowering), warm
+       replay cost (zero preparation — compare against prep:warm-cache +
+       the fig9 simulate to see what skipping analysis buys), and the
+       serialization round trip. *)
+    Test.make ~name:"graph:capture"
+      (let app = wavefront_chain ~rounds:4 () in
+       Staged.stage (fun () -> Sys.opaque_identity (Graph.capture cfg app)));
+    Test.make ~name:"graph:replay-warm"
+      (let graph = Graph.capture cfg (wavefront_chain ~rounds:4 ()) in
+       Staged.stage (fun () ->
+           Sys.opaque_identity (Replay.run cfg Mode.Producer_priority graph)));
+    Test.make ~name:"graph:encode+decode"
+      (let graph = Graph.capture cfg (wavefront_chain ~rounds:4 ()) in
+       Staged.stage (fun () -> Sys.opaque_identity (Graph.of_json (Graph.to_json graph))));
   ]
 
 (* --oracle: run every suite app (plus representative microbenchmarks)
@@ -157,7 +171,11 @@ let run_oracle () =
   let failures = ref 0 in
   (* Every app runs both schedulers on its own domain; verdicts print in
      input order after the pool drains. *)
-  let verdicts = Parallel.map_list (fun (name, gen) -> (name, Diff.check ~cfg (gen ()))) apps in
+  let verdicts =
+    Parallel.map_list
+      (fun (name, gen) -> (name, Diff.check ~cfg ~backends:[ `Sim; `Replay ] (gen ())))
+      apps
+  in
   List.iter
     (fun (name, verdict) ->
       match verdict with
@@ -212,6 +230,65 @@ let run_traced () =
   end
   else print_endline "all traces passed the invariant checker"
 
+(* --capture-compare: the EXPERIMENTS.md capture/replay section.  Per
+   suite app: wall-clock for cold prepare+simulate, warm-cache
+   prepare+simulate, and warm replay of a pre-captured graph (all under
+   producer priority, averaged over [iters] runs), plus the graph file
+   size; every replay result is required to match the simulator
+   cycle-exactly before any timing is reported. *)
+let run_capture_compare () =
+  let cfg = Config.titan_x_pascal in
+  let iters = 5 in
+  let time f =
+    let t0 = Sys.time () in
+    for _ = 1 to iters do
+      ignore (Sys.opaque_identity (f ()))
+    done;
+    (Sys.time () -. t0) /. float_of_int iters *. 1e3
+  in
+  let mode = Mode.Producer_priority in
+  let rows =
+    Parallel.map_list
+      (fun (name, gen) ->
+        let app = gen () in
+        let graph = Graph.capture cfg app in
+        let bytes = String.length (Json.to_string (Graph.to_json graph)) in
+        let sim = Runner.simulate ~cfg mode app in
+        let rep = Replay.run cfg mode graph in
+        let exact = Diff.diff_stats rep sim = [] in
+        let cold = time (fun () -> Runner.simulate ~cfg mode app) in
+        let cache = Cache.create () in
+        ignore (Sys.opaque_identity (Runner.simulate ~cfg ~cache mode app));
+        let warm = time (fun () -> Runner.simulate ~cfg ~cache mode app) in
+        let replay = time (fun () -> Replay.run cfg mode graph) in
+        (name, exact, cold, warm, replay, bytes))
+      Suite.all
+  in
+  let t =
+    Report.table ~title:"capture/replay vs simulator (producer priority, ms per run)"
+      ~columns:[ "app"; "cycle-exact"; "cold prep+sim"; "warm prep+sim"; "replay"; "graph B" ]
+  in
+  let failures = ref 0 in
+  List.iter
+    (fun (name, exact, cold, warm, replay, bytes) ->
+      if not exact then incr failures;
+      Report.row t
+        [
+          name;
+          (if exact then "yes" else "NO");
+          Printf.sprintf "%.3f" cold;
+          Printf.sprintf "%.3f" warm;
+          Printf.sprintf "%.3f" replay;
+          string_of_int bytes;
+        ])
+    rows;
+  Report.print t;
+  if !failures > 0 then begin
+    Printf.eprintf "capture-compare: %d app(s) diverged from the simulator\n" !failures;
+    exit 1
+  end
+  else print_endline "every replay cycle-exact vs the simulator"
+
 (* --perf-gate: the two deterministic performance regressions CI guards
    against on this 1-core container, where wall-clock micro-benchmarks are
    too noisy to threshold.  (1) Warm-cache preparation must not be slower
@@ -253,6 +330,33 @@ let run_perf_gate () =
   let words = Gc.minor_words () -. w0 in
   check "sim minor-heap budget" (words <= sim_minor_words_budget)
     (Printf.sprintf "%.0f words, budget %.0f" words sim_minor_words_budget);
+  (* (3) Replaying a captured graph does no preparation at all, so the
+     end-to-end replay must not be slower than even the fully-warm
+     prepare + simulate path — if it is, the event-trigger engine
+     regressed. *)
+  let mode = Mode.Producer_priority in
+  let graph = Graph.capture cfg app in
+  let warm_e2e =
+    let iters = 5 in
+    ignore (Sys.opaque_identity (Prep.prepare ~cache cfg app));
+    let t0 = Sys.time () in
+    for _ = 1 to iters do
+      ignore (Sys.opaque_identity (Sim.run cfg mode (Prep.prepare ~cache cfg app)))
+    done;
+    (Sys.time () -. t0) /. float_of_int iters
+  in
+  let replay_e2e =
+    let iters = 5 in
+    ignore (Sys.opaque_identity (Replay.run cfg mode graph));
+    let t0 = Sys.time () in
+    for _ = 1 to iters do
+      ignore (Sys.opaque_identity (Replay.run cfg mode graph))
+    done;
+    (Sys.time () -. t0) /. float_of_int iters
+  in
+  check "replay <= warm prep+sim" (replay_e2e <= warm_e2e)
+    (Printf.sprintf "warm %.2f ms, replay %.2f ms (%.1fx)" (warm_e2e *. 1e3) (replay_e2e *. 1e3)
+       (if replay_e2e > 0.0 then warm_e2e /. replay_e2e else infinity));
   if !failures > 0 then begin
     Printf.eprintf "perf gate failed (%d check(s))\n" !failures;
     exit 1
@@ -279,8 +383,9 @@ let run_bechamel () =
 
 let usage () =
   Printf.eprintf
-    "usage: main.exe [--only SECTION] [--no-bechamel] [--trace] [--oracle] [--perf-gate]\n\
-    \       [--json FILE] [--compare OLD.json] [--threshold PCT] [--jobs N]\n\
+    "usage: main.exe [--only SECTION] [--no-bechamel] [--backend sim|replay] [--trace]\n\
+    \       [--oracle] [--perf-gate] [--capture-compare] [--json FILE] [--compare OLD.json]\n\
+    \       [--threshold PCT] [--jobs N]\n\
      sections: %s\n"
     (String.concat ", " (List.map fst sections))
 
@@ -291,6 +396,7 @@ let () =
   let traced = ref false in
   let oracle = ref false in
   let perf_gate = ref false in
+  let capture_compare = ref false in
   let json_out = ref None in
   let compare_file = ref None in
   let threshold = ref 5.0 in
@@ -307,6 +413,17 @@ let () =
       parse rest
     | "--perf-gate" :: rest ->
       perf_gate := true;
+      parse rest
+    | "--capture-compare" :: rest ->
+      capture_compare := true;
+      parse rest
+    | "--backend" :: b :: rest ->
+      (match b with
+      | "sim" -> Experiments.backend := `Sim
+      | "replay" -> Experiments.backend := `Replay
+      | _ ->
+        Printf.eprintf "--backend expects sim or replay, got %s\n" b;
+        exit 2);
       parse rest
     | "--only" :: s :: rest ->
       only := Some s;
@@ -331,7 +448,7 @@ let () =
         Printf.eprintf "--jobs expects a positive integer, got %s\n" n;
         exit 2);
       parse rest
-    | [ (("--only" | "--json" | "--compare" | "--threshold" | "--jobs") as flag) ] ->
+    | [ (("--only" | "--json" | "--compare" | "--threshold" | "--jobs" | "--backend") as flag) ] ->
       Printf.eprintf "%s expects an argument\n" flag;
       usage ();
       exit 2
@@ -350,8 +467,13 @@ let () =
   | Some old_file -> exit (Benchrun.compare_against ~threshold_pct:!threshold old_file)
   | None -> ());
   if !perf_gate then begin
-    print_endline "== performance gate (warm prep, sim allocation budget) ==";
+    print_endline "== performance gate (warm prep, sim allocation budget, replay) ==";
     run_perf_gate ();
+    exit 0
+  end;
+  if !capture_compare then begin
+    print_endline "== capture/replay comparison (cold prep vs warm cache vs replay) ==";
+    run_capture_compare ();
     exit 0
   end;
   if !oracle then begin

@@ -5,8 +5,11 @@
      run APP [-m MODE]       simulate one application under one mode
      speedup APP             all Fig. 9 modes for one application
      analyze APP             per-kernel-pair dependency analysis
+     timeline APP [-m MODE]  Gantt-style execution timeline
      stats APP [-m MODE]..   performance counters + pipeline spans
      trace APP [-m MODE]..   record, validate and export an event trace
+     capture APP [-o FILE]   lower the app into a compiled graph file
+     replay APP [-g FILE]..  execute a captured graph, event-triggered
      fuzz [--seed N]         differential fuzz of scheduler + Algorithm 1
      ptx APP                 dump the PTX of the application's kernels
 
@@ -19,19 +22,21 @@
    Exit codes are distinct per failure kind so CI and scripts can tell
    them apart:
      0    success
-     2    I/O error (cannot read/write a requested file)
-     3    fuzz found a counterexample
+     2    I/O error (cannot read/write a requested file, corrupt graph)
+     3    differential counterexample (fuzz, or replay --compare mismatch)
      4    an event trace violated the scheduling invariants
+     5    stale graph (fingerprint no longer matches the app/config)
      124  usage error (cmdliner's default for bad CLI syntax) *)
 
 open Blockmaestro
 open Cmdliner
 
-let version = "1.3.0"
+let version = "1.4.0"
 
 let exit_io_error = 2
-let exit_fuzz_counterexample = 3
+let exit_counterexample = 3
 let exit_trace_violation = 4
+let exit_stale_graph = 5
 
 (* One info constructor so every subcommand also answers --version. *)
 let cmd_info name ~doc = Cmd.info name ~doc ~version
@@ -129,16 +134,26 @@ let print_stats name mode (s : Stats.t) =
     Printf.printf "  TB stall (q1/med/q3, normalized to exec): %.2f / %.2f / %.2f\n" q1 med q3
   end
 
+let backend_arg =
+  Arg.(
+    value
+    & opt (enum [ ("sim", `Sim); ("replay", `Replay) ]) `Sim
+    & info [ "backend" ] ~docv:"BACKEND"
+        ~doc:
+          "Execution engine: $(b,sim) prepares and runs the command-queue simulator, \
+           $(b,replay) captures the app into a compiled graph and replays it event-triggered. \
+           Results are cycle-exact identical.")
+
 let run_cmd =
   let doc = "Simulate one application under one execution mode." in
   let mode =
     Arg.(value & opt mode_conv Mode.Producer_priority & info [ "m"; "mode" ] ~docv:"MODE" ~doc:"Execution mode.")
   in
-  let run (name, gen) mode =
+  let run (name, gen) mode backend =
     let app = gen () in
-    print_stats name mode (Runner.simulate mode app)
+    print_stats name mode (Runner.simulate ~backend mode app)
   in
-  Cmd.v (cmd_info "run" ~doc) Term.(const run $ app_arg $ mode)
+  Cmd.v (cmd_info "run" ~doc) Term.(const run $ app_arg $ mode $ backend_arg)
 
 let speedup_cmd =
   let doc = "Report speedups over the baseline for every Fig. 9 mode." in
@@ -509,6 +524,142 @@ let trace_cmd =
   in
   Cmd.v (cmd_info "trace" ~doc) Term.(const run $ app_arg $ modes $ out $ csv $ no_check $ jobs_arg)
 
+let graph_file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "g"; "graph" ] ~docv:"FILE"
+        ~doc:"Graph file (default: $(b,APP.graph.json)).")
+
+let default_graph_file name = name ^ ".graph.json"
+
+let print_graph_summary name file (graph : Graph.t) =
+  let t =
+    Report.table ~title:(name ^ " captured graph")
+      ~columns:[ "schedule"; "nodes"; "edges"; "commands"; "encoded B" ]
+  in
+  List.iter
+    (fun (label, sched) ->
+      let s = Graph.summarize sched in
+      Report.row t
+        [
+          label;
+          string_of_int s.Graph.sum_nodes;
+          string_of_int s.Graph.sum_edges;
+          string_of_int s.Graph.sum_commands;
+          string_of_int s.Graph.sum_encoded_bytes;
+        ])
+    [ ("plain", graph.Graph.g_plain); ("reordered", graph.Graph.g_reordered) ];
+  Report.print t;
+  Printf.printf "fingerprint: %s\n" graph.Graph.g_fingerprint;
+  match file with None -> () | Some f -> Printf.printf "wrote %s\n" f
+
+let capture_cmd =
+  let doc =
+    "Lower one application into a fingerprint-keyed compiled dependency graph and write it to \
+     a file that $(b,replay) executes without any launch-time analysis.  The graph carries \
+     both reorder classes, so one capture serves every execution mode."
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Output file (default: $(b,APP.graph.json)).")
+  in
+  let run (name, gen) out =
+    let app = gen () in
+    let graph = Runner.capture app in
+    let file = match out with Some f -> f | None -> default_graph_file name in
+    match Graph.save file graph with
+    | Ok () -> print_graph_summary name (Some file) graph
+    | Error msg ->
+      Printf.eprintf "bmctl: cannot write graph: %s\n" msg;
+      exit exit_io_error
+  in
+  Cmd.v (cmd_info "capture" ~doc) Term.(const run $ app_arg $ out)
+
+let replay_cmd =
+  let doc =
+    "Execute a captured graph with event-trigger readiness.  The graph is loaded from \
+     $(b,--graph) (or captured in memory when the file is absent and $(b,--fresh) is given), \
+     validated against the application's current fingerprint, and replayed under each \
+     requested mode with zero preparation work.  $(b,--compare) also runs the command-queue \
+     simulator on a fresh preparation and fails on any cycle divergence."
+  in
+  let modes =
+    Arg.(
+      value
+      & opt_all mode_conv []
+      & info [ "m"; "mode" ] ~docv:"MODE"
+          ~doc:"Execution mode(s); repeat for a sweep (default: producer).")
+  in
+  let compare_ =
+    Arg.(
+      value & flag
+      & info [ "compare" ]
+          ~doc:
+            "Also simulate each mode on a fresh preparation and difference the results; any \
+             divergence is reported per field and exits with status 3.")
+  in
+  let fresh =
+    Arg.(
+      value & flag
+      & info [ "fresh" ]
+          ~doc:"Capture in memory instead of loading $(b,--graph) (no file involved).")
+  in
+  let counters =
+    Arg.(
+      value & flag
+      & info [ "counters" ]
+          ~doc:"Report the replay's performance-counter registry ($(b,graph.replay.*) etc).")
+  in
+  let run (name, gen) graph_file modes compare_ fresh counters =
+    let app = gen () in
+    let modes = if modes = [] then [ Mode.Producer_priority ] else modes in
+    let cfg = Config.titan_x_pascal in
+    let graph =
+      if fresh then Runner.capture ~cfg app
+      else begin
+        let file = match graph_file with Some f -> f | None -> default_graph_file name in
+        match Graph.load file with
+        | Error err ->
+          Format.eprintf "bmctl: %s: %a@." file Graph.pp_error err;
+          exit exit_io_error
+        | Ok graph -> (
+          match Graph.validate cfg app graph with
+          | Ok () -> graph
+          | Error err ->
+            Format.eprintf "bmctl: %s: %a@." file Graph.pp_error err;
+            exit exit_stale_graph)
+      end
+    in
+    let mismatches = ref 0 in
+    List.iter
+      (fun mode ->
+        let metrics = Metrics.create () in
+        let stats = Replay.run ~metrics cfg mode graph in
+        print_stats name mode stats;
+        if counters then
+          Report.print
+            (Metrics.table
+               ~title:(Printf.sprintf "%s replay counters (%s)" name (Mode.name mode))
+               (Metrics.snapshot metrics));
+        if compare_ then begin
+          let sim = Runner.simulate ~cfg mode app in
+          match Diff.diff_stats stats sim with
+          | [] -> Printf.printf "compare (%s): cycle-exact vs simulator\n" (Mode.name mode)
+          | details ->
+            incr mismatches;
+            Printf.eprintf "compare (%s): REPLAY DIVERGES\n" (Mode.name mode);
+            List.iter (Printf.eprintf "  %s\n") details
+        end)
+      modes;
+    if !mismatches > 0 then exit exit_counterexample
+  in
+  Cmd.v (cmd_info "replay" ~doc)
+    Term.(const run $ app_arg $ graph_file_arg $ modes $ compare_ $ fresh $ counters)
+
 let fuzz_cmd =
   let doc =
     "Fuzz the scheduler against the reference scheduler and Algorithm 1 against the exact \
@@ -540,18 +691,30 @@ let fuzz_cmd =
       & info [ "m"; "mode" ] ~docv:"MODE" ~doc:"Mode(s) to check (default: all known modes).")
   in
   let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress progress lines.") in
-  let run seed count shrink no_soundness window_bug modes quiet jobs =
+  let replay =
+    Arg.(
+      value & flag
+      & info [ "replay" ]
+          ~doc:
+            "Also exercise graph capture and event-trigger replay on every generated app: each \
+             mode is differenced for both the $(b,sim) and $(b,replay) backends.")
+  in
+  let run seed count shrink no_soundness window_bug modes quiet replay jobs =
     set_jobs jobs;
     let modes = if modes = [] then List.map snd Mode.known else modes in
+    let backends = if replay then [ `Sim; `Replay ] else [ `Sim ] in
     let log = if quiet then fun _ -> () else fun s -> Printf.eprintf "%s\n%!" s in
     let report =
-      Fuzz.run ~modes ~shrink ~soundness:(not no_soundness) ?window_bug ~log ~seed ~count ()
+      Fuzz.run ~modes ~backends ~shrink ~soundness:(not no_soundness) ?window_bug ~log ~seed
+        ~count ()
     in
     Format.printf "%a@." Fuzz.pp_report report;
-    if not (Fuzz.ok report) then exit exit_fuzz_counterexample
+    if not (Fuzz.ok report) then exit exit_counterexample
   in
   Cmd.v (cmd_info "fuzz" ~doc)
-    Term.(const run $ seed $ count $ shrink $ no_soundness $ window_bug $ modes $ quiet $ jobs_arg)
+    Term.(
+      const run $ seed $ count $ shrink $ no_soundness $ window_bug $ modes $ quiet $ replay
+      $ jobs_arg)
 
 let ptx_cmd =
   let doc = "Print the PTX of the application's distinct kernels." in
@@ -573,7 +736,7 @@ let ptx_cmd =
 let main =
   let doc = "BlockMaestro: programmer-transparent task-based GPU execution (simulator)" in
   Cmd.group (Cmd.info "bmctl" ~doc ~version)
-    [ list_cmd; run_cmd; speedup_cmd; analyze_cmd; stats_cmd; timeline_cmd; trace_cmd; fuzz_cmd;
-      ptx_cmd ]
+    [ list_cmd; run_cmd; speedup_cmd; analyze_cmd; stats_cmd; timeline_cmd; trace_cmd;
+      capture_cmd; replay_cmd; fuzz_cmd; ptx_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -16,7 +16,8 @@
     - {!Bipartite}, {!Pattern}, {!Encode}: TB-level dependency graphs
     - {!Config}, {!Command}, {!Alloc}, {!Costmodel}, {!Stats}: GPU model
     - {!Mode}, {!Reorder}, {!Cache}, {!Prep}, {!Hardware}, {!Sim},
-      {!Runner}: BlockMaestro proper
+      {!Graph}, {!Replay}, {!Runner}: BlockMaestro proper (simulator plus
+      ahead-of-time capture/replay)
     - {!Templates}, {!Dsl}, {!Suite}, {!Microbench}, {!Wavefront},
       {!Genapp}: workloads
     - {!Cdp}, {!Wireframe}: comparison models
@@ -64,6 +65,8 @@ module Cache = Bm_maestro.Cache
 module Prep = Bm_maestro.Prep
 module Hardware = Bm_maestro.Hardware
 module Sim = Bm_maestro.Sim
+module Graph = Bm_maestro.Graph
+module Replay = Bm_maestro.Replay
 module Runner = Bm_maestro.Runner
 
 module Templates = Bm_workloads.Templates

@@ -1,0 +1,126 @@
+(** Ahead-of-time capture: a whole prepared application lowered into a
+    persistent compiled dependency graph.
+
+    PR 5's {!Cache} memoizes the launch-time {e analysis}; this module
+    memoizes the entire {e schedule}.  {!capture} runs {!Prep.prepare} once
+    per reorder class and lowers the results into a self-contained graph:
+    nodes are kernel launches carrying their resolved TB-level dependency
+    metadata (the bipartite relation with the stream predecessor, per-TB
+    cost arrays with the launch-seq jitter already applied, copy-dependency
+    edges), and the interleaved host commands keep only what execution
+    needs (byte counts, gating kernels).  Nothing in a captured graph
+    references PTX, symbolic analysis results or footprints — {!Replay}
+    executes it without performing any preparation work.
+
+    Graphs are fingerprint-keyed: {!fingerprint} digests the machine
+    configuration together with the canonical serialization of every
+    command and the structural {!Bm_analysis.Fingerprint} of every kernel,
+    so a graph captured from one (config, app) pair is valid for exactly
+    that pair.  {!validate} rejects a stale graph (mutated kernel, changed
+    launch geometry, different machine) with a distinct {!error}.
+
+    Serialization uses the dependency-free {!Bm_metrics.Json} codec.
+    Dependency relations persist in their Table I pattern-aware
+    {!Bm_depgraph.Encode.encoded} form; floats persist as IEEE-754 bit
+    patterns (hex), so a graph written to disk and reloaded is
+    bit-identical — {!equal} holds across any number of round trips, and a
+    reloaded graph replays cycle-exactly (test/test_graph.ml proves both
+    over random apps). *)
+
+(** One host command of the captured stream.  Kernel launches point at
+    their node; copies carry the byte count the copy-engine model needs;
+    D2H copies carry the kernel seq whose completion gates them. *)
+type gcmd =
+  | Gmalloc
+  | Gh2d of { bytes : int }
+  | Gd2h of { bytes : int; wait : int }  (** [wait]: gating kernel seq, -1 none *)
+  | Glaunch of { seq : int }
+  | Gsync
+
+(** One kernel launch with resolved dependency metadata. *)
+type node = {
+  n_seq : int;
+  n_kname : string;                        (** for reports only *)
+  n_prev : int;                            (** stream predecessor seq, -1 none *)
+  n_stream : int;
+  n_tbs : int;
+  n_tb_us : float array;                   (** per-TB cost, jitter applied *)
+  n_mem_requests : float;                  (** data-traffic total of this launch *)
+  n_relation : Bm_depgraph.Bipartite.relation;  (** with [n_prev] *)
+  n_copy_deps : int array;                 (** H2D command indices, sorted *)
+}
+
+(** One reorder class of the app: the final command order plus its nodes. *)
+type schedule = {
+  s_commands : gcmd array;
+  s_nodes : node array;
+}
+
+type t = {
+  g_app : string;          (** source application name *)
+  g_cfg_digest : string;   (** digest of the machine configuration *)
+  g_fingerprint : string;  (** digest of (config, commands, kernels) *)
+  g_plain : schedule;      (** captured with [reorder:false] *)
+  g_reordered : schedule;  (** captured with [reorder:true] *)
+}
+
+type error =
+  | Stale of { expected : string; got : string }
+      (** fingerprint mismatch: the app or config changed since capture *)
+  | Corrupt of string
+      (** the serialized form failed to decode *)
+
+val pp_error : Format.formatter -> error -> unit
+
+val cfg_digest : Bm_gpu.Config.t -> string
+(** Digest over {e every} configuration field (the trace-metadata
+    [Config.to_assoc] omits cost-model fields; this must not). *)
+
+val fingerprint : Bm_gpu.Config.t -> Bm_gpu.Command.app -> string
+(** Canonical digest of the (config, app) pair: all config fields, the
+    command stream (buffers by id/base/bytes, launch geometry, argument
+    lists, stream ids) and each kernel's alpha-renamed structural
+    {!Bm_analysis.Fingerprint}.  Any change that could alter preparation
+    output changes the fingerprint. *)
+
+val capture :
+  ?cache:Cache.t -> ?prof:Bm_metrics.Prof.t -> Bm_gpu.Config.t -> Bm_gpu.Command.app -> t
+(** Prepare the app in both reorder classes (sharing [cache] exactly like
+    {!Runner.simulate_all}) and lower each {!Prep.t} into a schedule. *)
+
+val validate : Bm_gpu.Config.t -> Bm_gpu.Command.app -> t -> (unit, error) result
+(** [Ok] iff the graph's fingerprint matches a fresh {!fingerprint} of the
+    pair — i.e. the graph was captured from exactly this config and app. *)
+
+val equal : t -> t -> bool
+(** Structural equality; floats compare by IEEE-754 bit pattern, relations
+    by {!Bm_depgraph.Bipartite.equal}. *)
+
+(** {1 Serialization} *)
+
+val to_json : t -> Bm_metrics.Json.t
+val of_json : Bm_metrics.Json.t -> (t, error) result
+
+val save : string -> t -> (unit, string) result
+(** Write the JSON form to a file; [Error] carries the I/O message. *)
+
+val load : string -> (t, error) result
+(** Read a graph back.  Unreadable files, invalid JSON and schema
+    violations all land in [Corrupt] — truncated or garbled files never
+    raise. *)
+
+(** {1 Introspection} *)
+
+type summary = {
+  sum_nodes : int;
+  sum_edges : int;          (** dependency edges across all node relations *)
+  sum_commands : int;
+  sum_encoded_bytes : int;  (** Table I pattern-aware storage of all relations *)
+}
+
+val summarize : schedule -> summary
+
+val export : t -> Bm_metrics.Metrics.t -> unit
+(** Publish capture counters ([graph.capture.nodes], [graph.capture.edges],
+    [graph.capture.commands], [graph.capture.encoded_bytes], over the
+    reordered schedule) into a metrics registry. *)

@@ -1,0 +1,53 @@
+(** Event-trigger execution of a captured graph.
+
+    {!run} executes a {!Graph.t} under one scheduling mode and produces the
+    same {!Bm_gpu.Stats.t} as {!Sim.run} on a fresh preparation —
+    cycle-exactly, and byte-identically in trace output (the differential
+    suite in test/test_graph.ml enforces both over the benchmark suite,
+    every mode, and random apps).  No preparation happens here: the graph
+    already carries per-TB costs, resolved relations and copy dependencies,
+    so a warm replay touches neither the PTX analyses nor the {!Cache}.
+
+    The engine reuses the simulator's machine model wholesale — packed-int
+    events on {!Bm_engine.Eheap}, the serial launch engine, the copy
+    engine, in-order per-stream completion — but replaces the two
+    per-event scans the command-queue simulator performs with
+    event-triggered bookkeeping in the style of stream-event-triggered
+    CUDA-graph launch:
+
+    - {e active-node list}: dispatch walks a doubly-linked list holding
+      exactly the launched-but-not-drained nodes instead of filtering the
+      whole kernel array.  Launch-completion events fire in sequence order
+      (enqueues are program-ordered and the event heap breaks key ties by
+      insertion order), so maintaining the list sorted is an O(1) append;
+      a node unlinks when it drains.
+    - {e copy-dependency counters}: each node holds a countdown of its
+      pending H2D copies and each copy command a reverse list of dependent
+      nodes; a copy-completion event decrements the counters, making the
+      launch-gate test O(1) where the simulator re-walks the dependency
+      list on every issue attempt. *)
+
+val run :
+  ?host_blocking_copies:bool ->
+  ?metrics:Bm_metrics.Metrics.t ->
+  ?trace:Bm_gpu.Stats.sink ->
+  Bm_gpu.Config.t ->
+  Mode.t ->
+  Graph.t ->
+  Bm_gpu.Stats.t
+(** Replays the schedule matching the mode's reorder class
+    ([g_reordered] when {!Mode.reorders}, else [g_plain]).
+
+    @raise Invalid_argument if the graph was captured under a different
+    machine configuration (its [g_cfg_digest] does not match [cfg]) —
+    replaying a graph on the wrong machine would silently produce timings
+    for the machine it was captured on.  App-level staleness is checked
+    separately with {!Graph.validate}, which needs the original app.
+
+    [metrics] receives the same counter families {!Sim.run} publishes
+    (copy traffic, launch overhead, window residency, DLB/PCB occupancy
+    and spills, TB activity) plus the replay-only [graph.replay.nodes],
+    [graph.replay.commands] and [graph.replay.events] counters — and,
+    by construction, none of the [prep.*] families: replay performs no
+    preparation.  [trace] receives the identical event stream {!Sim.run}
+    would emit.  Neither hook alters results. *)

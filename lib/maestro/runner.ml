@@ -4,22 +4,39 @@ module Stats = Bm_gpu.Stats
 let prepare ?(cfg = Config.titan_x_pascal) ?prof ?cache mode app =
   Prep.prepare ~reorder:(Mode.reorders mode) ?prof ?cache cfg app
 
-let simulate ?(cfg = Config.titan_x_pascal) ?metrics ?prof ?cache ?trace mode app =
-  let prep = prepare ~cfg ?prof ?cache mode app in
-  Sim.run ?metrics ?trace cfg mode prep
+let capture ?(cfg = Config.titan_x_pascal) ?prof ?cache app = Graph.capture ?cache ?prof cfg app
 
-let simulate_all ?(cfg = Config.titan_x_pascal) ?(modes = Mode.all_fig9) ?cache app =
-  (* The two reordering variants share their preparation. *)
-  let prep_plain = lazy (Prep.prepare ~reorder:false ?cache cfg app) in
-  let prep_reordered = lazy (Prep.prepare ~reorder:true ?cache cfg app) in
-  List.map
-    (fun mode ->
-      let prep = if Mode.reorders mode then Lazy.force prep_reordered else Lazy.force prep_plain in
-      (mode, Sim.run cfg mode prep))
-    modes
+let simulate ?(cfg = Config.titan_x_pascal) ?(backend = `Sim) ?metrics ?prof ?cache ?trace mode
+    app =
+  match backend with
+  | `Sim ->
+    let prep = prepare ~cfg ?prof ?cache mode app in
+    Sim.run ?metrics ?trace cfg mode prep
+  | `Replay ->
+    let graph = capture ~cfg ?prof ?cache app in
+    Replay.run ?metrics ?trace cfg mode graph
 
-let speedups ?(cfg = Config.titan_x_pascal) ?(modes = Mode.all_fig9) ?cache app =
-  let results = simulate_all ~cfg ~modes:(Mode.Baseline :: modes) ?cache app in
+let simulate_all ?(cfg = Config.titan_x_pascal) ?(backend = `Sim) ?(modes = Mode.all_fig9) ?cache
+    app =
+  match backend with
+  | `Sim ->
+    (* The two reordering variants share their preparation. *)
+    let prep_plain = lazy (Prep.prepare ~reorder:false ?cache cfg app) in
+    let prep_reordered = lazy (Prep.prepare ~reorder:true ?cache cfg app) in
+    List.map
+      (fun mode ->
+        let prep =
+          if Mode.reorders mode then Lazy.force prep_reordered else Lazy.force prep_plain
+        in
+        (mode, Sim.run cfg mode prep))
+      modes
+  | `Replay ->
+    (* One capture serves every mode: a graph holds both reorder classes. *)
+    let graph = lazy (Graph.capture ?cache cfg app) in
+    List.map (fun mode -> (mode, Replay.run cfg mode (Lazy.force graph))) modes
+
+let speedups ?(cfg = Config.titan_x_pascal) ?backend ?(modes = Mode.all_fig9) ?cache app =
+  let results = simulate_all ~cfg ?backend ~modes:(Mode.Baseline :: modes) ?cache app in
   let baseline = List.assoc Mode.Baseline results in
   List.filter_map
     (fun (mode, stats) ->

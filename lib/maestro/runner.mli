@@ -19,8 +19,19 @@ val prepare :
     calls (see {!Prep.prepare}); results are identical with and without a
     cache. *)
 
+val capture :
+  ?cfg:Bm_gpu.Config.t ->
+  ?prof:Bm_metrics.Prof.t ->
+  ?cache:Cache.t ->
+  Bm_gpu.Command.app ->
+  Graph.t
+(** Ahead-of-time capture ({!Graph.capture}): prepare both reorder classes
+    and lower them into a persistent compiled graph that {!Replay.run}
+    executes without any preparation. *)
+
 val simulate :
   ?cfg:Bm_gpu.Config.t ->
+  ?backend:[ `Sim | `Replay ] ->
   ?metrics:Bm_metrics.Metrics.t ->
   ?prof:Bm_metrics.Prof.t ->
   ?cache:Cache.t ->
@@ -28,20 +39,28 @@ val simulate :
   Mode.t ->
   Bm_gpu.Command.app ->
   Bm_gpu.Stats.t
-(** [metrics] and [trace] are forwarded to {!Sim.run}; [prof] to
-    {!Prep.prepare}.  Pass [Bm_report.Trace.sink] as [trace] to record
-    structured events while simulating. *)
+(** [backend] (default [`Sim]) selects the execution engine: [`Sim]
+    prepares and runs the command-queue simulator; [`Replay] captures the
+    app into a graph and replays it event-triggered ({!Replay.run}).  The
+    two produce cycle-exact identical results — the differential suite in
+    test/test_graph.ml is the gate.  [metrics] and [trace] are forwarded
+    to the selected engine; [prof] to the preparation/capture stage.  Pass
+    [Bm_report.Trace.sink] as [trace] to record structured events. *)
 
 val simulate_all :
   ?cfg:Bm_gpu.Config.t ->
+  ?backend:[ `Sim | `Replay ] ->
   ?modes:Mode.t list ->
   ?cache:Cache.t ->
   Bm_gpu.Command.app ->
   (Mode.t * Bm_gpu.Stats.t) list
-(** Run the Fig. 9 mode set (or [modes]) over one application. *)
+(** Run the Fig. 9 mode set (or [modes]) over one application.  With
+    [`Replay] one capture serves every mode (a graph carries both reorder
+    classes). *)
 
 val speedups :
   ?cfg:Bm_gpu.Config.t ->
+  ?backend:[ `Sim | `Replay ] ->
   ?modes:Mode.t list ->
   ?cache:Cache.t ->
   Bm_gpu.Command.app ->

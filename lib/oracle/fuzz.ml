@@ -23,6 +23,7 @@ type report = {
   r_seed : int;
   r_count : int;
   r_modes : Mode.t list;
+  r_backends : Diff.backend list;
   r_pairs_checked : int;
   r_precision : (Pattern.t * int * float) list;
   r_failures : failure list;
@@ -50,10 +51,10 @@ type outcome =
 let domain_cache : Bm_maestro.Cache.t Domain.DLS.key =
   Domain.DLS.new_key (fun () -> Bm_maestro.Cache.create ())
 
-let examine_outcome ~cfg ~modes ~soundness ~window_bug spec =
+let examine_outcome ~cfg ~modes ~backends ~soundness ~window_bug spec =
   let app = Genapp.build spec in
   let cache = Domain.DLS.get domain_cache in
-  match Diff.check ~cfg ~modes ~cache ?window_bug app with
+  match Diff.check ~cfg ~modes ~backends ~cache ?window_bug app with
   | Error (mm :: _) -> Bad (Scheduler_mismatch, Format.asprintf "%a" Diff.pp_mismatch mm)
   | Error [] -> Clean [] (* unreachable: Error implies at least one mismatch *)
   | exception exn ->
@@ -75,8 +76,8 @@ let examine_outcome ~cfg ~modes ~soundness ~window_bug spec =
     end
 
 (* None = clean; used as the shrinking predicate (same kind must persist). *)
-let examine ~cfg ~modes ~soundness ~window_bug spec =
-  match examine_outcome ~cfg ~modes ~soundness ~window_bug spec with
+let examine ~cfg ~modes ~backends ~soundness ~window_bug spec =
+  match examine_outcome ~cfg ~modes ~backends ~soundness ~window_bug spec with
   | Clean _ -> None
   | Bad (kind, detail) -> Some (kind, detail)
 
@@ -88,8 +89,9 @@ let same_kind a b =
   | Crash _, Crash _ -> true
   | _ -> false
 
-let run ?(cfg = Config.titan_x_pascal) ?(modes = List.map snd Mode.known) ?(shrink = true)
-    ?(soundness = true) ?window_bug ?(log = fun _ -> ()) ?jobs ?(chunk = 256) ~seed ~count () =
+let run ?(cfg = Config.titan_x_pascal) ?(modes = List.map snd Mode.known)
+    ?(backends = ([ `Sim ] : Diff.backend list)) ?(shrink = true) ?(soundness = true) ?window_bug
+    ?(log = fun _ -> ()) ?jobs ?(chunk = 256) ~seed ~count () =
   if chunk < 1 then invalid_arg "Fuzz.run: chunk must be >= 1";
   (* Spec generation consumes the seeded RNG strictly in index order — the
      one sequential phase — so the generated stream is identical to a fully
@@ -109,7 +111,7 @@ let run ?(cfg = Config.titan_x_pascal) ?(modes = List.map snd Mode.known) ?(shri
     let specs = Array.init n (fun i -> Genapp.generate rng (base + i)) in
     let outcomes =
       Bm_parallel.map_ordered ?domains:jobs
-        (examine_outcome ~cfg ~modes ~soundness ~window_bug)
+        (examine_outcome ~cfg ~modes ~backends ~soundness ~window_bug)
         specs
     in
     Array.iteri
@@ -156,7 +158,7 @@ let run ?(cfg = Config.titan_x_pascal) ?(modes = List.map snd Mode.known) ?(shri
           if not shrink then (None, 0)
           else begin
             let still_fails s =
-              match examine ~cfg ~modes ~soundness ~window_bug s with
+              match examine ~cfg ~modes ~backends ~soundness ~window_bug s with
               | Some (k, _) -> same_kind k kind
               | None -> false
             in
@@ -179,6 +181,7 @@ let run ?(cfg = Config.titan_x_pascal) ?(modes = List.map snd Mode.known) ?(shri
     r_seed = seed;
     r_count = count;
     r_modes = modes;
+    r_backends = backends;
     r_pairs_checked = !pairs;
     r_precision = precision_list;
     r_failures = failures;
@@ -196,8 +199,9 @@ let pp_failure ppf f =
       f.f_shrink_steps (Genapp.kernels s) (Genapp.to_string s) (Genapp.to_ocaml s)
 
 let pp_report ppf r =
-  Format.fprintf ppf "@[<v>fuzz: seed=%d count=%d modes=%s@," r.r_seed r.r_count
-    (String.concat "," (List.map Mode.name r.r_modes));
+  Format.fprintf ppf "@[<v>fuzz: seed=%d count=%d modes=%s backends=%s@," r.r_seed r.r_count
+    (String.concat "," (List.map Mode.name r.r_modes))
+    (String.concat "," (List.map Diff.backend_name r.r_backends));
   Format.fprintf ppf "soundness pairs checked: %d@," r.r_pairs_checked;
   List.iter
     (fun (p, cnt, mean) ->

@@ -14,6 +14,7 @@ let () =
       ("metrics", Test_metrics.suite);
       ("trace", Test_trace.suite);
       ("oracle", Test_oracle.suite);
+      ("graph", Test_graph.suite);
       ("parallel", Test_parallel.suite);
       ("integration", Test_integration.suite);
     ]
