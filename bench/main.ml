@@ -10,6 +10,9 @@
    to run the traced invariant-check pass over every (app, mode) pair
    instead of the experiments, --oracle to require cycle-exact agreement
    between the event-driven and reference schedulers on every app,
+   --corun to print the cross-app interference matrix (three suite pairs
+   co-run shared and partitioned, each cell proven against the naive
+   co-run reference),
    --json FILE to write a schema-versioned bench trajectory snapshot
    (per-app x mode simulated cycles, speedups, DLB/PCB high-water marks,
    memory overhead, host-pipeline wall-clock spans), and --compare OLD.json
@@ -289,6 +292,63 @@ let run_capture_compare () =
   end
   else print_endline "every replay cycle-exact vs the simulator"
 
+(* --corun: the EXPERIMENTS.md cross-app interference matrix.  Three app
+   pairs co-run under {shared fifo, shared packed, partitioned 14+14},
+   reporting each app's interference ratio (co-run time over solo time on
+   the machine it actually saw) and the makespan; every cell is first
+   required to agree cycle-exactly with the naive co-run reference
+   scheduler, so the numbers printed are the proven ones. *)
+let run_corun_matrix () =
+  let cfg = Config.titan_x_pascal in
+  let mode = Mode.Producer_priority in
+  let pairs = [ ("BICG", "MVT"); ("3MM", "PATH"); ("HS", "BICG") ] in
+  let shapes =
+    [
+      ("shared fifo", Multi.Fifo, Multi.Shared);
+      ("shared packed", Multi.Packed, Multi.Shared);
+      ("part 14+14", Multi.Fifo, Multi.Partitioned [| 14; 14 |]);
+    ]
+  in
+  let cells =
+    Parallel.map_list
+      (fun ((a, b), (label, submission, spatial)) ->
+        let apps = [| List.assoc a Suite.all (); List.assoc b Suite.all () |] in
+        let exact =
+          Diff.check_corun ~cfg ~modes:[ mode ] ~submissions:[ submission ]
+            ~spatials:[ spatial ] apps
+          = Ok ()
+        in
+        let res, ratios =
+          Runner.corun_interference ~cfg ~submission ~spatial mode apps
+        in
+        ((a, b), label, exact, res, ratios))
+      (List.concat_map (fun p -> List.map (fun s -> (p, s)) shapes) pairs)
+  in
+  let t =
+    Report.table ~title:"cross-app interference matrix (producer priority)"
+      ~columns:[ "pair"; "shape"; "cycle-exact"; "makespan us"; "ratio A"; "ratio B" ]
+  in
+  let failures = ref 0 in
+  List.iter
+    (fun ((a, b), label, exact, res, ratios) ->
+      if not exact then incr failures;
+      Report.row t
+        [
+          a ^ "+" ^ b;
+          label;
+          (if exact then "yes" else "NO");
+          Printf.sprintf "%.2f" res.Multi.mr_makespan_us;
+          Printf.sprintf "%.3f" ratios.(0);
+          Printf.sprintf "%.3f" ratios.(1);
+        ])
+    cells;
+  Report.print t;
+  if !failures > 0 then begin
+    Printf.eprintf "corun matrix: %d cell(s) diverged from the reference\n" !failures;
+    exit 1
+  end
+  else print_endline "every co-run cell cycle-exact vs the naive reference"
+
 (* --perf-gate: the two deterministic performance regressions CI guards
    against on this 1-core container, where wall-clock micro-benchmarks are
    too noisy to threshold.  (1) Warm-cache preparation must not be slower
@@ -384,8 +444,8 @@ let run_bechamel () =
 let usage () =
   Printf.eprintf
     "usage: main.exe [--only SECTION] [--no-bechamel] [--backend sim|replay] [--trace]\n\
-    \       [--oracle] [--perf-gate] [--capture-compare] [--json FILE] [--compare OLD.json]\n\
-    \       [--threshold PCT] [--jobs N]\n\
+    \       [--oracle] [--corun] [--perf-gate] [--capture-compare] [--json FILE]\n\
+    \       [--compare OLD.json] [--threshold PCT] [--jobs N]\n\
      sections: %s\n"
     (String.concat ", " (List.map fst sections))
 
@@ -395,6 +455,7 @@ let () =
   let bechamel_enabled = ref true in
   let traced = ref false in
   let oracle = ref false in
+  let corun = ref false in
   let perf_gate = ref false in
   let capture_compare = ref false in
   let json_out = ref None in
@@ -410,6 +471,9 @@ let () =
       parse rest
     | "--oracle" :: rest ->
       oracle := true;
+      parse rest
+    | "--corun" :: rest ->
+      corun := true;
       parse rest
     | "--perf-gate" :: rest ->
       perf_gate := true;
@@ -479,6 +543,11 @@ let () =
   if !oracle then begin
     print_endline "== differential oracle pass (every app x mode, both schedulers) ==";
     run_oracle ();
+    exit 0
+  end;
+  if !corun then begin
+    print_endline "== cross-app interference matrix (co-runs vs naive reference) ==";
+    run_corun_matrix ();
     exit 0
   end;
   if !traced then begin

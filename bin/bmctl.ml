@@ -10,7 +10,9 @@
      trace APP [-m MODE]..   record, validate and export an event trace
      capture APP [-o FILE]   lower the app into a compiled graph file
      replay APP [-g FILE]..  execute a captured graph, event-triggered
+     corun APP APP..         co-run apps on one machine (shared or partitioned)
      fuzz [--seed N]         differential fuzz of scheduler + Algorithm 1
+                             (--corun fuzzes two-app concurrency instead)
      ptx APP                 dump the PTX of the application's kernels
 
    stats, trace and fuzz accept --jobs N (default: BM_JOBS, else available
@@ -31,7 +33,7 @@
 open Blockmaestro
 open Cmdliner
 
-let version = "1.4.0"
+let version = "1.5.0"
 
 let exit_io_error = 2
 let exit_counterexample = 3
@@ -660,6 +662,140 @@ let replay_cmd =
   Cmd.v (cmd_info "replay" ~doc)
     Term.(const run $ app_arg $ graph_file_arg $ modes $ compare_ $ fresh $ counters)
 
+let corun_cmd =
+  let doc =
+    "Co-run two or more applications on one machine under a submission policy (which app's \
+     next kernel may enter the launch queue) and a spatial policy: by default the machine is \
+     $(b,shared) MPS-style — one TB-slot pool, one copy and one launch engine, contended \
+     DLB/PCB tables — while $(b,--partition) grants each app a private MIG-style slice of \
+     SMs with full isolation.  Prints per-app statistics and interference ratios (co-run \
+     time over solo time on the machine the app actually saw; 1.0 = no interference, and \
+     exactly 1.0 under a partition by the isolation property).  $(b,--check) additionally \
+     differences the co-run against the naive reference scheduler and fails on any cycle \
+     divergence."
+  in
+  let apps_arg =
+    Arg.(
+      non_empty & pos_all app_conv []
+      & info [] ~docv:"APP" ~doc:"Benchmark names (two or more; see list).")
+  in
+  let mode =
+    Arg.(
+      value
+      & opt mode_conv Mode.Producer_priority
+      & info [ "m"; "mode" ] ~docv:"MODE" ~doc:"Execution mode.")
+  in
+  let policy_conv =
+    let parse s =
+      match Multi.submission_of_string s with
+      | Some p -> Ok p
+      | None -> Error (`Msg (Printf.sprintf "unknown policy %S (try: fifo, rr, packed)" s))
+    in
+    Arg.conv (parse, fun ppf p -> Format.pp_print_string ppf (Multi.submission_name p))
+  in
+  let policy =
+    Arg.(
+      value
+      & opt policy_conv Multi.Fifo
+      & info [ "policy" ] ~docv:"POLICY"
+          ~doc:
+            "Submission policy: $(b,fifo) drains whole apps in order, $(b,rr) interleaves one \
+             kernel per app, $(b,packed) greedily admits the app whose next kernel has the \
+             fewest thread blocks.")
+  in
+  let partition_conv =
+    let parse s =
+      let parts = String.split_on_char ',' s in
+      try
+        let slices = List.map (fun p -> int_of_string (String.trim p)) parts in
+        if List.exists (fun n -> n < 1) slices then
+          Error (`Msg "every partition slice needs at least one SM")
+        else Ok (Array.of_list slices)
+      with Failure _ ->
+        Error (`Msg (Printf.sprintf "bad partition %S (expected e.g. 14,14)" s))
+    in
+    let print ppf slices =
+      Format.pp_print_string ppf
+        (String.concat "," (List.map string_of_int (Array.to_list slices)))
+    in
+    Arg.conv (parse, print)
+  in
+  let partition =
+    Arg.(
+      value
+      & opt (some partition_conv) None
+      & info [ "partition" ] ~docv:"S1,S2,.."
+          ~doc:
+            "Give app $(i,i) a private slice of $(i,Si) SMs (one slice per app, summing to at \
+             most the machine's SM count) instead of sharing the whole device.")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Also difference the co-run against the naive reference scheduler (cycle-exact, \
+             every field); any divergence is reported and exits with status 3.")
+  in
+  let with_metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:
+            "Attach the performance-counter registry and report the $(b,multi.*) contention \
+             counters (table occupancy high-water marks, spills, evictions, per-app \
+             attribution).")
+  in
+  let run named_apps mode policy partition check with_metrics =
+    let names = List.map fst named_apps in
+    let apps = Array.of_list (List.map (fun (_, gen) -> gen ()) named_apps) in
+    let napps = Array.length apps in
+    let cfg = Config.titan_x_pascal in
+    let spatial =
+      match partition with
+      | None -> Multi.Shared
+      | Some slices ->
+        if Array.length slices <> napps then begin
+          Printf.eprintf "bmctl: %d apps but %d partition slices\n" napps (Array.length slices);
+          exit 124
+        end;
+        Multi.Partitioned slices
+    in
+    let metrics = if with_metrics then Some (Metrics.create ()) else None in
+    let res, ratios =
+      Runner.corun_interference ~cfg ~submission:policy ~spatial ?metrics mode apps
+    in
+    Printf.printf "co-run of %s under %s (%s, %s):\n" (String.concat " + " names)
+      (Mode.name mode)
+      (Multi.submission_name policy)
+      (Multi.spatial_name spatial);
+    Printf.printf "  makespan          : %10.2f us\n" res.Multi.mr_makespan_us;
+    Printf.printf "  machine busy      : %10.2f us\n" res.Multi.mr_busy_us;
+    Printf.printf "  avg TB concurrency: %10.2f\n" res.Multi.mr_avg_concurrency;
+    List.iteri
+      (fun a name ->
+        let s = res.Multi.mr_stats.(a) in
+        Printf.printf "  app %d %-10s total %10.2f us  concurrency %6.2f  slots %4d  interference x%.3f\n"
+          a name s.Stats.total_us s.Stats.avg_concurrency res.Multi.mr_slots.(a) ratios.(a))
+      names;
+    (match metrics with
+    | Some m ->
+      Report.print (Metrics.table ~title:"co-run contention metrics" (Metrics.snapshot m))
+    | None -> ());
+    if check then begin
+      match
+        Diff.check_corun ~cfg ~modes:[ mode ] ~submissions:[ policy ] ~spatials:[ spatial ] apps
+      with
+      | Ok () -> Printf.printf "check: cycle-exact vs naive co-run reference\n"
+      | Error mms ->
+        Printf.eprintf "check: CO-RUN DIVERGES from reference\n";
+        List.iter (Format.eprintf "%a@." Diff.pp_corun_mismatch) mms;
+        exit exit_counterexample
+    end
+  in
+  Cmd.v (cmd_info "corun" ~doc)
+    Term.(const run $ apps_arg $ mode $ policy $ partition $ check $ with_metrics)
+
 let fuzz_cmd =
   let doc =
     "Fuzz the scheduler against the reference scheduler and Algorithm 1 against the exact \
@@ -699,22 +835,51 @@ let fuzz_cmd =
             "Also exercise graph capture and event-trigger replay on every generated app: each \
              mode is differenced for both the $(b,sim) and $(b,replay) backends.")
   in
-  let run seed count shrink no_soundness window_bug modes quiet replay jobs =
+  let corun =
+    Arg.(
+      value & flag
+      & info [ "corun" ]
+          ~doc:
+            "Fuzz the concurrency axis instead: random two-app co-runs (random submission \
+             policy; shared machine or a random SM partition) differenced against the naive \
+             co-run reference, with partitioned co-runs additionally checked app-by-app \
+             against solo runs on partition-sized machines.  Failures shrink to a minimal \
+             interfering pair.  $(b,--no-soundness), $(b,--replay) and \
+             $(b,--inject-window-bug) do not apply in this axis.")
+  in
+  let slots_bug =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "inject-slots-bug" ] ~docv:"D"
+          ~doc:
+            "With $(b,--corun): widen the reference engine's TB-slot pools by $(docv) slots; \
+             a nonzero value must be caught as a scheduler mismatch (self-test of the co-run \
+             oracle).")
+  in
+  let run seed count shrink no_soundness window_bug modes quiet replay corun slots_bug jobs =
     set_jobs jobs;
     let modes = if modes = [] then List.map snd Mode.known else modes in
-    let backends = if replay then [ `Sim; `Replay ] else [ `Sim ] in
     let log = if quiet then fun _ -> () else fun s -> Printf.eprintf "%s\n%!" s in
-    let report =
-      Fuzz.run ~modes ~backends ~shrink ~soundness:(not no_soundness) ?window_bug ~log ~seed
-        ~count ()
-    in
-    Format.printf "%a@." Fuzz.pp_report report;
-    if not (Fuzz.ok report) then exit exit_counterexample
+    if corun then begin
+      let report = Fuzz.run_corun ~modes ~shrink ?slots_bug ~log ~seed ~count () in
+      Format.printf "%a@." Fuzz.pp_corun_report report;
+      if not (Fuzz.corun_ok report) then exit exit_counterexample
+    end
+    else begin
+      let backends = if replay then [ `Sim; `Replay ] else [ `Sim ] in
+      let report =
+        Fuzz.run ~modes ~backends ~shrink ~soundness:(not no_soundness) ?window_bug ~log ~seed
+          ~count ()
+      in
+      Format.printf "%a@." Fuzz.pp_report report;
+      if not (Fuzz.ok report) then exit exit_counterexample
+    end
   in
   Cmd.v (cmd_info "fuzz" ~doc)
     Term.(
       const run $ seed $ count $ shrink $ no_soundness $ window_bug $ modes $ quiet $ replay
-      $ jobs_arg)
+      $ corun $ slots_bug $ jobs_arg)
 
 let ptx_cmd =
   let doc = "Print the PTX of the application's distinct kernels." in
@@ -737,6 +902,6 @@ let main =
   let doc = "BlockMaestro: programmer-transparent task-based GPU execution (simulator)" in
   Cmd.group (Cmd.info "bmctl" ~doc ~version)
     [ list_cmd; run_cmd; speedup_cmd; analyze_cmd; stats_cmd; timeline_cmd; trace_cmd;
-      capture_cmd; replay_cmd; fuzz_cmd; ptx_cmd ]
+      capture_cmd; replay_cmd; corun_cmd; fuzz_cmd; ptx_cmd ]
 
 let () = exit (Cmd.eval main)

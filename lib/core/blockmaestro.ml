@@ -16,13 +16,13 @@
     - {!Bipartite}, {!Pattern}, {!Encode}: TB-level dependency graphs
     - {!Config}, {!Command}, {!Alloc}, {!Costmodel}, {!Stats}: GPU model
     - {!Mode}, {!Reorder}, {!Cache}, {!Prep}, {!Hardware}, {!Sim},
-      {!Graph}, {!Replay}, {!Runner}: BlockMaestro proper (simulator plus
-      ahead-of-time capture/replay)
+      {!Graph}, {!Replay}, {!Multi}, {!Runner}: BlockMaestro proper
+      (simulator, ahead-of-time capture/replay, cross-app co-running)
     - {!Templates}, {!Dsl}, {!Suite}, {!Microbench}, {!Wavefront},
       {!Genapp}: workloads
     - {!Cdp}, {!Wireframe}: comparison models
-    - {!Refsched}, {!Diff}, {!Soundness}, {!Shrink}, {!Fuzz}: differential
-      oracle and shrinking fuzzer
+    - {!Refsched}, {!Refmulti}, {!Diff}, {!Soundness}, {!Shrink}, {!Fuzz}:
+      differential oracle and shrinking fuzzer
     - {!Metrics}, {!Prof}, {!Json}, {!Benchfile}: performance counters,
       span profiling and machine-readable bench trajectories
     - {!Parallel}, {!Benchrun}: domain-pool fan-out for experiment sweeps
@@ -67,6 +67,7 @@ module Hardware = Bm_maestro.Hardware
 module Sim = Bm_maestro.Sim
 module Graph = Bm_maestro.Graph
 module Replay = Bm_maestro.Replay
+module Multi = Bm_maestro.Multi
 module Runner = Bm_maestro.Runner
 
 module Templates = Bm_workloads.Templates
@@ -77,6 +78,7 @@ module Wavefront = Bm_workloads.Wavefront
 module Genapp = Bm_workloads.Genapp
 
 module Refsched = Bm_oracle.Refsched
+module Refmulti = Bm_oracle.Refmulti
 module Diff = Bm_oracle.Diff
 module Soundness = Bm_oracle.Soundness
 module Shrink = Bm_oracle.Shrink

@@ -44,6 +44,22 @@ let titan_x_pascal =
 
 let total_tb_slots t = t.num_sms * t.max_tbs_per_sm
 
+(* A machine slice with [sms] SMs.  The dependency tables are banked
+   per-SM in the paper's design (28 * 32 entries on the 28-SM machine), so
+   a spatial partition takes its proportional share of DLB/PCB capacity
+   along with its SMs.  Everything else — clocks, launch overheads, copy
+   bandwidth, jitter seed — describes per-unit behaviour and is unchanged,
+   which is what makes a partition's solo run on [with_sms cfg n]
+   bit-comparable to its co-run inside the full machine. *)
+let with_sms t sms =
+  if sms < 1 then invalid_arg "Config.with_sms: need at least one SM";
+  {
+    t with
+    num_sms = sms;
+    dlb_entries = t.dlb_entries * sms / t.num_sms;
+    pcb_entries = t.pcb_entries * sms / t.num_sms;
+  }
+
 let to_assoc t =
   [
     ("num_sms", string_of_int t.num_sms);

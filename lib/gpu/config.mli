@@ -30,6 +30,15 @@ val titan_x_pascal : t
 val total_tb_slots : t -> int
 (** [num_sms * max_tbs_per_sm] — concurrent TB capacity of the device. *)
 
+val with_sms : t -> int -> t
+(** [with_sms t n] is the machine restricted to [n] SMs: TB slots and the
+    per-SM-banked DLB/PCB capacities scale proportionally, every per-unit
+    parameter (clocks, overheads, copy bandwidth, jitter seed) is kept.
+    Used to describe one tenant's slice under spatial partitioning — a
+    solo run on [with_sms t n] is the isolation baseline for a co-run
+    that grants that tenant [n] SMs.  Raises [Invalid_argument] when
+    [n < 1]. *)
+
 val cycles_to_us : t -> float -> float
 
 val to_assoc : t -> (string * string) list

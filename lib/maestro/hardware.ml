@@ -52,6 +52,79 @@ let pcb_spill_bytes (cfg : Config.t) ~needed =
   let over = max 0 (needed - cfg.Config.pcb_entries) in
   over * ((pcb_entry_bits cfg + 7) / 8)
 
+(* Per-app occupancy attribution for a contended table (DLB or PCB) under
+   concurrent execution.  Under a shared spatial policy every app charges
+   one pool; under partitioning each app owns a pool sized to its slice.
+   Demand beyond a pool's capacity evicts entries to global memory; the
+   tracker counts those newly-evicted entries as they appear, attributed
+   to the acquiring app, so eviction counters are monotone even though
+   occupancy itself rises and falls. *)
+module Occupancy = struct
+  type t = {
+    caps : int array;      (* capacity per pool *)
+    pool_of : int array;   (* app -> pool *)
+    used : int array;      (* live entries per pool *)
+    high : int array;      (* pool high-water *)
+    app_used : int array;  (* live entries per app *)
+    app_high : int array;  (* app high-water *)
+    app_evicted : int array;  (* entries this app pushed over capacity *)
+  }
+
+  let create_shared ~capacity ~napps =
+    if napps < 1 then invalid_arg "Occupancy.create_shared: napps < 1";
+    {
+      caps = [| capacity |];
+      pool_of = Array.make napps 0;
+      used = [| 0 |];
+      high = [| 0 |];
+      app_used = Array.make napps 0;
+      app_high = Array.make napps 0;
+      app_evicted = Array.make napps 0;
+    }
+
+  let create_partitioned ~caps =
+    let napps = Array.length caps in
+    if napps < 1 then invalid_arg "Occupancy.create_partitioned: no pools";
+    {
+      caps = Array.copy caps;
+      pool_of = Array.init napps (fun i -> i);
+      used = Array.make napps 0;
+      high = Array.make napps 0;
+      app_used = Array.make napps 0;
+      app_high = Array.make napps 0;
+      app_evicted = Array.make napps 0;
+    }
+
+  let acquire t ~app n =
+    if n < 0 then invalid_arg "Occupancy.acquire: negative demand";
+    let p = t.pool_of.(app) in
+    let over_before = max 0 (t.used.(p) - t.caps.(p)) in
+    t.used.(p) <- t.used.(p) + n;
+    t.app_used.(app) <- t.app_used.(app) + n;
+    if t.used.(p) > t.high.(p) then t.high.(p) <- t.used.(p);
+    if t.app_used.(app) > t.app_high.(app) then t.app_high.(app) <- t.app_used.(app);
+    let newly_evicted = max 0 (t.used.(p) - t.caps.(p)) - over_before in
+    t.app_evicted.(app) <- t.app_evicted.(app) + newly_evicted;
+    newly_evicted
+
+  let release t ~app n =
+    if n < 0 then invalid_arg "Occupancy.release: negative demand";
+    let p = t.pool_of.(app) in
+    if t.app_used.(app) < n || t.used.(p) < n then
+      failwith
+        (Printf.sprintf "Occupancy.release: app %d releasing %d with app=%d pool=%d live" app n
+           t.app_used.(app) t.used.(p));
+    t.used.(p) <- t.used.(p) - n;
+    t.app_used.(app) <- t.app_used.(app) - n
+
+  let pool_used t ~app = t.used.(t.pool_of.(app))
+  let app_used t app = t.app_used.(app)
+  let pool_high t ~app = t.high.(t.pool_of.(app))
+  let app_high t app = t.app_high.(app)
+  let app_evicted t app = t.app_evicted.(app)
+  let evicted t = Array.fold_left ( + ) 0 t.app_evicted
+end
+
 let transaction_bytes = 32
 
 let to_transactions bytes = float_of_int ((bytes + transaction_bytes - 1) / transaction_bytes)

@@ -31,6 +31,35 @@ val pcb_spill_bytes : Bm_gpu.Config.t -> needed:int -> int
 (** Bytes of dependency metadata pushed to global memory when the demand
     exceeds the table capacity (entries over capacity x entry width). *)
 
+(** Per-app occupancy attribution for a contended DLB or PCB under
+    concurrent execution ({!Multi}).  Shared spatial policy: one pool, all
+    apps charge it, contention is real.  Partitioned: one pool per app,
+    each sized to its slice.  Demand beyond capacity counts as evicted
+    entries (to global memory), attributed to the acquiring app; eviction
+    totals are monotone, and {!Occupancy.release} rejects going negative
+    so accounting bugs surface as failures rather than skewed metrics. *)
+module Occupancy : sig
+  type t
+
+  val create_shared : capacity:int -> napps:int -> t
+  val create_partitioned : caps:int array -> t
+
+  val acquire : t -> app:int -> int -> int
+  (** Charge [n] entries to [app]'s pool; returns the number of entries
+      newly pushed over capacity by this acquisition (0 when it fits). *)
+
+  val release : t -> app:int -> int -> unit
+  (** Return [n] entries.  Fails if it would drive the app's or the
+      pool's live count negative. *)
+
+  val pool_used : t -> app:int -> int
+  val app_used : t -> int -> int
+  val pool_high : t -> app:int -> int
+  val app_high : t -> int -> int
+  val app_evicted : t -> int -> int
+  val evicted : t -> int
+end
+
 val dep_mem_requests :
   Bm_gpu.Config.t -> n_parents:int -> n_children:int -> Bm_depgraph.Bipartite.relation -> float
 (** 32-byte memory transactions needed to install and resolve one kernel

@@ -35,6 +35,35 @@ let simulate_all ?(cfg = Config.titan_x_pascal) ?(backend = `Sim) ?(modes = Mode
     let graph = lazy (Graph.capture ?cache cfg app) in
     List.map (fun mode -> (mode, Replay.run cfg mode (Lazy.force graph))) modes
 
+let corun ?(cfg = Config.titan_x_pascal) ?submission ?spatial ?metrics ?cache mode apps =
+  (* One shared analysis cache across the co-running apps: they are
+     prepared independently, exactly as for solo simulation. *)
+  let cache = match cache with Some c -> c | None -> Cache.create () in
+  let preps = Array.map (fun app -> prepare ~cfg ~cache mode app) apps in
+  Multi.run ?submission ?spatial ?metrics cfg mode preps
+
+let corun_interference ?(cfg = Config.titan_x_pascal) ?submission ?spatial ?metrics ?cache mode
+    apps =
+  let cache = match cache with Some c -> c | None -> Cache.create () in
+  let preps = Array.map (fun app -> prepare ~cfg ~cache mode app) apps in
+  let res = Multi.run ?submission ?spatial ?metrics cfg mode preps in
+  (* Solo baselines run on the machine each app actually saw: the full
+     device under [Shared], its own slice under [Partitioned] — so the
+     ratio isolates contention, not machine shrinkage. *)
+  let solo_cfg a =
+    match spatial with
+    | None | Some Multi.Shared -> cfg
+    | Some (Multi.Partitioned slices) -> Config.with_sms cfg slices.(a)
+  in
+  let ratios =
+    Array.mapi
+      (fun a prep ->
+        let solo = Sim.run (solo_cfg a) mode prep in
+        res.Multi.mr_stats.(a).Stats.total_us /. solo.Stats.total_us)
+      preps
+  in
+  (res, ratios)
+
 let speedups ?(cfg = Config.titan_x_pascal) ?backend ?(modes = Mode.all_fig9) ?cache app =
   let results = simulate_all ~cfg ?backend ~modes:(Mode.Baseline :: modes) ?cache app in
   let baseline = List.assoc Mode.Baseline results in

@@ -58,6 +58,34 @@ val simulate_all :
     [`Replay] one capture serves every mode (a graph carries both reorder
     classes). *)
 
+val corun :
+  ?cfg:Bm_gpu.Config.t ->
+  ?submission:Multi.submission ->
+  ?spatial:Multi.spatial ->
+  ?metrics:Bm_metrics.Metrics.t ->
+  ?cache:Cache.t ->
+  Mode.t ->
+  Bm_gpu.Command.app array ->
+  Multi.result
+(** Prepare each app (one shared analysis cache) and co-run them with
+    {!Multi.run}.  Defaults mirror [Multi.run]: FIFO submission on a
+    shared machine. *)
+
+val corun_interference :
+  ?cfg:Bm_gpu.Config.t ->
+  ?submission:Multi.submission ->
+  ?spatial:Multi.spatial ->
+  ?metrics:Bm_metrics.Metrics.t ->
+  ?cache:Cache.t ->
+  Mode.t ->
+  Bm_gpu.Command.app array ->
+  Multi.result * float array
+(** {!corun}, plus each app's interference ratio: co-run completion time
+    over solo completion time {e on the machine the app actually saw}
+    (the full device under [Shared], its own slice under [Partitioned]).
+    1.0 = no interference; under [Partitioned] the ratio is exactly 1.0
+    by the isolation property — the differential suite asserts this. *)
+
 val speedups :
   ?cfg:Bm_gpu.Config.t ->
   ?backend:[ `Sim | `Replay ] ->

@@ -5,6 +5,7 @@ module Prep = Bm_maestro.Prep
 module Sim = Bm_maestro.Sim
 module Graph = Bm_maestro.Graph
 module Replay = Bm_maestro.Replay
+module Multi = Bm_maestro.Multi
 
 type backend = [ `Sim | `Replay ]
 
@@ -90,3 +91,78 @@ let pp_mismatch ppf mm =
     (backend_name mm.mm_backend)
     (Format.pp_print_list ~pp_sep:Format.pp_print_cut Format.pp_print_string)
     mm.mm_details
+
+type corun_mismatch = {
+  cm_mode : Mode.t;
+  cm_submission : Multi.submission;
+  cm_spatial : Multi.spatial;
+  cm_app : int;
+  cm_details : string list;
+}
+
+let check_corun ?(cfg = Config.titan_x_pascal) ?(modes = List.map snd Mode.known) ?submissions
+    ?spatials ?cache ?slots_bug (apps : Bm_gpu.Command.app array) =
+  let napps = Array.length apps in
+  if napps < 1 then invalid_arg "Diff.check_corun: no apps";
+  let submissions =
+    match submissions with
+    | Some s -> s
+    | None -> [ Multi.Fifo; Multi.Round_robin; Multi.Packed ]
+  in
+  let spatials =
+    match spatials with
+    | Some s -> s
+    | None ->
+      (* Shared plus an even split of the machine (when it divides into at
+         least one SM per app). *)
+      let share = cfg.Config.num_sms / napps in
+      if share >= 1 then [ Multi.Shared; Multi.Partitioned (Array.make napps share) ]
+      else [ Multi.Shared ]
+  in
+  (* Preparation never reads the SM count, so one preparation per reorder
+     class serves every spatial policy. *)
+  let plain = lazy (Array.map (fun app -> Prep.prepare ~reorder:false ?cache cfg app) apps) in
+  let reord = lazy (Array.map (fun app -> Prep.prepare ~reorder:true ?cache cfg app) apps) in
+  let mms =
+    List.concat_map
+      (fun mode ->
+        let preps = if Mode.reorders mode then Lazy.force reord else Lazy.force plain in
+        List.concat_map
+          (fun spatial ->
+            (* Partitioned slices never contend for admission, so one
+               submission policy covers them. *)
+            let subs =
+              match spatial with
+              | Multi.Partitioned _ -> [ List.hd submissions ]
+              | Multi.Shared -> submissions
+            in
+            List.concat_map
+              (fun submission ->
+                let subject = Multi.run ~submission ~spatial cfg mode preps in
+                let ref_ = Refmulti.run ~submission ~spatial ?slots_bug cfg mode preps in
+                List.filter_map
+                  (fun a ->
+                    match diff_stats subject.Multi.mr_stats.(a) ref_.(a) with
+                    | [] -> None
+                    | details ->
+                      Some
+                        {
+                          cm_mode = mode;
+                          cm_submission = submission;
+                          cm_spatial = spatial;
+                          cm_app = a;
+                          cm_details = details;
+                        })
+                  (List.init napps Fun.id))
+              subs)
+          spatials)
+      modes
+  in
+  if mms = [] then Ok () else Error mms
+
+let pp_corun_mismatch ppf cm =
+  Format.fprintf ppf "@[<v 2>mode %s (%s, %s) app %d:@,%a@]" (Mode.name cm.cm_mode)
+    (Multi.submission_name cm.cm_submission)
+    (Multi.spatial_name cm.cm_spatial) cm.cm_app
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut Format.pp_print_string)
+    cm.cm_details

@@ -50,3 +50,37 @@ val check :
     gate for. *)
 
 val pp_mismatch : Format.formatter -> mismatch -> unit
+
+(** {1 Co-run differencing}
+
+    The multi-app analogue: {!Bm_maestro.Multi.run} vs {!Refmulti.run}
+    across submission and spatial policies. *)
+
+type corun_mismatch = {
+  cm_mode : Bm_maestro.Mode.t;
+  cm_submission : Bm_maestro.Multi.submission;
+  cm_spatial : Bm_maestro.Multi.spatial;
+  cm_app : int;  (** index of the diverging app *)
+  cm_details : string list;
+}
+
+val check_corun :
+  ?cfg:Bm_gpu.Config.t ->
+  ?modes:Bm_maestro.Mode.t list ->
+  ?submissions:Bm_maestro.Multi.submission list ->
+  ?spatials:Bm_maestro.Multi.spatial list ->
+  ?cache:Bm_maestro.Cache.t ->
+  ?slots_bug:int ->
+  Bm_gpu.Command.app array ->
+  (unit, corun_mismatch list) result
+(** Co-run the apps under every (mode, spatial, submission) combination
+    through both engines and collect per-app disagreements.  Defaults:
+    all modes, all three submission policies, and [Shared] plus an even
+    [Partitioned] split of the machine.  Under [Partitioned] only the
+    first submission policy is exercised (disjoint slices never contend
+    for admission, so the policy is inert).  [slots_bug] widens the
+    {e reference} engine's TB-slot pools — the injected-bug hook for
+    validating that the co-run harness detects and shrinks divergence
+    (see [Fuzz.run_corun]). *)
+
+val pp_corun_mismatch : Format.formatter -> corun_mismatch -> unit

@@ -8,6 +8,7 @@ type kind =
   | Scheduler_mismatch
   | Unsound_analysis
   | Relate_mismatch
+  | Isolation_breach
   | Crash of string
 
 type failure = {
@@ -33,6 +34,7 @@ let kind_name = function
   | Scheduler_mismatch -> "scheduler mismatch"
   | Unsound_analysis -> "unsound dependency analysis"
   | Relate_mismatch -> "relate divergence"
+  | Isolation_breach -> "partition isolation breach"
   | Crash msg -> "crash: " ^ msg
 
 (* Classify one spec.  [Clean] carries the soundness reports of the single
@@ -86,6 +88,7 @@ let same_kind a b =
   | Scheduler_mismatch, Scheduler_mismatch
   | Unsound_analysis, Unsound_analysis
   | Relate_mismatch, Relate_mismatch
+  | Isolation_breach, Isolation_breach
   | Crash _, Crash _ -> true
   | _ -> false
 
@@ -188,6 +191,206 @@ let run ?(cfg = Config.titan_x_pascal) ?(modes = List.map snd Mode.known)
   }
 
 let ok r = r.r_failures = []
+
+(* ------------------------------------------------------------------ *)
+(* Co-run fuzzing: the concurrency axis.                              *)
+(* ------------------------------------------------------------------ *)
+
+module Multi = Bm_maestro.Multi
+module Prep = Bm_maestro.Prep
+module Sim = Bm_maestro.Sim
+
+type corun_failure = {
+  cf_index : int;
+  cf_kind : kind;
+  cf_detail : string;
+  cf_corun : Genapp.corun;
+  cf_shrunk : Genapp.corun option;
+  cf_shrink_steps : int;
+}
+
+type corun_report = {
+  cr_seed : int;
+  cr_count : int;
+  cr_modes : Mode.t list;
+  cr_failures : corun_failure list;
+}
+
+let submission_of_tag = function
+  | `Fifo -> Multi.Fifo
+  | `Round_robin -> Multi.Round_robin
+  | `Packed -> Multi.Packed
+
+(* Two checks per co-run: (1) Multi vs the naive Refmulti under the spec's
+   own submission/spatial policy; (2) for partitioned co-runs, each app's
+   stats against its solo Sim run on a machine the size of its slice — the
+   isolation property, checked against an engine that knows nothing about
+   co-running at all. *)
+let examine_corun ~cfg ~modes ~slots_bug (c : Genapp.corun) =
+  let apps = [| Genapp.build c.c_a; Genapp.build c.c_b |] in
+  let cache = Domain.DLS.get domain_cache in
+  let submission = submission_of_tag c.c_submission in
+  let spatial =
+    match c.c_partition with
+    | None -> Multi.Shared
+    | Some (sa, sb) -> Multi.Partitioned [| sa; sb |]
+  in
+  match
+    Diff.check_corun ~cfg ~modes ~submissions:[ submission ] ~spatials:[ spatial ] ~cache
+      ?slots_bug apps
+  with
+  | Error (cm :: _) ->
+    Some (Scheduler_mismatch, Format.asprintf "%a" Diff.pp_corun_mismatch cm)
+  | Error [] -> None (* unreachable: Error implies at least one mismatch *)
+  | exception exn ->
+    let msg = Printexc.to_string exn in
+    Some (Crash msg, msg)
+  | Ok () -> (
+    match c.c_partition with
+    | None -> None
+    | Some (sa, sb) -> (
+      (* Preparation never reads the SM count, so the full-machine preps
+         serve both the co-run and the solo slice runs. *)
+      let slices = [| Config.with_sms cfg sa; Config.with_sms cfg sb |] in
+      let breach =
+        List.find_map
+          (fun mode ->
+            let preps =
+              Array.map (fun app -> Prep.prepare ~reorder:(Mode.reorders mode) ~cache cfg app) apps
+            in
+            let co = Multi.run ~submission ~spatial cfg mode preps in
+            List.find_map
+              (fun a ->
+                let solo = Sim.run slices.(a) mode preps.(a) in
+                match Diff.diff_stats co.Multi.mr_stats.(a) solo with
+                | [] -> None
+                | details ->
+                  Some
+                    (Printf.sprintf "mode %s app %d co-run vs solo on %d SM(s): %s"
+                       (Mode.name mode) a
+                       (if a = 0 then sa else sb)
+                       (String.concat "; " details)))
+              [ 0; 1 ])
+          modes
+      in
+      match breach with
+      | exception exn ->
+        let msg = Printexc.to_string exn in
+        Some (Crash msg, msg)
+      | Some detail -> Some (Isolation_breach, detail)
+      | None -> None))
+
+(* Alternate minimizing the two specs until neither shrinks further; size
+   strictly decreases on every accepted step, so the loop terminates. *)
+let shrink_corun still_fails (c : Genapp.corun) =
+  let cur = ref c and steps = ref 0 and progress = ref true in
+  while !progress do
+    progress := false;
+    let sa, na = Shrink.minimize (fun s -> still_fails { !cur with Genapp.c_a = s }) !cur.Genapp.c_a in
+    if na > 0 then begin
+      cur := { !cur with Genapp.c_a = sa };
+      steps := !steps + na;
+      progress := true
+    end;
+    let sb, nb = Shrink.minimize (fun s -> still_fails { !cur with Genapp.c_b = s }) !cur.Genapp.c_b in
+    if nb > 0 then begin
+      cur := { !cur with Genapp.c_b = sb };
+      steps := !steps + nb;
+      progress := true
+    end
+  done;
+  (!cur, !steps)
+
+let run_corun ?(cfg = Config.titan_x_pascal) ?(modes = List.map snd Mode.known) ?(shrink = true)
+    ?slots_bug ?(log = fun _ -> ()) ?jobs ?(chunk = 64) ~seed ~count () =
+  if chunk < 1 then invalid_arg "Fuzz.run_corun: chunk must be >= 1";
+  (* Same sequential-generation / parallel-examination contract as [run]:
+     the report is identical for every [jobs] and [chunk]. *)
+  let rng = Rng.create seed in
+  let bad = ref [] in
+  let next = ref 0 in
+  while !next < count do
+    let base = !next in
+    let n = min chunk (count - base) in
+    let coruns =
+      Array.init n (fun i -> Genapp.generate_corun ~num_sms:cfg.Config.num_sms rng (base + i))
+    in
+    let outcomes =
+      Bm_parallel.map_ordered ?domains:jobs (examine_corun ~cfg ~modes ~slots_bug) coruns
+    in
+    Array.iteri
+      (fun i outcome ->
+        let idx = base + i in
+        (match outcome with
+        | None -> ()
+        | Some (kind, detail) ->
+          log
+            (Printf.sprintf "corun %d (%s): %s" idx
+               (Genapp.corun_to_string coruns.(i))
+               (kind_name kind));
+          bad := (idx, kind, detail, coruns.(i)) :: !bad);
+        if (idx + 1) mod 25 = 0 then
+          log
+            (Printf.sprintf "%d/%d co-runs checked, %d failure(s)" (idx + 1) count
+               (List.length !bad)))
+      outcomes;
+    next := base + n
+  done;
+  let failures =
+    Bm_parallel.map_list ?domains:jobs
+      (fun (idx, kind, detail, c) ->
+        let shrunk, steps =
+          if not shrink then (None, 0)
+          else begin
+            let still_fails c' =
+              match examine_corun ~cfg ~modes ~slots_bug c' with
+              | Some (k, _) -> same_kind k kind
+              | None -> false
+            in
+            let c', steps = shrink_corun still_fails c in
+            (Some c', steps)
+          end
+        in
+        {
+          cf_index = idx;
+          cf_kind = kind;
+          cf_detail = detail;
+          cf_corun = c;
+          cf_shrunk = shrunk;
+          cf_shrink_steps = steps;
+        })
+      (List.rev !bad)
+  in
+  { cr_seed = seed; cr_count = count; cr_modes = modes; cr_failures = failures }
+
+let corun_ok r = r.cr_failures = []
+
+let pp_corun_failure ppf f =
+  Format.fprintf ppf "@[<v>corun %d: %s@,%s@,spec: %s@]" f.cf_index (kind_name f.cf_kind)
+    f.cf_detail
+    (Genapp.corun_to_string f.cf_corun);
+  match f.cf_shrunk with
+  | None -> ()
+  | Some c ->
+    Format.fprintf ppf
+      "@,@[<v>shrunk (%d step(s), %d + %d kernel(s)): %s@,repro app a:@,%s@,repro app b:@,%s@]"
+      f.cf_shrink_steps
+      (Genapp.kernels c.Genapp.c_a)
+      (Genapp.kernels c.Genapp.c_b)
+      (Genapp.corun_to_string c)
+      (Genapp.to_ocaml c.Genapp.c_a)
+      (Genapp.to_ocaml c.Genapp.c_b)
+
+let pp_corun_report ppf r =
+  Format.fprintf ppf "@[<v>corun fuzz: seed=%d count=%d modes=%s@," r.cr_seed r.cr_count
+    (String.concat "," (List.map Mode.name r.cr_modes));
+  if r.cr_failures = [] then
+    Format.fprintf ppf "no co-run mismatches, no isolation breaches@]"
+  else begin
+    Format.fprintf ppf "%d FAILURE(S):@," (List.length r.cr_failures);
+    Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_corun_failure ppf r.cr_failures;
+    Format.fprintf ppf "@]"
+  end
 
 let pp_failure ppf f =
   Format.fprintf ppf "@[<v>app %d: %s@,%s@,spec: %s@]" f.f_index (kind_name f.f_kind) f.f_detail

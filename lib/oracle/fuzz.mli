@@ -14,9 +14,12 @@
     a runnable DSL program.  Exposed on the command line as [bmctl fuzz]. *)
 
 type kind =
-  | Scheduler_mismatch  (** Sim vs reference scheduler divergence *)
+  | Scheduler_mismatch  (** Sim (or Multi) vs reference scheduler divergence *)
   | Unsound_analysis    (** static graph missing an exact RAW edge *)
   | Relate_mismatch     (** indexed vs naive Bipartite.relate divergence *)
+  | Isolation_breach
+      (** a partitioned co-run's per-app stats differ from its solo run on
+          a partition-sized machine (co-run fuzzing only) *)
   | Crash of string     (** either engine raised *)
 
 type failure = {
@@ -88,3 +91,53 @@ val ok : report -> bool
 
 val pp_failure : Format.formatter -> failure -> unit
 val pp_report : Format.formatter -> report -> unit
+
+(** {1 Co-run fuzzing}
+
+    The concurrency axis: random two-app co-runs
+    ({!Bm_workloads.Genapp.generate_corun}) differenced through
+    {!Diff.check_corun} ([Multi] vs the naive [Refmulti]) under the
+    spec's own submission/spatial policy; partitioned co-runs are
+    additionally checked app-by-app against solo [Sim] runs on
+    partition-sized machines (the isolation property).  Failures shrink
+    to a minimal interfering {e pair} by alternately minimizing each app
+    with the other held fixed until neither shrinks further. *)
+
+type corun_failure = {
+  cf_index : int;
+  cf_kind : kind;
+  cf_detail : string;
+  cf_corun : Bm_workloads.Genapp.corun;
+  cf_shrunk : Bm_workloads.Genapp.corun option;
+  cf_shrink_steps : int;
+}
+
+type corun_report = {
+  cr_seed : int;
+  cr_count : int;  (** co-runs generated *)
+  cr_modes : Bm_maestro.Mode.t list;
+  cr_failures : corun_failure list;
+}
+
+val run_corun :
+  ?cfg:Bm_gpu.Config.t ->
+  ?modes:Bm_maestro.Mode.t list ->
+  ?shrink:bool ->
+  ?slots_bug:int ->
+  ?log:(string -> unit) ->
+  ?jobs:int ->
+  ?chunk:int ->
+  seed:int ->
+  count:int ->
+  unit ->
+  corun_report
+(** Same determinism contract as {!run}: co-run generation consumes the
+    seeded RNG sequentially in index order, so the report is identical
+    for every [jobs] and [chunk] (default 64).  [slots_bug] widens the
+    reference engine's TB-slot pools (see {!Diff.check_corun}) so the
+    harness can prove it catches concurrency bugs. *)
+
+val corun_ok : corun_report -> bool
+
+val pp_corun_failure : Format.formatter -> corun_failure -> unit
+val pp_corun_report : Format.formatter -> corun_report -> unit

@@ -1,0 +1,29 @@
+(** Naive reference for {!Bm_maestro.Multi}: the concurrent analogue of
+    {!Refsched}.
+
+    Same philosophy — favor obviousness over speed.  Every derived
+    quantity (running TBs per slot pool, per-stream residency, admission
+    ranks under a submission policy, dispatch eligibility) is recomputed
+    from scratch by scanning, never cached; pending occurrences live in
+    an unordered list popped by minimum [(time, insertion seq)].  The
+    admission rank of a kernel under [Packed] is recomputed by replaying
+    the greedy merge from the beginning on every query.  Agreement with
+    the incremental, int-packed-heap [Multi.run] across every mode,
+    submission and spatial policy is therefore strong evidence both
+    engines implement the same concurrency semantics.
+
+    [slots_bug] (default 0) widens every TB-slot pool by that many slots
+    — an intentionally injected contention bug used to validate that the
+    co-run differential harness actually detects and shrinks divergence
+    (the multi-app analogue of [Diff]'s [window_bug]). *)
+
+val run :
+  ?submission:Bm_maestro.Multi.submission ->
+  ?spatial:Bm_maestro.Multi.spatial ->
+  ?slots_bug:int ->
+  Bm_gpu.Config.t ->
+  Bm_maestro.Mode.t ->
+  Bm_maestro.Prep.t array ->
+  Bm_gpu.Stats.t array
+(** Per-app statistics in app-local numbering, field-for-field comparable
+    with [Multi.run]'s [mr_stats] via {!Diff.diff_stats}. *)

@@ -97,6 +97,37 @@ let build spec =
     chains;
   Dsl.app d
 
+type corun = {
+  c_a : spec;
+  c_b : spec;
+  c_submission : [ `Fifo | `Round_robin | `Packed ];
+  c_partition : (int * int) option;
+}
+
+let generate_corun ?(num_sms = 28) ?max_streams ?max_len ?(max_grid = 48) ?block rng idx =
+  (* Two independent apps drawn back-to-back, then the co-run shape.  Draw
+     order is part of the seed contract, like [generate].  The grid bound
+     defaults higher than [generate]'s so small partitions (down to one SM
+     = 32 TB slots) actually saturate their pools — slot contention is the
+     behavior this axis exists to stress. *)
+  let a = generate ?max_streams ?max_len ~max_grid ?block rng (2 * idx) in
+  let b = generate ?max_streams ?max_len ~max_grid ?block rng ((2 * idx) + 1) in
+  let a = { a with g_name = Printf.sprintf "corun%03da" idx } in
+  let b = { b with g_name = Printf.sprintf "corun%03db" idx } in
+  let c_submission =
+    match Rng.int_below rng 3 with 0 -> `Fifo | 1 -> `Round_robin | _ -> `Packed
+  in
+  let c_partition =
+    if Rng.int_below rng 2 = 0 then None
+    else begin
+      let sa = 1 + Rng.int_below rng (num_sms - 1) in
+      Some (sa, num_sms - sa)
+    end
+  in
+  { c_a = a; c_b = b; c_submission; c_partition }
+
+let submission_tag = function `Fifo -> "fifo" | `Round_robin -> "rr" | `Packed -> "packed"
+
 let kspec_to_string ks =
   Printf.sprintf "%s g%d w%d%s"
     (match ks.k_body with Map -> "map" | Stencil { halo } -> Printf.sprintf "sten%d" halo)
@@ -112,6 +143,13 @@ let to_string spec =
          spec.g_chains)
   in
   Printf.sprintf "%s block=%d %s" spec.g_name spec.g_block (String.concat " " chains)
+
+let corun_to_string c =
+  Printf.sprintf "%s %s | %s | %s"
+    (match c.c_partition with
+    | None -> "shared"
+    | Some (sa, sb) -> Printf.sprintf "partitioned:%d+%d" sa sb)
+    (submission_tag c.c_submission) (to_string c.c_a) (to_string c.c_b)
 
 let to_ocaml spec =
   let b = Buffer.create 1024 in

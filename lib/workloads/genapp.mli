@@ -58,3 +58,31 @@ val to_ocaml : spec -> string
 (** A runnable OCaml fragment (using [Dsl] and [Templates]) that rebuilds
     exactly {!build}[ spec] — printed by the fuzzer as the repro for a
     minimized counterexample. *)
+
+(** {1 Co-run specs}
+
+    The concurrency axis of the fuzzer: two independent specs plus the
+    shape of their co-run.  The submission policy is a polymorphic
+    variant (not [Bm_maestro.Multi.submission]) so this library stays
+    free of a scheduler dependency; [Bm_oracle.Fuzz] converts. *)
+
+type corun = {
+  c_a : spec;
+  c_b : spec;
+  c_submission : [ `Fifo | `Round_robin | `Packed ];
+  c_partition : (int * int) option;
+      (** [None] = shared machine; [Some (sa, sb)] = disjoint SM slices *)
+}
+
+val generate_corun :
+  ?num_sms:int -> ?max_streams:int -> ?max_len:int -> ?max_grid:int -> ?block:int ->
+  Bm_engine.Rng.t -> int -> corun
+(** [generate_corun rng idx] rolls two apps (named ["corun<idx>a"/"b"])
+    with the same knobs as {!generate} except [max_grid] defaults to 48 —
+    large enough to saturate a one-SM partition's 32 TB slots, so slot
+    contention is actually exercised — plus a random submission policy and
+    a coin-flipped spatial policy: shared, or a random split of [num_sms]
+    (default 28) with at least one SM per app.  Draw order is stable. *)
+
+val corun_to_string : corun -> string
+(** One-liner: spatial, policy, then both app specs. *)

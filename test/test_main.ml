@@ -15,6 +15,7 @@ let () =
       ("trace", Test_trace.suite);
       ("oracle", Test_oracle.suite);
       ("graph", Test_graph.suite);
+      ("multi", Test_multi.suite);
       ("parallel", Test_parallel.suite);
       ("integration", Test_integration.suite);
     ]
