@@ -233,6 +233,86 @@ let run_traced () =
   end
   else print_endline "all traces passed the invariant checker"
 
+(* --explain: the EXPERIMENTS.md bottleneck table.  Per suite app under
+   baseline and producer priority: exact stall attribution of the TB-slot
+   pool, critical-path composition, and the Amdahl-style what-if ranking
+   (re-simulate with one cost zeroed).  The conservation identity and
+   critical-path coverage are validated on every cell; a violation is an
+   analysis bug and fails the run. *)
+let run_explain () =
+  let failures = ref 0 in
+  let grid =
+    List.concat_map
+      (fun (name, gen) ->
+        List.map (fun mode -> (name, gen, mode)) [ Mode.Baseline; Mode.Producer_priority ])
+      Suite.all
+  in
+  let cells =
+    Parallel.map_list
+      (fun (name, gen, mode) ->
+        let solo, stats, _ = Explain.run_traced ~whatif:true mode ~name (gen ()) in
+        let verdict =
+          match Explain.check solo with
+          | Error _ as e -> e
+          | Ok () -> Explain.check_records solo stats
+        in
+        (solo, verdict))
+      grid
+  in
+  let t =
+    Report.table ~title:"explain: slot attribution, critical path and what-if per app"
+      ~columns:
+        [ "app"; "mode"; "total us"; "exec"; "dep"; "launch"; "copy"; "idle"; "cp launch";
+          "cp copy"; "cp host"; "best knob"; "bound" ]
+  in
+  List.iter
+    (fun (solo, verdict) ->
+      (match verdict with
+      | Ok () -> ()
+      | Error e ->
+        incr failures;
+        Printf.printf "  %-10s %-20s DIVERGED: %s\n" solo.Explain.x_app
+          (Mode.name solo.Explain.x_mode) e);
+      let a = solo.Explain.x_attrib in
+      let share b = Printf.sprintf "%.1f%%" (Attrib.share a Attrib.Slots b) in
+      let kind k =
+        let ticks =
+          try List.assoc k (Critpath.kind_ticks solo.Explain.x_critpath) with Not_found -> 0
+        in
+        Printf.sprintf "%.1f%%"
+          (100.0 *. float_of_int ticks
+          /. float_of_int (max 1 solo.Explain.x_critpath.Critpath.cp_makespan_ticks))
+      in
+      let best =
+        List.fold_left
+          (fun acc w ->
+            match acc with
+            | Some b when b.Explain.wi_speedup >= w.Explain.wi_speedup -> acc
+            | _ -> Some w)
+          None solo.Explain.x_whatif
+      in
+      Report.row t
+        [ solo.Explain.x_app;
+          Mode.name solo.Explain.x_mode;
+          Report.f2 solo.Explain.x_total_us;
+          share Attrib.Exec;
+          share Attrib.Dep_wait;
+          share Attrib.Launch_overhead;
+          share Attrib.Copy_blocked;
+          share Attrib.Idle;
+          kind "launch";
+          kind "copy";
+          kind "host";
+          (match best with Some w -> w.Explain.wi_knob | None -> "-");
+          (match best with Some w -> Printf.sprintf "%.3fx" w.Explain.wi_speedup | None -> "-") ])
+    cells;
+  Report.print t;
+  if !failures > 0 then begin
+    Printf.eprintf "explain validation failed for %d cells\n" !failures;
+    exit 1
+  end
+  else print_endline "conservation exact and critical path complete on every cell"
+
 (* --capture-compare: the EXPERIMENTS.md capture/replay section.  Per
    suite app: wall-clock for cold prepare+simulate, warm-cache
    prepare+simulate, and warm replay of a pre-captured graph (all under
@@ -444,7 +524,7 @@ let run_bechamel () =
 let usage () =
   Printf.eprintf
     "usage: main.exe [--only SECTION] [--no-bechamel] [--backend sim|replay] [--trace]\n\
-    \       [--oracle] [--corun] [--perf-gate] [--capture-compare] [--json FILE]\n\
+    \       [--oracle] [--corun] [--explain] [--perf-gate] [--capture-compare] [--json FILE]\n\
     \       [--compare OLD.json] [--threshold PCT] [--jobs N]\n\
      sections: %s\n"
     (String.concat ", " (List.map fst sections))
@@ -456,6 +536,7 @@ let () =
   let traced = ref false in
   let oracle = ref false in
   let corun = ref false in
+  let explain = ref false in
   let perf_gate = ref false in
   let capture_compare = ref false in
   let json_out = ref None in
@@ -474,6 +555,9 @@ let () =
       parse rest
     | "--corun" :: rest ->
       corun := true;
+      parse rest
+    | "--explain" :: rest ->
+      explain := true;
       parse rest
     | "--perf-gate" :: rest ->
       perf_gate := true;
@@ -548,6 +632,11 @@ let () =
   if !corun then begin
     print_endline "== cross-app interference matrix (co-runs vs naive reference) ==";
     run_corun_matrix ();
+    exit 0
+  end;
+  if !explain then begin
+    print_endline "== bottleneck attribution (exact stall accounting + what-if) ==";
+    run_explain ();
     exit 0
   end;
   if !traced then begin

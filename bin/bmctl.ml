@@ -11,6 +11,7 @@
      capture APP [-o FILE]   lower the app into a compiled graph file
      replay APP [-g FILE]..  execute a captured graph, event-triggered
      corun APP APP..         co-run apps on one machine (shared or partitioned)
+     explain APP [APP..]     cycle attribution, critical path, what-if ranking
      fuzz [--seed N]         differential fuzz of scheduler + Algorithm 1
                              (--corun fuzzes two-app concurrency instead)
      ptx APP                 dump the PTX of the application's kernels
@@ -28,17 +29,20 @@
      3    differential counterexample (fuzz, or replay --compare mismatch)
      4    an event trace violated the scheduling invariants
      5    stale graph (fingerprint no longer matches the app/config)
+     6    attribution divergence (conservation identity or critical-path
+          coverage broken — an analysis bug, not an app property)
      124  usage error (cmdliner's default for bad CLI syntax) *)
 
 open Blockmaestro
 open Cmdliner
 
-let version = "1.5.0"
+let version = "1.6.0"
 
 let exit_io_error = 2
 let exit_counterexample = 3
 let exit_trace_violation = 4
 let exit_stale_graph = 5
+let exit_attrib_divergence = 6
 
 (* One info constructor so every subcommand also answers --version. *)
 let cmd_info name ~doc = Cmd.info name ~doc ~version
@@ -662,6 +666,60 @@ let replay_cmd =
   Cmd.v (cmd_info "replay" ~doc)
     Term.(const run $ app_arg $ graph_file_arg $ modes $ compare_ $ fresh $ counters)
 
+(* Submission/spatial policy options, shared by corun and explain. *)
+let policy_conv =
+  let parse s =
+    match Multi.submission_of_string s with
+    | Some p -> Ok p
+    | None -> Error (`Msg (Printf.sprintf "unknown policy %S (try: fifo, rr, packed)" s))
+  in
+  Arg.conv (parse, fun ppf p -> Format.pp_print_string ppf (Multi.submission_name p))
+
+let policy_arg =
+  Arg.(
+    value
+    & opt policy_conv Multi.Fifo
+    & info [ "policy" ] ~docv:"POLICY"
+        ~doc:
+          "Submission policy: $(b,fifo) drains whole apps in order, $(b,rr) interleaves one \
+           kernel per app, $(b,packed) greedily admits the app whose next kernel has the \
+           fewest thread blocks.")
+
+let partition_conv =
+  let parse s =
+    let parts = String.split_on_char ',' s in
+    try
+      let slices = List.map (fun p -> int_of_string (String.trim p)) parts in
+      if List.exists (fun n -> n < 1) slices then
+        Error (`Msg "every partition slice needs at least one SM")
+      else Ok (Array.of_list slices)
+    with Failure _ ->
+      Error (`Msg (Printf.sprintf "bad partition %S (expected e.g. 14,14)" s))
+  in
+  let print ppf slices =
+    Format.pp_print_string ppf
+      (String.concat "," (List.map string_of_int (Array.to_list slices)))
+  in
+  Arg.conv (parse, print)
+
+let partition_arg =
+  Arg.(
+    value
+    & opt (some partition_conv) None
+    & info [ "partition" ] ~docv:"S1,S2,.."
+        ~doc:
+          "Give app $(i,i) a private slice of $(i,Si) SMs (one slice per app, summing to at \
+           most the machine's SM count) instead of sharing the whole device.")
+
+let spatial_of_partition ~napps = function
+  | None -> Multi.Shared
+  | Some slices ->
+    if Array.length slices <> napps then begin
+      Printf.eprintf "bmctl: %d apps but %d partition slices\n" napps (Array.length slices);
+      exit 124
+    end;
+    Multi.Partitioned slices
+
 let corun_cmd =
   let doc =
     "Co-run two or more applications on one machine under a submission policy (which app's \
@@ -685,50 +743,6 @@ let corun_cmd =
       & opt mode_conv Mode.Producer_priority
       & info [ "m"; "mode" ] ~docv:"MODE" ~doc:"Execution mode.")
   in
-  let policy_conv =
-    let parse s =
-      match Multi.submission_of_string s with
-      | Some p -> Ok p
-      | None -> Error (`Msg (Printf.sprintf "unknown policy %S (try: fifo, rr, packed)" s))
-    in
-    Arg.conv (parse, fun ppf p -> Format.pp_print_string ppf (Multi.submission_name p))
-  in
-  let policy =
-    Arg.(
-      value
-      & opt policy_conv Multi.Fifo
-      & info [ "policy" ] ~docv:"POLICY"
-          ~doc:
-            "Submission policy: $(b,fifo) drains whole apps in order, $(b,rr) interleaves one \
-             kernel per app, $(b,packed) greedily admits the app whose next kernel has the \
-             fewest thread blocks.")
-  in
-  let partition_conv =
-    let parse s =
-      let parts = String.split_on_char ',' s in
-      try
-        let slices = List.map (fun p -> int_of_string (String.trim p)) parts in
-        if List.exists (fun n -> n < 1) slices then
-          Error (`Msg "every partition slice needs at least one SM")
-        else Ok (Array.of_list slices)
-      with Failure _ ->
-        Error (`Msg (Printf.sprintf "bad partition %S (expected e.g. 14,14)" s))
-    in
-    let print ppf slices =
-      Format.pp_print_string ppf
-        (String.concat "," (List.map string_of_int (Array.to_list slices)))
-    in
-    Arg.conv (parse, print)
-  in
-  let partition =
-    Arg.(
-      value
-      & opt (some partition_conv) None
-      & info [ "partition" ] ~docv:"S1,S2,.."
-          ~doc:
-            "Give app $(i,i) a private slice of $(i,Si) SMs (one slice per app, summing to at \
-             most the machine's SM count) instead of sharing the whole device.")
-  in
   let check =
     Arg.(
       value & flag
@@ -746,25 +760,42 @@ let corun_cmd =
              counters (table occupancy high-water marks, spills, evictions, per-app \
              attribution).")
   in
-  let run named_apps mode policy partition check with_metrics =
+  let folded =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "folded" ] ~docv:"FILE"
+          ~doc:
+            "Write each app's host-pipeline spans as folded stacks to $(docv), every stack \
+             rooted under a per-app $(b,app.)$(i,i) frame — flamegraph.pl/speedscope render \
+             the tenants as side-by-side towers instead of merging same-named spans.")
+  in
+  let run named_apps mode policy partition check with_metrics folded =
     let names = List.map fst named_apps in
     let apps = Array.of_list (List.map (fun (_, gen) -> gen ()) named_apps) in
     let napps = Array.length apps in
     let cfg = Config.titan_x_pascal in
-    let spatial =
-      match partition with
-      | None -> Multi.Shared
-      | Some slices ->
-        if Array.length slices <> napps then begin
-          Printf.eprintf "bmctl: %d apps but %d partition slices\n" napps (Array.length slices);
-          exit 124
-        end;
-        Multi.Partitioned slices
-    in
+    let spatial = spatial_of_partition ~napps partition in
     let metrics = if with_metrics then Some (Metrics.create ()) else None in
-    let res, ratios =
-      Runner.corun_interference ~cfg ~submission:policy ~spatial ?metrics mode apps
+    let profs =
+      match folded with None -> None | Some _ -> Some (Array.init napps (fun _ -> Prof.create ()))
     in
+    let res, ratios =
+      Runner.corun_interference ~cfg ~submission:policy ~spatial ?metrics ?profs mode apps
+    in
+    (match (folded, profs) with
+    | Some file, Some ps ->
+      (try
+         let oc = open_out file in
+         Array.iteri
+           (fun i p -> ignore (Prof.to_folded ~out:oc ~prefix:(Printf.sprintf "app.%d" i) p))
+           ps;
+         close_out oc;
+         Printf.printf "wrote %s\n" file
+       with Sys_error msg ->
+         Printf.eprintf "bmctl: cannot write folded stacks: %s\n" msg;
+         exit exit_io_error)
+    | _ -> ());
     Printf.printf "co-run of %s under %s (%s, %s):\n" (String.concat " + " names)
       (Mode.name mode)
       (Multi.submission_name policy)
@@ -794,7 +825,177 @@ let corun_cmd =
     end
   in
   Cmd.v (cmd_info "corun" ~doc)
-    Term.(const run $ apps_arg $ mode $ policy $ partition $ check $ with_metrics)
+    Term.(const run $ apps_arg $ mode $ policy_arg $ partition_arg $ check $ with_metrics $ folded)
+
+let explain_cmd =
+  let doc =
+    "Explain where the cycles went.  Records an event trace, decomposes every cycle of the \
+     makespan on every resource (TB slots, copy engine, launch engine) into exclusive stall \
+     buckets — an exact integer accounting whose rows must sum to the makespan — extracts \
+     the empirical critical path through the schedule, and re-simulates with one cost zeroed \
+     per knob (launch latency, copies, malloc) to bound what fixing each overhead could buy.  \
+     With several $(i,APP)s the apps are co-run and each tenant's own event stream is \
+     attributed against the slot budget it was granted (what-if is skipped).  The \
+     conservation identity and full critical-path coverage are always verified; any \
+     divergence exits with status 6."
+  in
+  let apps_arg =
+    Arg.(
+      non_empty & pos_all app_conv []
+      & info [] ~docv:"APP" ~doc:"Benchmark name(s); several co-run on one machine.")
+  in
+  let mode =
+    Arg.(
+      value
+      & opt mode_conv Mode.Producer_priority
+      & info [ "m"; "mode" ] ~docv:"MODE" ~doc:"Execution mode (see $(b,run)).")
+  in
+  let backend =
+    Arg.(
+      value
+      & opt (enum [ ("sim", `Sim); ("replay", `Replay) ]) `Sim
+      & info [ "backend" ] ~docv:"ENGINE"
+          ~doc:
+            "Execution engine: $(b,sim) prepares and simulates, $(b,replay) captures a graph \
+             and replays it.  Traces are byte-identical, so the attribution must not change.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit the full explain report as JSON (one object per app) instead of tables.  \
+             The encoding is stable: parsing and re-encoding reproduces the same bytes.")
+  in
+  let top =
+    let pos_int = pos_int_conv "--top" in
+    Arg.(
+      value & opt pos_int 5
+      & info [ "top" ] ~docv:"K" ~doc:"Contributors listed in the top-kernel tables.")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Print an explicit confirmation of the validated identities (conservation, \
+             critical-path coverage, event-vs-records busy-tick agreement) — for CI logs.  \
+             Violations exit with status 6 with or without this flag.")
+  in
+  let no_whatif =
+    Arg.(
+      value & flag
+      & info [ "no-whatif" ]
+          ~doc:"Skip the what-if re-simulations (3 extra runs); attribution and critical \
+                path only.")
+  in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Also write the event trace as Chrome trace_event JSON with the attribution \
+             time-series as stacked counter tracks (solo runs only).")
+  in
+  let with_metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:
+            "Export the report into a performance-counter registry ($(b,attrib.*), \
+             $(b,critpath.*), $(b,whatif.*)) and print the snapshot table.")
+  in
+  let run named_apps mode backend json top check no_whatif trace_out with_metrics policy
+      partition =
+    let cfg = Config.titan_x_pascal in
+    let fail_divergence what e =
+      Printf.eprintf "bmctl: ATTRIBUTION DIVERGENCE (%s): %s\n" what e;
+      exit exit_attrib_divergence
+    in
+    let metrics = if with_metrics then Some (Metrics.create ()) else None in
+    match named_apps with
+    | [ (name, gen) ] ->
+      let solo, stats, trace =
+        Explain.run_traced ~cfg ~backend ~whatif:(not no_whatif)
+          ~series:(trace_out <> None || with_metrics)
+          mode ~name (gen ())
+      in
+      (match Explain.check solo with Ok () -> () | Error e -> fail_divergence name e);
+      (match Explain.check_records solo stats with
+      | Ok () -> ()
+      | Error e -> fail_divergence name e);
+      if check then
+        Printf.printf
+          "check: conservation exact, critical path covers the makespan, records agree\n";
+      if json then print_endline (Json.to_string (Explain.to_json solo))
+      else begin
+        Printf.printf "%s under %s (%s backend): %.2f us\n" name (Mode.name mode)
+          (match backend with `Sim -> "sim" | `Replay -> "replay")
+          solo.Explain.x_total_us;
+        List.iter Report.print (Explain.tables ~top solo)
+      end;
+      (match trace_out with
+      | Some file -> (
+        let data =
+          Trace.to_chrome_json
+            ~meta:(("app", name) :: ("mode", Mode.name mode) :: Config.to_assoc cfg)
+            ~counters:(Explain.counter_series solo) trace
+        in
+        try
+          let oc = open_out file in
+          output_string oc data;
+          close_out oc;
+          Printf.printf "wrote %s (%d bytes)\n" file (String.length data)
+        with Sys_error msg ->
+          Printf.eprintf "bmctl: cannot write trace: %s\n" msg;
+          exit exit_io_error)
+      | None -> ());
+      (match metrics with
+      | Some m ->
+        Explain.export m solo;
+        Report.print (Metrics.table ~title:"explain metrics" (Metrics.snapshot m))
+      | None -> ())
+    | named_apps ->
+      if trace_out <> None then begin
+        Printf.eprintf "bmctl: --trace applies to solo explain only\n";
+        exit 124
+      end;
+      let napps = List.length named_apps in
+      let spatial = spatial_of_partition ~napps partition in
+      let apps =
+        Array.of_list (List.map (fun (name, gen) -> (name, gen ())) named_apps)
+      in
+      let solos, res = Explain.corun ~cfg ~submission:policy ~spatial mode apps in
+      (match Explain.check_corun solos res with
+      | Ok () -> ()
+      | Error e -> fail_divergence "corun" e);
+      if check then
+        Printf.printf
+          "check: per-app conservation exact, exec ticks sum to the machine total\n";
+      if json then
+        print_endline
+          (Json.to_string (Json.Arr (Array.to_list (Array.map Explain.to_json solos))))
+      else begin
+        Printf.printf "co-run of %s under %s (%s, %s): makespan %.2f us\n"
+          (String.concat " + " (List.map fst named_apps))
+          (Mode.name mode)
+          (Multi.submission_name policy)
+          (Multi.spatial_name spatial) res.Multi.mr_makespan_us;
+        Array.iter (fun solo -> List.iter Report.print (Explain.tables ~top solo)) solos
+      end;
+      match metrics with
+      | Some m ->
+        Array.iteri
+          (fun i solo -> Explain.export ~prefix:(Printf.sprintf "app.%d." i) m solo)
+          solos;
+        Report.print (Metrics.table ~title:"explain metrics" (Metrics.snapshot m))
+      | None -> ()
+  in
+  Cmd.v (cmd_info "explain" ~doc)
+    Term.(
+      const run $ apps_arg $ mode $ backend $ json $ top $ check $ no_whatif $ trace_out
+      $ with_metrics $ policy_arg $ partition_arg)
 
 let fuzz_cmd =
   let doc =
@@ -902,6 +1103,6 @@ let main =
   let doc = "BlockMaestro: programmer-transparent task-based GPU execution (simulator)" in
   Cmd.group (Cmd.info "bmctl" ~doc ~version)
     [ list_cmd; run_cmd; speedup_cmd; analyze_cmd; stats_cmd; timeline_cmd; trace_cmd;
-      capture_cmd; replay_cmd; corun_cmd; fuzz_cmd; ptx_cmd ]
+      capture_cmd; replay_cmd; corun_cmd; explain_cmd; fuzz_cmd; ptx_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -27,7 +27,9 @@
       span profiling and machine-readable bench trajectories
     - {!Parallel}, {!Benchrun}: domain-pool fan-out for experiment sweeps
       and the parallel bench-trajectory collector
-    - {!Report}: result formatting *)
+    - {!Report}, {!Timeline}, {!Trace}: result formatting and event traces
+    - {!Attrib}, {!Critpath}, {!Explain}: cycle attribution, critical-path
+      extraction and what-if sensitivity (the "explain" layer) *)
 
 module Rng = Bm_engine.Rng
 module Heap = Bm_engine.Heap
@@ -90,6 +92,9 @@ module Wireframe = Bm_baselines.Wireframe
 module Report = Bm_report.Report
 module Timeline = Bm_report.Timeline
 module Trace = Bm_report.Trace
+module Attrib = Bm_report.Attrib
+module Critpath = Bm_report.Critpath
+module Explain = Bm_maestro.Explain
 
 module Metrics = Bm_metrics.Metrics
 module Prof = Bm_metrics.Prof

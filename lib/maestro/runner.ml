@@ -35,17 +35,41 @@ let simulate_all ?(cfg = Config.titan_x_pascal) ?(backend = `Sim) ?(modes = Mode
     let graph = lazy (Graph.capture ?cache cfg app) in
     List.map (fun mode -> (mode, Replay.run cfg mode (Lazy.force graph))) modes
 
-let corun ?(cfg = Config.titan_x_pascal) ?submission ?spatial ?metrics ?cache mode apps =
-  (* One shared analysis cache across the co-running apps: they are
-     prepared independently, exactly as for solo simulation. *)
-  let cache = match cache with Some c -> c | None -> Cache.create () in
-  let preps = Array.map (fun app -> prepare ~cfg ~cache mode app) apps in
-  Multi.run ?submission ?spatial ?metrics cfg mode preps
-
-let corun_interference ?(cfg = Config.titan_x_pascal) ?submission ?spatial ?metrics ?cache mode
+let corun ?(cfg = Config.titan_x_pascal) ?submission ?spatial ?metrics ?profs ?traces ?cache mode
     apps =
+  (* One shared analysis cache across the co-running apps: they are
+     prepared independently, exactly as for solo simulation.  [profs]
+     gives each app its own span profiler (one per app, checked), so
+     per-tenant preparation cost stays separable — Prof.to_folded ~prefix
+     then renders them as side-by-side flamegraph towers. *)
+  (match profs with
+  | Some ps when Array.length ps <> Array.length apps ->
+    invalid_arg "Runner.corun: profs length must match apps"
+  | _ -> ());
   let cache = match cache with Some c -> c | None -> Cache.create () in
-  let preps = Array.map (fun app -> prepare ~cfg ~cache mode app) apps in
+  let preps =
+    Array.mapi
+      (fun i app ->
+        let prof = Option.map (fun ps -> ps.(i)) profs in
+        prepare ~cfg ?prof ~cache mode app)
+      apps
+  in
+  Multi.run ?submission ?spatial ?metrics ?traces cfg mode preps
+
+let corun_interference ?(cfg = Config.titan_x_pascal) ?submission ?spatial ?metrics ?profs ?cache
+    mode apps =
+  (match profs with
+  | Some ps when Array.length ps <> Array.length apps ->
+    invalid_arg "Runner.corun_interference: profs length must match apps"
+  | _ -> ());
+  let cache = match cache with Some c -> c | None -> Cache.create () in
+  let preps =
+    Array.mapi
+      (fun i app ->
+        let prof = Option.map (fun ps -> ps.(i)) profs in
+        prepare ~cfg ?prof ~cache mode app)
+      apps
+  in
   let res = Multi.run ?submission ?spatial ?metrics cfg mode preps in
   (* Solo baselines run on the machine each app actually saw: the full
      device under [Shared], its own slice under [Partitioned] — so the

@@ -63,19 +63,25 @@ val corun :
   ?submission:Multi.submission ->
   ?spatial:Multi.spatial ->
   ?metrics:Bm_metrics.Metrics.t ->
+  ?profs:Bm_metrics.Prof.t array ->
+  ?traces:Bm_gpu.Stats.sink option array ->
   ?cache:Cache.t ->
   Mode.t ->
   Bm_gpu.Command.app array ->
   Multi.result
 (** Prepare each app (one shared analysis cache) and co-run them with
     {!Multi.run}.  Defaults mirror [Multi.run]: FIFO submission on a
-    shared machine. *)
+    shared machine.  [profs] (one profiler per app, length-checked)
+    records each tenant's preparation spans separately, for
+    [Prof.to_folded ~prefix:"app.<i>"] co-run flamegraphs; [traces] is
+    forwarded to {!Multi.run}. *)
 
 val corun_interference :
   ?cfg:Bm_gpu.Config.t ->
   ?submission:Multi.submission ->
   ?spatial:Multi.spatial ->
   ?metrics:Bm_metrics.Metrics.t ->
+  ?profs:Bm_metrics.Prof.t array ->
   ?cache:Cache.t ->
   Mode.t ->
   Bm_gpu.Command.app array ->

@@ -102,14 +102,26 @@ let total_s t = List.fold_left (fun a c -> a +. c.n_total_s) 0.0 (children t.roo
 
 let us s = s *. 1e6
 
-let folded t =
+let folded ?prefix t =
   let buf = Buffer.create 1024 in
+  (* A prefix frame (e.g. "app.0" for tenant 0 of a co-run) roots every
+     stack under one synthetic node, so concatenated per-app outputs render
+     as side-by-side towers in a flamegraph instead of merging same-named
+     spans across tenants. *)
+  let path p = match prefix with None -> p | Some root -> root :: p in
   List.iter
     (fun s ->
       Buffer.add_string buf
-        (Printf.sprintf "%s %.0f\n" (String.concat ";" s.s_path) (Float.round (us s.s_self_s))))
+        (Printf.sprintf "%s %.0f\n"
+           (String.concat ";" (path s.s_path))
+           (Float.round (us s.s_self_s))))
     (summaries t);
   Buffer.contents buf
+
+let to_folded ?out ?prefix t =
+  let text = folded ?prefix t in
+  (match out with Some oc -> output_string oc text | None -> ());
+  text
 
 let table ?(title = "host pipeline spans") t =
   let tab = Report.table ~title ~columns:[ "span"; "total us"; "self us"; "calls" ] in

@@ -48,9 +48,16 @@ val summaries : t -> summary list
 val total_s : t -> float
 (** Sum of top-level span totals. *)
 
-val folded : t -> string
+val folded : ?prefix:string -> t -> string
 (** Folded-stack text: one ["a;b;c <self-us>"] line per node, self time in
-    integer microseconds — flamegraph-compatible. *)
+    integer microseconds — flamegraph-compatible.  [prefix] roots every
+    stack under a synthetic frame (["app.0;prep;relate 12"]): concatenating
+    per-app outputs of a co-run then keeps tenants' same-named spans
+    separate in the flamegraph instead of merging them. *)
+
+val to_folded : ?out:out_channel -> ?prefix:string -> t -> string
+(** {!folded}, additionally written to [out] when given (the channel is
+    not closed).  Returns the text either way. *)
 
 val table : ?title:string -> t -> Bm_report.Report.table
 

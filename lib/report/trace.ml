@@ -43,6 +43,7 @@ type kernel_counters = {
   kc_dispatched : int;
   kc_finished : int;
   kc_deps : int;          (* Dep_satisfied events seen for this kernel *)
+  kc_recorded : bool;     (* all four lifecycle stamps below are present *)
   kc_enqueue : float;
   kc_launched : float;
   kc_drained : float;
@@ -69,6 +70,7 @@ let empty_kc seq stream tbs =
     kc_dispatched = 0;
     kc_finished = 0;
     kc_deps = 0;
+    kc_recorded = false;
     kc_enqueue = nan;
     kc_launched = nan;
     kc_drained = nan;
@@ -99,6 +101,16 @@ let kernel_counters t =
       | Stats.Copy_start _ | Stats.Copy_finish _ | Stats.Dlb_spill _ | Stats.Pcb_spill _ -> ())
     (events t);
   Hashtbl.fold (fun _ k acc -> k :: acc) tbl []
+  |> List.map (fun k ->
+         (* The NaN stamps individually mean "not recorded"; [kc_recorded]
+            summarizes all four so consumers cannot silently lose a partial
+            lifecycle to NaN-filtering arithmetic (Report.percentile drops
+            NaN; Attrib needs to reject, not mis-bucket, such kernels). *)
+         let have x = not (Float.is_nan x) in
+         { k with
+           kc_recorded =
+             have k.kc_enqueue && have k.kc_launched && have k.kc_drained && have k.kc_completed
+         })
   |> List.sort (fun a b -> compare a.kc_seq b.kc_seq)
   |> Array.of_list
 
@@ -341,7 +353,7 @@ let json_escape s =
                              tid = kernel seq; instants for dep-satisfaction
      pid 3 "copies"        — X spans for copy-engine and blocking copies
    Timestamps are already microseconds, the unit the format expects. *)
-let to_chrome_json ?(meta = []) t =
+let to_chrome_json ?(meta = []) ?(counters = []) t =
   let buf = Buffer.create 65536 in
   let first = ref true in
   let obj fields =
@@ -362,7 +374,8 @@ let to_chrome_json ?(meta = []) t =
       obj
         [ ("name", str "process_name"); ("ph", str "M"); ("pid", string_of_int pid);
           ("tid", "0"); ("args", Printf.sprintf "{\"name\":%s}" (str name)) ])
-    [ (1, "kernels"); (2, "thread blocks"); (3, "copies") ];
+    ([ (1, "kernels"); (2, "thread blocks"); (3, "copies") ]
+    @ if counters = [] then [] else [ (4, "attribution") ]);
   let complete ~name ~cat ~pid ~tid ~ts ~dur ~args =
     obj
       ([ ("name", str name); ("cat", str cat); ("ph", str "X"); ("ts", flt ts);
@@ -419,6 +432,21 @@ let to_chrome_json ?(meta = []) t =
           ~cat:"spill" ~pid:1 ~tid:0 ~ts
       | Stats.Kernel_launched _ | Stats.Kernel_drained _ -> ())
     (events t);
+  (* Counter tracks ("C" phase): each sample is a stacked multi-series
+     value — the viewer renders one area chart per track.  Used for the
+     Attrib bucket time-series (bmctl explain --trace). *)
+  List.iter
+    (fun (track, samples) ->
+      List.iter
+        (fun (ts, kvs) ->
+          obj
+            [ ("name", str track); ("ph", str "C"); ("ts", flt ts); ("pid", "4"); ("tid", "0");
+              ("args",
+               Printf.sprintf "{%s}"
+                 (String.concat ","
+                    (List.map (fun (k, v) -> Printf.sprintf "%s:%s" (str k) (flt v)) kvs))) ])
+        samples)
+    counters;
   Buffer.add_string buf "\n],\"displayTimeUnit\":\"ms\"";
   if meta <> [] then begin
     Buffer.add_string buf ",\"otherData\":{";

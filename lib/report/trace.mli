@@ -37,6 +37,12 @@ type kernel_counters = {
   kc_dispatched : int;
   kc_finished : int;
   kc_deps : int;          (** dependency-satisfaction events observed *)
+  kc_recorded : bool;
+      (** true iff all four lifecycle stamps below were recorded.  The
+          float stamps are NaN when missing — and NaN silently vanishes
+          in downstream arithmetic ({!Report.percentile} drops it), so
+          consumers that must not mis-account a partial lifecycle
+          (e.g. {!Attrib}) gate on this flag instead of probing floats. *)
   kc_enqueue : float;     (** nan when the event was not recorded *)
   kc_launched : float;
   kc_drained : float;
@@ -86,12 +92,20 @@ val check : window:int -> slots:int -> t -> (unit, string list) result
 
 (** {1 Exporters} *)
 
-val to_chrome_json : ?meta:(string * string) list -> t -> string
+val to_chrome_json :
+  ?meta:(string * string) list ->
+  ?counters:(string * (float * (string * float) list) list) list ->
+  t ->
+  string
 (** Chrome [trace_event] JSON (the object variant with a ["traceEvents"]
     array).  Kernels render as complete spans per stream, TBs as spans per
     kernel, copies as spans on the copy-engine track; dependency
     satisfactions and DLB/PCB spills render as instant events.  [meta]
-    key/values (e.g. {!Bm_gpu.Config.to_assoc}) land in ["otherData"]. *)
+    key/values (e.g. {!Bm_gpu.Config.to_assoc}) land in ["otherData"].
+    [counters] adds counter ("C") tracks on a dedicated pid: one
+    [(track, samples)] per track, each sample a timestamp with named
+    series values — the viewer stacks the series into an area chart
+    (used for the {!Attrib} bucket time-series). *)
 
 val to_csv : ?name_of:(int -> string) -> t -> string
 (** Flat [ts,event,kernel,tb,stream,cmd,bytes] rows, one per event.

@@ -289,7 +289,8 @@ let test_bmctl_help_consistency () =
   List.iter
     (fun sub ->
       Alcotest.(check bool) (Printf.sprintf "main help lists %s" sub) true (contains ~needle:sub main_help))
-    [ "list"; "run"; "speedup"; "analyze"; "stats"; "timeline"; "trace"; "capture"; "replay"; "fuzz"; "ptx" ];
+    [ "list"; "run"; "speedup"; "analyze"; "stats"; "timeline"; "trace"; "capture"; "replay";
+      "corun"; "explain"; "fuzz"; "ptx" ];
   let check_flags sub flags =
     let help = help_of [ sub; "--help"; "plain" ] in
     List.iter
@@ -302,7 +303,11 @@ let test_bmctl_help_consistency () =
   check_flags "run" [ "--backend" ];
   check_flags "capture" [ "--output" ];
   check_flags "replay" [ "--graph"; "--compare"; "--fresh"; "--counters" ];
-  check_flags "fuzz" [ "--replay"; "--seed"; "--count" ]
+  check_flags "fuzz" [ "--replay"; "--seed"; "--count" ];
+  check_flags "corun" [ "--policy"; "--partition"; "--folded"; "--metrics" ];
+  check_flags "explain"
+    [ "--json"; "--top"; "--backend"; "--check"; "--no-whatif"; "--trace"; "--metrics";
+      "--policy"; "--partition" ]
 
 let suite =
   [

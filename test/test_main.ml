@@ -13,6 +13,7 @@ let () =
       ("report", Test_report.suite);
       ("metrics", Test_metrics.suite);
       ("trace", Test_trace.suite);
+      ("attrib", Test_attrib.suite);
       ("oracle", Test_oracle.suite);
       ("graph", Test_graph.suite);
       ("multi", Test_multi.suite);

@@ -150,6 +150,59 @@ let test_metrics_merge () =
     | () -> false
     | exception Invalid_argument _ -> true)
 
+(* Merge edge cases around empty instruments: an empty histogram must
+   neither poison a populated one nor acquire phantom samples, an empty
+   gauge series must not register a 0.0 high-water mark, and re-merging
+   a gauge must keep the high water idempotent (max, not sum). *)
+let test_metrics_merge_edge_cases () =
+  (* empty source histogram into populated destination *)
+  let a = Metrics.create () and b = Metrics.create () in
+  List.iter (Metrics.observe (Metrics.histogram a "h")) [ 1.0; 2.0; 3.0 ];
+  ignore (Metrics.histogram b "h");
+  Metrics.merge ~into:a b;
+  let hist_of reg name =
+    (Metrics.snapshot reg).Metrics.sn_histograms
+    |> Array.to_list
+    |> List.find (fun h -> h.Metrics.hs_name = name)
+  in
+  let h = hist_of a "h" in
+  Alcotest.(check int) "empty source adds no samples" 3 h.Metrics.hs_count;
+  Alcotest.(check (float 1e-9)) "median intact" 2.0 h.Metrics.hs_p50;
+  (* populated source into empty destination: summaries become exact
+     copies, not NaN-tainted *)
+  let c = Metrics.create () and d = Metrics.create () in
+  ignore (Metrics.histogram c "h");
+  List.iter (Metrics.observe (Metrics.histogram d "h")) [ 5.0; 1.0; 9.0; 7.0 ];
+  Metrics.merge ~into:c d;
+  let h = hist_of c "h" in
+  Alcotest.(check int) "all samples copied" 4 h.Metrics.hs_count;
+  Alcotest.(check (float 1e-9)) "min" 1.0 h.Metrics.hs_min;
+  Alcotest.(check (float 1e-9)) "max" 9.0 h.Metrics.hs_max;
+  (* exact percentiles after merging two sorted-disjoint sample sets *)
+  let e = Metrics.create () and f = Metrics.create () in
+  List.iter (Metrics.observe (Metrics.histogram e "h")) [ 10.0; 30.0 ];
+  List.iter (Metrics.observe (Metrics.histogram f "h")) [ 20.0; 40.0 ];
+  Metrics.merge ~into:e f;
+  let h = hist_of e "h" in
+  Alcotest.(check (float 1e-9)) "pooled p50 is exact" 25.0 h.Metrics.hs_p50;
+  Alcotest.(check (float 1e-9)) "pooled p25 is exact" 17.5 h.Metrics.hs_p25;
+  (* gauges: an empty series has no high water, and re-merging the same
+     source must not inflate it *)
+  let g1 = Metrics.create () and g2 = Metrics.create () in
+  ignore (Metrics.gauge g1 "g");
+  Metrics.set (Metrics.gauge g2 "g") ~at:1.0 4.0;
+  Metrics.set (Metrics.gauge g2 "g") ~at:2.0 2.0;
+  Alcotest.(check (float 1e-9)) "empty gauge high water is 0" 0.0
+    (Metrics.high_water (Metrics.gauge g1 "g"));
+  Metrics.merge ~into:g1 g2;
+  Alcotest.(check (float 1e-9)) "merged high water" 4.0
+    (Metrics.high_water (Metrics.gauge g1 "g"));
+  Metrics.merge ~into:g1 g2;
+  Alcotest.(check (float 1e-9)) "high water idempotent under re-merge" 4.0
+    (Metrics.high_water (Metrics.gauge g1 "g"));
+  Alcotest.(check (float 1e-9)) "last value follows final sample" 2.0
+    (Metrics.gauge_value (Metrics.gauge g1 "g"))
+
 let test_prof_merge () =
   let now = ref 0.0 in
   let mk () = Prof.create ~clock:(fun () -> !now) () in
@@ -266,6 +319,43 @@ let test_prof_folded () =
       Prof.span p "b" (fun () -> now := !now +. 1.0));
   let lines = String.split_on_char '\n' (Prof.folded p) |> List.filter (fun l -> l <> "") in
   Alcotest.(check (list string)) "folded stacks, self us" [ "a 2000000"; "a;b 1000000" ] lines
+
+(* Per-app prefixing: rooting every stack under a synthetic frame keeps
+   co-running tenants' same-named spans separate in a flamegraph.  The
+   ?out channel must receive exactly the returned text. *)
+let test_prof_to_folded_prefix () =
+  let now = ref 0.0 in
+  let mk i =
+    let p = Prof.create ~clock:(fun () -> !now) () in
+    Prof.span p "prep" (fun () ->
+        now := !now +. 1.0;
+        Prof.span p "relate" (fun () -> now := !now +. float_of_int (i + 1)));
+    p
+  in
+  let apps = [ mk 0; mk 1 ] in
+  let texts = List.mapi (fun i p -> Prof.to_folded ~prefix:(Printf.sprintf "app.%d" i) p) apps in
+  Alcotest.(check (list string)) "tenant 0 rooted"
+    [ "app.0;prep 1000000"; "app.0;prep;relate 1000000" ]
+    (String.split_on_char '\n' (List.nth texts 0) |> List.filter (fun l -> l <> ""));
+  Alcotest.(check (list string)) "tenant 1 rooted"
+    [ "app.1;prep 1000000"; "app.1;prep;relate 2000000" ]
+    (String.split_on_char '\n' (List.nth texts 1) |> List.filter (fun l -> l <> ""));
+  (* concatenated outputs keep the tenants' frames disjoint *)
+  let all = String.concat "" texts in
+  Alcotest.(check bool) "no unprefixed frame" false
+    (List.exists
+       (fun l -> l <> "" && not (String.length l > 4 && String.sub l 0 4 = "app."))
+       (String.split_on_char '\n' all));
+  (* ?out writes the same bytes the call returns *)
+  let tmp = Filename.temp_file "folded" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove tmp with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out tmp in
+      let returned = Prof.to_folded ~out:oc ~prefix:"app.0" (List.nth apps 0) in
+      close_out oc;
+      let written = In_channel.with_open_bin tmp In_channel.input_all in
+      Alcotest.(check string) "out channel mirrors return value" returned written)
 
 let test_prof_exception_safe () =
   let now = ref 0.0 in
@@ -473,6 +563,7 @@ let suite =
     Alcotest.test_case "registry: csv escaping" `Quick test_metrics_csv_escapes;
     QCheck_alcotest.to_alcotest prop_histogram_percentiles_exact;
     Alcotest.test_case "registry: merge" `Quick test_metrics_merge;
+    Alcotest.test_case "registry: merge edge cases" `Quick test_metrics_merge_edge_cases;
     Alcotest.test_case "prof: merge" `Quick test_prof_merge;
     Alcotest.test_case "json: round-trip" `Quick test_json_roundtrip;
     Alcotest.test_case "json: RFC 8259 number grammar" `Quick test_json_number_grammar;
@@ -480,6 +571,7 @@ let suite =
     Alcotest.test_case "json: trailing garbage" `Quick test_json_rejects_trailing_garbage;
     Alcotest.test_case "prof: nesting + aggregation" `Quick test_prof_nesting_and_aggregation;
     Alcotest.test_case "prof: folded stacks" `Quick test_prof_folded;
+    Alcotest.test_case "prof: to_folded prefix + out" `Quick test_prof_to_folded_prefix;
     Alcotest.test_case "prof: exception safety" `Quick test_prof_exception_safe;
     Alcotest.test_case "prof: with_span/exit" `Quick test_prof_with_span_none;
     Alcotest.test_case "benchfile: round-trip" `Quick test_benchfile_roundtrip;

@@ -119,6 +119,37 @@ let test_counters_consistent () =
     tot.Trace.tot_tbs;
   Alcotest.(check int) "event count matches length" (Trace.length trace) tot.Trace.tot_events
 
+(* The kc_recorded contract: the four lifecycle stamps are NaN when the
+   event is missing — and NaN vanishes silently downstream — so consumers
+   gate on the explicit flag.  A complete trace sets it; synthetically
+   truncated lifecycles must clear it while leaving the missing stamps
+   NaN. *)
+let test_kc_recorded_contract () =
+  let rng = Rng.create 23 in
+  let app = gen_app rng 2 in
+  let _, trace = traced_run Mode.Producer_priority app in
+  Array.iter
+    (fun (k : Trace.kernel_counters) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "kernel %d: complete lifecycle is recorded" k.Trace.kc_seq)
+        true k.Trace.kc_recorded)
+    (Trace.kernel_counters trace);
+  (* enqueue only: launched/drained/completed stamps missing *)
+  let partial = Trace.create () in
+  let sink = Trace.sink partial in
+  sink 0.0 (Stats.Kernel_enqueue { seq = 0; stream = 0; tbs = 2 });
+  sink 1.0 (Stats.Kernel_launched { seq = 0; stream = 0 });
+  (match Trace.kernel_counters partial with
+  | [| k |] ->
+    Alcotest.(check bool) "partial lifecycle is not recorded" false k.Trace.kc_recorded;
+    Alcotest.(check bool) "present stamps kept" true
+      (k.Trace.kc_enqueue = 0.0 && k.Trace.kc_launched = 1.0);
+    Alcotest.(check bool) "missing stamps are NaN" true
+      (Float.is_nan k.Trace.kc_drained && Float.is_nan k.Trace.kc_completed)
+  | kcs -> Alcotest.failf "expected one kernel row, got %d" (Array.length kcs));
+  Alcotest.(check bool) "empty trace has no rows" true
+    (Trace.kernel_counters (Trace.create ()) = [||])
+
 let test_events_sorted () =
   let rng = Rng.create 11 in
   let app = gen_app rng 3 in
@@ -314,6 +345,34 @@ let test_chrome_export () =
   Alcotest.(check bool) "empty trace still valid JSON" true
     (json_parses (Trace.to_chrome_json empty))
 
+(* Counter ("C" phase) tracks ride on a dedicated pid; samples carry
+   arbitrary series names, which must survive escaping and keep the whole
+   document strictly valid JSON. *)
+let test_chrome_counter_tracks () =
+  let rng = Rng.create 9 in
+  let app = gen_app rng 1 in
+  let _, trace = traced_run Mode.Producer_priority app in
+  let counters =
+    [
+      ( "slot \"attribution\"",
+        [ (0.0, [ ("exec", 1.0); ("idle", 895.0) ]); (2.5, [ ("exec", 12.0); ("idle", 884.0) ]) ]
+      );
+      ("empty track", []);
+    ]
+  in
+  let json = Trace.to_chrome_json ~counters trace in
+  Alcotest.(check bool) "chrome JSON with counters parses" true (json_parses json);
+  let contains needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "counter phase present" true (contains {|"ph":"C"|} json);
+  Alcotest.(check bool) "series values present" true (contains {|"idle":884.0000|} json);
+  (* without counters there must be no counter process at all *)
+  Alcotest.(check bool) "no counter pid without counters" false
+    (contains {|"ph":"C"|} (Trace.to_chrome_json trace))
+
 let test_csv_export () =
   let rng = Rng.create 4 in
   let app = gen_app rng 6 in
@@ -388,10 +447,12 @@ let suite =
       test_random_cross_mode;
     Alcotest.test_case "tracing does not perturb simulation" `Quick test_tracing_is_transparent;
     Alcotest.test_case "derived counters are consistent" `Quick test_counters_consistent;
+    Alcotest.test_case "kc_recorded flags partial lifecycles" `Quick test_kc_recorded_contract;
     Alcotest.test_case "events are time-sorted" `Quick test_events_sorted;
     Alcotest.test_case "checker rejects broken traces" `Quick test_checker_rejects;
     Alcotest.test_case "mini JSON parser sanity" `Quick test_json_parser_itself;
     Alcotest.test_case "chrome trace_event export is valid JSON" `Quick test_chrome_export;
+    Alcotest.test_case "chrome counter tracks" `Quick test_chrome_counter_tracks;
     Alcotest.test_case "csv export shape" `Quick test_csv_export;
     Alcotest.test_case "csv name column escaping" `Quick test_csv_name_of_escaping;
     Alcotest.test_case "every suite app x Fig. 9 mode passes check" `Slow
