@@ -429,6 +429,71 @@ let run_corun_matrix () =
   end
   else print_endline "every co-run cell cycle-exact vs the naive reference"
 
+(* --deadlines: the EXPERIMENTS.md tardiness table.  Every suite app runs
+   under the EDF deadline mode against two deadlines derived from its own
+   analytical minimum-makespan lower bound — a tight one at exactly the
+   lower bound (missable: the lower bound ignores launch/copy/malloc
+   serialization) and a loose one at 1.5x.  Each row also re-verifies RTA
+   soundness (makespan <= bound); any violation fails the run. *)
+let run_deadlines () =
+  let cfg = Config.titan_x_pascal in
+  let mode = Mode.Deadline_edf 2 in
+  let rows =
+    Parallel.map_list
+      (fun (name, gen) ->
+        let app = gen () in
+        let prep = Runner.prepare ~cfg mode app in
+        let lower = Deadline.min_makespan_us cfg prep in
+        let bound = Deadline.bound_of_prep cfg mode prep in
+        let reports =
+          List.map
+            (fun (label, deadline_us) ->
+              let r, _ = Runner.deadline ~cfg ~deadline_us mode app in
+              (label, r))
+            (* Bracket the makespan: deadlines at the analytical lower
+               bound are expected misses (it ignores launch/copy/malloc
+               serialization), a deadline at the RTA bound can never miss
+               (that IS the soundness theorem). *)
+            [
+              ("lower 1.0x", lower);
+              ("lower 1.5x", 1.5 *. lower);
+              ("bound 1.0x", bound);
+            ]
+        in
+        (name, lower, reports))
+      Suite.all
+  in
+  let t =
+    Report.table ~title:"deadline tardiness (deadline-edf-2k, deadlines from the lower bound)"
+      ~columns:
+        [ "app"; "deadline"; "lower us"; "bound us"; "makespan us"; "miss"; "tardiness us"; "slack us" ]
+  in
+  let violations = ref 0 in
+  List.iter
+    (fun (name, lower, reports) ->
+      List.iter
+        (fun (label, (r : Deadline.report)) ->
+          if r.Deadline.r_rta_violation then incr violations;
+          Report.row t
+            [
+              name;
+              label;
+              Report.f2 lower;
+              Report.f2 r.Deadline.r_bound_us;
+              Report.f2 r.Deadline.r_makespan_us;
+              (if r.Deadline.r_miss then "MISS" else "met");
+              Report.f2 r.Deadline.r_tardiness_us;
+              Report.f2 r.Deadline.r_slack_us;
+            ])
+        reports)
+    rows;
+  Report.print t;
+  if !violations > 0 then begin
+    Printf.eprintf "deadlines: %d report(s) violated the RTA bound\n" !violations;
+    exit 1
+  end
+  else print_endline "every makespan within its response-time-analysis bound"
+
 (* --perf-gate: the two deterministic performance regressions CI guards
    against on this 1-core container, where wall-clock micro-benchmarks are
    too noisy to threshold.  (1) Warm-cache preparation must not be slower
@@ -524,8 +589,8 @@ let run_bechamel () =
 let usage () =
   Printf.eprintf
     "usage: main.exe [--only SECTION] [--no-bechamel] [--backend sim|replay] [--trace]\n\
-    \       [--oracle] [--corun] [--explain] [--perf-gate] [--capture-compare] [--json FILE]\n\
-    \       [--compare OLD.json] [--threshold PCT] [--jobs N]\n\
+    \       [--oracle] [--corun] [--explain] [--deadlines] [--perf-gate] [--capture-compare]\n\
+    \       [--json FILE] [--compare OLD.json] [--threshold PCT] [--jobs N]\n\
      sections: %s\n"
     (String.concat ", " (List.map fst sections))
 
@@ -537,6 +602,7 @@ let () =
   let oracle = ref false in
   let corun = ref false in
   let explain = ref false in
+  let deadlines = ref false in
   let perf_gate = ref false in
   let capture_compare = ref false in
   let json_out = ref None in
@@ -558,6 +624,9 @@ let () =
       parse rest
     | "--explain" :: rest ->
       explain := true;
+      parse rest
+    | "--deadlines" :: rest ->
+      deadlines := true;
       parse rest
     | "--perf-gate" :: rest ->
       perf_gate := true;
@@ -637,6 +706,11 @@ let () =
   if !explain then begin
     print_endline "== bottleneck attribution (exact stall accounting + what-if) ==";
     run_explain ();
+    exit 0
+  end;
+  if !deadlines then begin
+    print_endline "== deadline tardiness (EDF mode, RTA-bound soundness) ==";
+    run_deadlines ();
     exit 0
   end;
   if !traced then begin

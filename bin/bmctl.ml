@@ -11,7 +11,9 @@
      capture APP [-o FILE]   lower the app into a compiled graph file
      replay APP [-g FILE]..  execute a captured graph, event-triggered
      corun APP APP..         co-run apps on one machine (shared or partitioned)
+                             (--deadlines judges each app against a deadline)
      explain APP [APP..]     cycle attribution, critical path, what-if ranking
+     rta APP                 response-time-analysis soundness sweep
      fuzz [--seed N]         differential fuzz of scheduler + Algorithm 1
                              (--corun fuzzes two-app concurrency instead)
      ptx APP                 dump the PTX of the application's kernels
@@ -31,21 +33,45 @@
      5    stale graph (fingerprint no longer matches the app/config)
      6    attribution divergence (conservation identity or critical-path
           coverage broken — an analysis bug, not an app property)
+     7    RTA violation (an observed makespan exceeded the response-time
+          analysis bound — the bound is unsound, not merely a missed
+          deadline: a miss the analysis predicted exits 0)
      124  usage error (cmdliner's default for bad CLI syntax) *)
 
 open Blockmaestro
 open Cmdliner
 
-let version = "1.6.0"
+let version = "1.7.0"
 
 let exit_io_error = 2
 let exit_counterexample = 3
 let exit_trace_violation = 4
 let exit_stale_graph = 5
 let exit_attrib_divergence = 6
+let exit_rta_violation = 7
 
-(* One info constructor so every subcommand also answers --version. *)
-let cmd_info name ~doc = Cmd.info name ~doc ~version
+(* One info constructor so every subcommand also answers --version and
+   documents the full exit-code table in its man page. *)
+let exits =
+  Cmd.Exit.info exit_io_error
+    ~doc:"on an I/O error (cannot read or write a requested file, corrupt graph)."
+  :: Cmd.Exit.info exit_counterexample
+       ~doc:
+         "on a differential counterexample (fuzz, replay $(b,--compare), corun $(b,--check))."
+  :: Cmd.Exit.info exit_trace_violation
+       ~doc:"when an event trace violates the scheduling invariants."
+  :: Cmd.Exit.info exit_stale_graph
+       ~doc:"when a graph's fingerprint no longer matches the application or config."
+  :: Cmd.Exit.info exit_attrib_divergence
+       ~doc:
+         "on attribution divergence (conservation identity or critical-path coverage broken)."
+  :: Cmd.Exit.info exit_rta_violation
+       ~doc:
+         "when an observed makespan exceeds the response-time-analysis bound (an unsound \
+          bound, not merely a missed deadline)."
+  :: Cmd.Exit.defaults
+
+let cmd_info name ~doc = Cmd.info name ~doc ~version ~exits
 
 let app_names = List.map fst Suite.all
 
@@ -150,16 +176,52 @@ let backend_arg =
            $(b,replay) captures the app into a compiled graph and replays it event-triggered. \
            Results are cycle-exact identical.")
 
+let rta_bug_arg =
+  Arg.(
+    value & flag
+    & info [ "inject-rta-bug" ]
+        ~doc:
+          "Deliberately substitute the analytical $(i,lower) bound for the response-time \
+           bound; any real application must then trip an RTA violation (exit 7) — a \
+           self-test proving the soundness gate actually detects an optimistic analysis.")
+
 let run_cmd =
-  let doc = "Simulate one application under one execution mode." in
+  let doc =
+    "Simulate one application under one execution mode.  With $(b,--deadline) the run is \
+     additionally judged against the deadline and the response-time-analysis bound: a miss \
+     the analysis predicted (bound > deadline) exits 0, but a makespan above the bound — an \
+     unsound analysis — exits 7."
+  in
   let mode =
     Arg.(value & opt mode_conv Mode.Producer_priority & info [ "m"; "mode" ] ~docv:"MODE" ~doc:"Execution mode.")
   in
-  let run (name, gen) mode backend =
-    let app = gen () in
-    print_stats name mode (Runner.simulate ~backend mode app)
+  let deadline =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"US"
+          ~doc:
+            "Absolute deadline in microseconds; reports miss/tardiness/slack and verifies \
+             the RTA bound against the observed makespan.")
   in
-  Cmd.v (cmd_info "run" ~doc) Term.(const run $ app_arg $ mode $ backend_arg)
+  let run (name, gen) mode backend deadline rta_bug =
+    let app = gen () in
+    match deadline with
+    | None -> print_stats name mode (Runner.simulate ~backend mode app)
+    | Some deadline_us ->
+      let report, stats =
+        Runner.deadline ~backend ~optimistic_bound:rta_bug ~deadline_us mode app
+      in
+      print_stats name mode stats;
+      Format.printf "  %a@." Deadline.pp_report report;
+      if report.Deadline.r_rta_violation then begin
+        Printf.eprintf "bmctl: RTA VIOLATION: observed %.2f us exceeds the %.2f us bound\n"
+          report.Deadline.r_makespan_us report.Deadline.r_bound_us;
+        exit exit_rta_violation
+      end
+  in
+  Cmd.v (cmd_info "run" ~doc)
+    Term.(const run $ app_arg $ mode $ backend_arg $ deadline $ rta_bug_arg)
 
 let speedup_cmd =
   let doc = "Report speedups over the baseline for every Fig. 9 mode." in
@@ -770,13 +832,77 @@ let corun_cmd =
              rooted under a per-app $(b,app.)$(i,i) frame — flamegraph.pl/speedscope render \
              the tenants as side-by-side towers instead of merging same-named spans.")
   in
-  let run named_apps mode policy partition check with_metrics folded =
+  let deadlines_arg =
+    let deadlines_conv =
+      let parse s =
+        try
+          let ds =
+            Array.of_list
+              (List.map (fun p -> float_of_string (String.trim p)) (String.split_on_char ',' s))
+          in
+          if Array.exists (fun d -> not (d > 0.0)) ds then
+            Error (`Msg "every deadline must be a positive number of microseconds")
+          else Ok ds
+        with Failure _ ->
+          Error (`Msg (Printf.sprintf "bad deadlines %S (expected e.g. 1500,2000)" s))
+      in
+      let print ppf ds =
+        Format.pp_print_string ppf
+          (String.concat "," (List.map string_of_float (Array.to_list ds)))
+      in
+      Arg.conv (parse, print)
+    in
+    Arg.(
+      value
+      & opt (some deadlines_conv) None
+      & info [ "deadlines" ] ~docv:"D1,D2,.."
+          ~doc:
+            "Per-app absolute deadlines in microseconds (one per app).  Each app gets an \
+             admission verdict against its analytical lower bound (advisory — every app \
+             still runs) and a deadline report against its contention-aware RTA bound; a \
+             makespan above the bound exits 7.")
+  in
+  let run named_apps mode policy partition check with_metrics folded deadlines =
     let names = List.map fst named_apps in
     let apps = Array.of_list (List.map (fun (_, gen) -> gen ()) named_apps) in
     let napps = Array.length apps in
     let cfg = Config.titan_x_pascal in
     let spatial = spatial_of_partition ~napps partition in
     let metrics = if with_metrics then Some (Metrics.create ()) else None in
+    (match deadlines with
+    | None -> ()
+    | Some ds ->
+      if Array.length ds <> napps then begin
+        Printf.eprintf "bmctl: %d apps but %d deadlines\n" napps (Array.length ds);
+        exit 124
+      end;
+      let admissions, reports, res =
+        Runner.corun_deadlines ~cfg ~submission:policy ~spatial ?metrics ~deadlines:ds mode
+          apps
+      in
+      Printf.printf "co-run of %s under %s (%s, %s): makespan %.2f us\n"
+        (String.concat " + " names) (Mode.name mode)
+        (Multi.submission_name policy)
+        (Multi.spatial_name spatial) res.Multi.mr_makespan_us;
+      let violations = ref 0 in
+      List.iteri
+        (fun a name ->
+          let adm = admissions.(a) and r = reports.(a) in
+          if r.Deadline.r_rta_violation then incr violations;
+          Printf.printf "  app %d %-10s %s  " a name
+            (if adm.Multi.adm_admitted then "admitted" else "REJECTED");
+          Format.printf "%a@." Deadline.pp_report r)
+        names;
+      (match metrics with
+      | Some m ->
+        Report.print (Metrics.table ~title:"co-run deadline metrics" (Metrics.snapshot m))
+      | None -> ());
+      if !violations > 0 then begin
+        Printf.eprintf "bmctl: RTA VIOLATION: %d app(s) exceeded the analysis bound\n"
+          !violations;
+        exit exit_rta_violation
+      end;
+      exit 0);
     let profs =
       match folded with None -> None | Some _ -> Some (Array.init napps (fun _ -> Prof.create ()))
     in
@@ -825,7 +951,9 @@ let corun_cmd =
     end
   in
   Cmd.v (cmd_info "corun" ~doc)
-    Term.(const run $ apps_arg $ mode $ policy_arg $ partition_arg $ check $ with_metrics $ folded)
+    Term.(
+      const run $ apps_arg $ mode $ policy_arg $ partition_arg $ check $ with_metrics $ folded
+      $ deadlines_arg)
 
 let explain_cmd =
   let doc =
@@ -997,6 +1125,68 @@ let explain_cmd =
       const run $ apps_arg $ mode $ backend $ json $ top $ check $ no_whatif $ trace_out
       $ with_metrics $ policy_arg $ partition_arg)
 
+let rta_cmd =
+  let doc =
+    "Response-time-analysis soundness sweep: for every requested mode and both execution \
+     backends, compute the analytical worst-case completion bound and verify the observed \
+     makespan never exceeds it.  The bound is computed from the same artifact the backend \
+     executes (the preparation for $(b,sim), the captured schedule for $(b,replay)).  Any \
+     violation exits 7 — the analysis, not the application, is then at fault."
+  in
+  let modes =
+    Arg.(
+      value
+      & opt_all mode_conv []
+      & info [ "m"; "mode" ] ~docv:"MODE"
+          ~doc:"Mode(s) to sweep (default: all known modes, including the deadline family).")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Also write the sweep as a $(b,bm.rta/1) JSON artifact to $(docv).")
+  in
+  let run (name, gen) modes json rta_bug =
+    let modes = if modes = [] then List.map snd Mode.known else modes in
+    let entries = Rta.check_app ~modes ~optimistic_bound:rta_bug ~name (gen ()) in
+    let t =
+      Report.table ~title:(name ^ " response-time analysis")
+        ~columns:[ "mode"; "backend"; "bound us"; "observed us"; "verdict" ]
+    in
+    List.iter
+      (fun (e : Rta.entry) ->
+        Report.row t
+          [
+            Mode.name e.Rta.e_mode;
+            (match e.Rta.e_backend with `Sim -> "sim" | `Replay -> "replay");
+            Report.f2 e.Rta.e_bound_us;
+            Report.f2 e.Rta.e_observed_us;
+            (if Rta.ok e then "sound" else "VIOLATED");
+          ])
+      entries;
+    Report.print t;
+    (match json with
+    | None -> ()
+    | Some file -> (
+      try
+        let oc = open_out file in
+        output_string oc (Json.to_string ~pretty:true (Rta.to_json entries));
+        close_out oc;
+        Printf.printf "wrote %s\n" file
+      with Sys_error msg ->
+        Printf.eprintf "bmctl: cannot write: %s\n" msg;
+        exit exit_io_error));
+    match Rta.violations entries with
+    | [] -> ()
+    | vs ->
+      Printf.eprintf "bmctl: RTA VIOLATION: %d of %d entries exceed the bound\n"
+        (List.length vs) (List.length entries);
+      List.iter (Format.eprintf "  %a@." Rta.pp_entry) vs;
+      exit exit_rta_violation
+  in
+  Cmd.v (cmd_info "rta" ~doc) Term.(const run $ app_arg $ modes $ json $ rta_bug_arg)
+
 let fuzz_cmd =
   let doc =
     "Fuzz the scheduler against the reference scheduler and Algorithm 1 against the exact \
@@ -1103,6 +1293,6 @@ let main =
   let doc = "BlockMaestro: programmer-transparent task-based GPU execution (simulator)" in
   Cmd.group (Cmd.info "bmctl" ~doc ~version)
     [ list_cmd; run_cmd; speedup_cmd; analyze_cmd; stats_cmd; timeline_cmd; trace_cmd;
-      capture_cmd; replay_cmd; corun_cmd; explain_cmd; fuzz_cmd; ptx_cmd ]
+      capture_cmd; replay_cmd; corun_cmd; explain_cmd; rta_cmd; fuzz_cmd; ptx_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -70,6 +70,7 @@ module Sim = Bm_maestro.Sim
 module Graph = Bm_maestro.Graph
 module Replay = Bm_maestro.Replay
 module Multi = Bm_maestro.Multi
+module Deadline = Bm_maestro.Deadline
 module Runner = Bm_maestro.Runner
 
 module Templates = Bm_workloads.Templates
@@ -85,6 +86,7 @@ module Diff = Bm_oracle.Diff
 module Soundness = Bm_oracle.Soundness
 module Shrink = Bm_oracle.Shrink
 module Fuzz = Bm_oracle.Fuzz
+module Rta = Bm_oracle.Rta
 
 module Cdp = Bm_baselines.Cdp
 module Wireframe = Bm_baselines.Wireframe

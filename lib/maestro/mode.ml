@@ -4,33 +4,35 @@ type t =
   | Prelaunch_only
   | Producer_priority
   | Consumer_priority of int
+  | Deadline_edf of int
 
-type policy = Oldest_first | Newest_first
+type policy = Oldest_first | Newest_first | Edf
 
 let window = function
   | Baseline | Ideal -> 1
   | Prelaunch_only | Producer_priority -> 2
-  | Consumer_priority w -> max 2 w
+  | Consumer_priority w | Deadline_edf w -> max 2 w
 
 let fine_grain = function
   | Baseline | Ideal | Prelaunch_only -> false
-  | Producer_priority | Consumer_priority _ -> true
+  | Producer_priority | Consumer_priority _ | Deadline_edf _ -> true
 
 let reorders = function
   | Baseline | Ideal -> false
-  | Prelaunch_only | Producer_priority | Consumer_priority _ -> true
+  | Prelaunch_only | Producer_priority | Consumer_priority _ | Deadline_edf _ -> true
 
 let serial_commands = function
   | Baseline | Ideal -> true
-  | Prelaunch_only | Producer_priority | Consumer_priority _ -> false
+  | Prelaunch_only | Producer_priority | Consumer_priority _ | Deadline_edf _ -> false
 
 let policy = function
   | Baseline | Ideal | Prelaunch_only | Producer_priority -> Oldest_first
   | Consumer_priority _ -> Newest_first
+  | Deadline_edf _ -> Edf
 
 let launch_overhead (cfg : Bm_gpu.Config.t) = function
   | Ideal -> 0.0
-  | Baseline | Prelaunch_only | Producer_priority | Consumer_priority _ ->
+  | Baseline | Prelaunch_only | Producer_priority | Consumer_priority _ | Deadline_edf _ ->
     cfg.Bm_gpu.Config.kernel_launch_us
 
 let name = function
@@ -39,6 +41,7 @@ let name = function
   | Prelaunch_only -> "kernel-pre-launching"
   | Producer_priority -> "producer-priority"
   | Consumer_priority w -> Printf.sprintf "consumer-priority-%dk" w
+  | Deadline_edf w -> Printf.sprintf "deadline-edf-%dk" w
 
 (* Stable short names for command-line parsing, shared by bmctl and the
    bench harness so the two never drift. *)
@@ -51,9 +54,19 @@ let known =
     ("consumer2", Consumer_priority 2);
     ("consumer3", Consumer_priority 3);
     ("consumer4", Consumer_priority 4);
+    ("edf2", Deadline_edf 2);
+    ("edf3", Deadline_edf 3);
+    ("edf4", Deadline_edf 4);
   ]
 
-let of_string s = List.assoc_opt s known
+let of_string s =
+  match List.assoc_opt s known with
+  | Some m -> Some m
+  | None ->
+    (* Also accept the long display names, so any mode string a tool ever
+       printed parses back ([name] and the short table round-trip both
+       ways). *)
+    List.find_map (fun (_, m) -> if name m = s then Some m else None) known
 
 let all_fig9 =
   [

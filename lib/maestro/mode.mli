@@ -1,4 +1,5 @@
-(** Execution modes evaluated in the paper (Fig. 9's bar groups).
+(** Execution modes evaluated in the paper (Fig. 9's bar groups), plus the
+    deadline-aware extension.
 
     - [Baseline]: serialized stream — every kernel pays its launch overhead
       on the critical path and acts as a barrier.
@@ -10,7 +11,12 @@
       scheduling priority to the producer kernel's TBs (the default policy).
     - [Consumer_priority window]: fine-grain resolution with [window]
       concurrently resident kernels (window-1 pre-launched), priority to
-      consumer TBs so they can run ahead. *)
+      consumer TBs so they can run ahead.
+    - [Deadline_edf window]: fine-grain resolution with [window] resident
+      kernels and earliest-deadline-first TB dispatch: kernels are drained
+      in ascending order of their effective deadline key (see
+      {!Deadline.effective}), with priority inheritance promoting producers
+      that block an urgent consumer. *)
 
 type t =
   | Baseline
@@ -18,8 +24,9 @@ type t =
   | Prelaunch_only
   | Producer_priority
   | Consumer_priority of int  (** concurrently resident kernels, >= 2 *)
+  | Deadline_edf of int  (** concurrently resident kernels, >= 2 *)
 
-type policy = Oldest_first | Newest_first
+type policy = Oldest_first | Newest_first | Edf
 
 val window : t -> int
 (** Maximum concurrently resident kernels. *)
@@ -41,11 +48,16 @@ val launch_overhead : Bm_gpu.Config.t -> t -> float
 val name : t -> string
 
 val known : (string * t) list
-(** Short command-line names ("baseline", "producer", "consumer3", ...)
-    in Fig. 9 order, shared by every CLI front end. *)
+(** Short command-line names ("baseline", "producer", "consumer3",
+    "edf2", ...) in Fig. 9 order followed by the deadline modes, shared by
+    every CLI front end. *)
 
 val of_string : string -> t option
-(** Look up a mode by its {!known} short name. *)
+(** Look up a mode by its {!known} short name, or by the long display name
+    that {!name} prints — every mode round-trips through both spellings. *)
 
 val all_fig9 : t list
+(** The paper's Fig. 9 sweep (excludes the deadline modes, which are not
+    part of that figure). *)
+
 val pp : Format.formatter -> t -> unit

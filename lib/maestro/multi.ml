@@ -24,6 +24,34 @@ let spatial_name = function
   | Partitioned parts ->
     "partitioned:" ^ String.concat "+" (Array.to_list (Array.map string_of_int parts))
 
+type admission = {
+  adm_app : int;
+  adm_deadline_us : float;
+  adm_lower_us : float;
+  adm_admitted : bool;
+}
+
+let admit ?(spatial = Shared) (cfg : Config.t) ~deadlines (preps : Prep.t array) =
+  let napps = Array.length preps in
+  if Array.length deadlines <> napps then
+    invalid_arg "Multi.admit: deadlines must have one entry per app";
+  let cfg_of a =
+    match spatial with
+    | Shared -> cfg
+    | Partitioned parts ->
+      if Array.length parts <> napps then
+        invalid_arg "Multi.admit: partition list must have one slice per app";
+      Config.with_sms cfg parts.(a)
+  in
+  Array.init napps (fun a ->
+      let lower = Deadline.min_makespan_us (cfg_of a) preps.(a) in
+      {
+        adm_app = a;
+        adm_deadline_us = deadlines.(a);
+        adm_lower_us = lower;
+        adm_admitted = deadlines.(a) >= lower;
+      })
+
 type result = {
   mr_stats : Stats.t array;
   mr_makespan_us : float;
@@ -110,6 +138,7 @@ type astate = {
   mutable running : int;
   clk : clock;
   admission : int array;  (* kernel seq -> global admission rank *)
+  edf_order : int array;  (* static EDF dispatch order; empty otherwise *)
   emit : Stats.sink;
   tracing : bool;
 }
@@ -233,9 +262,7 @@ let run ?(submission = Fifo) ?(spatial = Shared) ?metrics ?traces (cfg : Config.
   let fine = Mode.fine_grain mode in
   let serial = Mode.serial_commands mode in
   let launch_us = Mode.launch_overhead cfg mode in
-  let newest_first =
-    match Mode.policy mode with Mode.Newest_first -> true | Mode.Oldest_first -> false
-  in
+  let policy = Mode.policy mode in
 
   let shared_engine =
     { e_launch_free = 0.0; e_copy_free = 0.0; e_free_slots = Config.total_tb_slots cfg }
@@ -340,6 +367,13 @@ let run ?(submission = Fifo) ?(spatial = Shared) ?metrics ?traces (cfg : Config.
       running = 0;
       clk = { last_t = 0.0; area = 0.0; busy = 0.0; end_time = 0.0 };
       admission = Array.make (max nk 1) 0;
+      (* EDF stays within-app: apps are still visited in index order, each
+         draining its own kernels by effective deadline key, which keeps
+         the single-app degeneracy and partition-isolation theorems. *)
+      edf_order =
+        (match policy with
+        | Mode.Edf -> Deadline.order_of_prep prep
+        | Mode.Oldest_first | Mode.Newest_first -> [||]);
       emit;
       tracing;
     }
@@ -566,15 +600,23 @@ let run ?(submission = Fifo) ?(spatial = Shared) ?metrics ?traces (cfg : Config.
   in
   let dispatch_app (ap : astate) =
     if ap.eng.e_free_slots > 0 then begin
-      if newest_first then begin
+      match policy with
+      | Mode.Newest_first ->
         let k = ref (ap.nk - 1) in
         while ap.eng.e_free_slots > 0 && !k >= 0 do
           let st = ap.ks.(!k) in
           if st.launched && not st.drained then drain_kernel ap !k;
           decr k
         done
-      end
-      else begin
+      | Mode.Edf ->
+        let i = ref 0 in
+        while ap.eng.e_free_slots > 0 && !i < ap.nk do
+          let k = ap.edf_order.(!i) in
+          let st = ap.ks.(k) in
+          if st.launched && not st.drained then drain_kernel ap k;
+          incr i
+        done
+      | Mode.Oldest_first -> begin
         ap.dispatch_gen <- ap.dispatch_gen + 1;
         let gen = ap.dispatch_gen in
         let k = ref 0 in

@@ -67,6 +67,24 @@ val submission_of_string : string -> submission option
 val spatial_name : spatial -> string
 (** ["shared"] or ["partitioned:14+14"]-style. *)
 
+type admission = {
+  adm_app : int;
+  adm_deadline_us : float;
+  adm_lower_us : float;
+      (** provable lower bound on the app's makespan under any policy
+          ({!Deadline.min_makespan_us} on the slots it would be granted) *)
+  adm_admitted : bool;  (** false iff [adm_deadline_us < adm_lower_us] *)
+}
+
+val admit :
+  ?spatial:spatial -> Bm_gpu.Config.t -> deadlines:float array -> Prep.t array -> admission array
+(** Deadline admission control: reject every app whose deadline is
+    provably unmeetable — below the analytical lower bound on its
+    makespan.  Under [Partitioned] the bound is computed on each app's
+    slice; under [Shared] on the whole machine (optimistic, hence still a
+    sound rejection).  Raises [Invalid_argument] when [deadlines] does not
+    have one entry per app or on a malformed partition. *)
+
 val run :
   ?submission:submission ->
   ?spatial:spatial ->

@@ -402,8 +402,14 @@ let run ?(host_blocking_copies = false) ?metrics ?trace (cfg : Config.t) mode (g
     end
   in
 
-  let newest_first =
-    match Mode.policy mode with Mode.Newest_first -> true | Mode.Oldest_first -> false
+  let policy = Mode.policy mode in
+  (* EDF order derives from the captured per-TB costs, which are the same
+     floats preparation produced — the order matches the simulator's
+     bit-for-bit. *)
+  let edf_order =
+    match policy with
+    | Mode.Edf -> Deadline.order_of_schedule sched
+    | Mode.Oldest_first | Mode.Newest_first -> [||]
   in
   let blocked_gen = Array.make (max nstreams 1) 0 in
   let dispatch_gen = ref 0 in
@@ -429,15 +435,25 @@ let run ?(host_blocking_copies = false) ?metrics ?trace (cfg : Config.t) mode (g
      pushed). *)
   let dispatch () =
     if !free_slots > 0 then begin
-      if newest_first then begin
+      match policy with
+      | Mode.Newest_first ->
         let k = ref !active_tail in
         while !free_slots > 0 && !k >= 0 do
           let prv = ks.(!k).a_prev in
           drain_kernel !k;
           k := prv
         done
-      end
-      else begin
+      | Mode.Edf ->
+        (* The static EDF order interleaves active and inactive kernels, so
+           walk it whole and filter — exactly the simulator's walk. *)
+        let i = ref 0 in
+        while !free_slots > 0 && !i < nk do
+          let k = edf_order.(!i) in
+          let st = ks.(k) in
+          if st.launched && not st.drained then drain_kernel k;
+          incr i
+        done
+      | Mode.Oldest_first -> begin
         incr dispatch_gen;
         let gen = !dispatch_gen in
         let k = ref !active_head in

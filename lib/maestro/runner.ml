@@ -35,6 +35,36 @@ let simulate_all ?(cfg = Config.titan_x_pascal) ?(backend = `Sim) ?(modes = Mode
     let graph = lazy (Graph.capture ?cache cfg app) in
     List.map (fun mode -> (mode, Replay.run cfg mode (Lazy.force graph))) modes
 
+let deadline ?(cfg = Config.titan_x_pascal) ?(backend = `Sim) ?metrics ?cache ?(optimistic_bound = false)
+    ~deadline_us mode app =
+  (* The RTA bound is computed on the same artifact the backend executes
+     (the prep, or the captured schedule's matching reorder class), so the
+     bound-vs-observed comparison exercises each backend's own cost data.
+     [optimistic_bound] substitutes the analytical *lower* bound for the
+     worst-case bound — an intentionally broken analysis for self-tests,
+     mirroring the fuzzer's --inject-slots-bug. *)
+  let stats, bound, lower =
+    match backend with
+    | `Sim ->
+      let prep = prepare ~cfg ?cache mode app in
+      ( Sim.run ?metrics cfg mode prep,
+        Deadline.bound_of_prep cfg mode prep,
+        Deadline.min_makespan_us cfg prep )
+    | `Replay ->
+      let graph = capture ~cfg ?cache app in
+      let sched =
+        if Mode.reorders mode then graph.Graph.g_reordered else graph.Graph.g_plain
+      in
+      let prep = prepare ~cfg ?cache mode app in
+      ( Replay.run ?metrics cfg mode graph,
+        Deadline.bound_of_schedule cfg mode sched,
+        Deadline.min_makespan_us cfg prep )
+  in
+  let bound = if optimistic_bound then lower else bound in
+  let r = Deadline.report ~deadline_us ~bound_us:bound ~makespan_us:stats.Stats.total_us in
+  (match metrics with Some reg -> Deadline.observe reg r | None -> ());
+  (r, stats)
+
 let corun ?(cfg = Config.titan_x_pascal) ?submission ?spatial ?metrics ?profs ?traces ?cache mode
     apps =
   (* One shared analysis cache across the co-running apps: they are
@@ -55,6 +85,35 @@ let corun ?(cfg = Config.titan_x_pascal) ?submission ?spatial ?metrics ?profs ?t
       apps
   in
   Multi.run ?submission ?spatial ?metrics ?traces cfg mode preps
+
+let corun_deadlines ?(cfg = Config.titan_x_pascal) ?submission ?spatial ?metrics ?cache
+    ~deadlines mode apps =
+  if Array.length deadlines <> Array.length apps then
+    invalid_arg "Runner.corun_deadlines: deadlines length must match apps";
+  let cache = match cache with Some c -> c | None -> Cache.create () in
+  let preps = Array.map (fun app -> prepare ~cfg ~cache mode app) apps in
+  let admissions = Multi.admit ?spatial cfg ~deadlines preps in
+  let res = Multi.run ?submission ?spatial ?metrics cfg mode preps in
+  (* Per-app worst-case bound: its own total serial work — plus, under
+     Shared, every co-runner's (they can occupy the machine end to end
+     before this app's last activity runs).  Partitioned slices are
+     private devices, so the solo bound stands. *)
+  let bounds = Array.map (fun prep -> Deadline.bound_of_prep cfg mode prep) preps in
+  let shared = match spatial with None | Some Multi.Shared -> true | Some (Multi.Partitioned _) -> false in
+  let total_bound = Array.fold_left ( +. ) 0.0 bounds in
+  let reports =
+    Array.mapi
+      (fun a (stats : Stats.t) ->
+        let bound = if shared then total_bound else bounds.(a) in
+        let r =
+          Deadline.report ~deadline_us:deadlines.(a) ~bound_us:bound
+            ~makespan_us:stats.Stats.total_us
+        in
+        (match metrics with Some reg -> Deadline.observe reg r | None -> ());
+        r)
+      res.Multi.mr_stats
+  in
+  (admissions, reports, res)
 
 let corun_interference ?(cfg = Config.titan_x_pascal) ?submission ?spatial ?metrics ?profs ?cache
     mode apps =

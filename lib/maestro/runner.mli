@@ -58,6 +58,43 @@ val simulate_all :
     [`Replay] one capture serves every mode (a graph carries both reorder
     classes). *)
 
+val deadline :
+  ?cfg:Bm_gpu.Config.t ->
+  ?backend:[ `Sim | `Replay ] ->
+  ?metrics:Bm_metrics.Metrics.t ->
+  ?cache:Cache.t ->
+  ?optimistic_bound:bool ->
+  deadline_us:float ->
+  Mode.t ->
+  Bm_gpu.Command.app ->
+  Deadline.report * Bm_gpu.Stats.t
+(** Simulate under [mode] and judge the outcome against [deadline_us] and
+    the response-time analysis ({!Deadline.bound_of_prep} for [`Sim],
+    {!Deadline.bound_of_schedule} for [`Replay] — the bound is computed
+    from the same artifact the backend executes).  With [metrics], records
+    the [deadline.*] family via {!Deadline.observe}.  [optimistic_bound]
+    (default false) deliberately substitutes the analytical {e lower}
+    bound — a broken analysis used by self-tests to prove a genuine bound
+    violation is detected ([r_rta_violation]). *)
+
+val corun_deadlines :
+  ?cfg:Bm_gpu.Config.t ->
+  ?submission:Multi.submission ->
+  ?spatial:Multi.spatial ->
+  ?metrics:Bm_metrics.Metrics.t ->
+  ?cache:Cache.t ->
+  deadlines:float array ->
+  Mode.t ->
+  Bm_gpu.Command.app array ->
+  Multi.admission array * Deadline.report array * Multi.result
+(** Co-run with per-app deadlines: prepare, compute {!Multi.admit}
+    verdicts (advisory — every app still runs, so provably-unmeetable
+    deadlines can be observed missing), co-run, and report each app's
+    outcome.  Each app's RTA bound is its own serial work plus, under
+    [Shared], every co-runner's (they may occupy the machine end to end
+    first); under [Partitioned] the solo bound stands.  [deadlines] must
+    have one entry per app. *)
+
 val corun :
   ?cfg:Bm_gpu.Config.t ->
   ?submission:Multi.submission ->

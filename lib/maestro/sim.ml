@@ -155,7 +155,8 @@ let make_mstate reg nk =
     m_resident = 0;
   }
 
-let run ?(host_blocking_copies = false) ?metrics ?trace (cfg : Config.t) mode (prep : Prep.t) =
+let run ?(host_blocking_copies = false) ?metrics ?trace ?deadlines (cfg : Config.t) mode
+    (prep : Prep.t) =
   (* Observability hook: a no-op closure when disabled, so the hot path
      pays one indirect call per event and nothing else. *)
   let tracing = trace <> None in
@@ -384,7 +385,15 @@ let run ?(host_blocking_copies = false) ?metrics ?trace (cfg : Config.t) mode (p
      started; draining in ascending order with a per-stream blocked flag
      enforces precisely that, because dispatching from [k] never changes
      any older kernel's eligibility. *)
-  let newest_first = match Mode.policy mode with Mode.Newest_first -> true | Mode.Oldest_first -> false in
+  let policy = Mode.policy mode in
+  (* EDF: a static dispatch order over all launches, by effective deadline
+     key (priority inheritance applied).  Keys never change during a run,
+     so draining ready rings in this fixed order is exact EDF. *)
+  let edf_order =
+    match policy with
+    | Mode.Edf -> Deadline.order_of_prep ?deadlines prep
+    | Mode.Oldest_first | Mode.Newest_first -> [||]
+  in
   let blocked_gen = Array.make (max nstreams 1) 0 in
   let dispatch_gen = ref 0 in
   let drain_kernel k =
@@ -404,7 +413,8 @@ let run ?(host_blocking_copies = false) ?metrics ?trace (cfg : Config.t) mode (p
   in
   let dispatch () =
     if !free_slots > 0 then begin
-      if newest_first then begin
+      match policy with
+      | Mode.Newest_first ->
         (* Consumer priority: any ready TB of any active kernel may run;
            newest kernels first. *)
         let k = ref (nk - 1) in
@@ -413,8 +423,17 @@ let run ?(host_blocking_copies = false) ?metrics ?trace (cfg : Config.t) mode (p
           if st.launched && not st.drained then drain_kernel !k;
           decr k
         done
-      end
-      else begin
+      | Mode.Edf ->
+        (* Earliest effective deadline first: any ready TB of any active
+           kernel may run; kernels visited in the static EDF order. *)
+        let i = ref 0 in
+        while !free_slots > 0 && !i < nk do
+          let k = edf_order.(!i) in
+          let st = ks.(k) in
+          if st.launched && not st.drained then drain_kernel k;
+          incr i
+        done
+      | Mode.Oldest_first -> begin
         incr dispatch_gen;
         let gen = !dispatch_gen in
         let k = ref 0 in

@@ -22,6 +22,7 @@ val run :
   ?host_blocking_copies:bool ->
   ?metrics:Bm_metrics.Metrics.t ->
   ?trace:Bm_gpu.Stats.sink ->
+  ?deadlines:float array ->
   Bm_gpu.Config.t ->
   Mode.t ->
   Prep.t ->
@@ -29,6 +30,10 @@ val run :
 (** [host_blocking_copies] (default false) restores the synchronous
     behaviour of host-to-device copies, for ablating BlockMaestro's
     treatment of blocking APIs as non-blocking.
+
+    [deadlines] overrides the per-kernel deadline keys consulted by the
+    {!Mode.Deadline_edf} dispatch policy (see {!Deadline.order_of_prep});
+    ignored by every other mode.
 
     [metrics] receives performance counters over simulated time: DLB/PCB
     occupancy time series with high-water marks ([dlb.occupancy],

@@ -393,10 +393,31 @@ let run ?(submission = Multi.Fifo) ?(spatial = Multi.Shared) ?(slots_bug = 0) (c
             match Mode.policy mode with
             | Mode.Oldest_first -> !active
             | Mode.Newest_first -> List.rev !active
+            | Mode.Edf ->
+              (* Within-app EDF, naively: the base key is the stream-prefix
+                 total TB time, inheritance takes the minimum over the
+                 stream-successor chain, and the static keys let repeated
+                 sort-and-first-pick reproduce Multi's ring drain. *)
+              let rec base k =
+                if k < 0 then 0.0
+                else
+                  base (prev_of !a k)
+                  +. Array.fold_left ( +. ) 0.0
+                       ks.(!a).(k).info.Prep.li_cost.Bm_gpu.Costmodel.tb_us
+              in
+              let rec min_suffix k acc =
+                if k < 0 then acc else min_suffix next_of.(!a).(k) (Float.min acc (base k))
+              in
+              let key k = min_suffix k infinity in
+              List.sort
+                (fun x y ->
+                  let c = Float.compare (key x) (key y) in
+                  if c <> 0 then c else Int.compare x y)
+                !active
           in
           let eligible k =
             match Mode.policy mode with
-            | Mode.Newest_first -> true
+            | Mode.Newest_first | Mode.Edf -> true
             | Mode.Oldest_first ->
               List.for_all
                 (fun k' ->

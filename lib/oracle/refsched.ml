@@ -33,7 +33,8 @@ type occ =
 let memcpy_us (cfg : Config.t) bytes =
   cfg.Config.memcpy_latency_us +. (float_of_int bytes /. (cfg.Config.memcpy_gb_per_s *. 1000.0))
 
-let run ?(host_blocking_copies = false) ?window_override (cfg : Config.t) mode (prep : Prep.t) =
+let run ?(host_blocking_copies = false) ?window_override ?deadlines (cfg : Config.t) mode
+    (prep : Prep.t) =
   let launches = prep.Prep.p_launches in
   let nk = Array.length launches in
   let commands = prep.Prep.p_commands in
@@ -69,6 +70,29 @@ let run ?(host_blocking_copies = false) ?window_override (cfg : Config.t) mode (
       match li.Prep.li_prev with Some p -> next_of.(p) <- k | None -> ())
     launches;
   let stream_of k = launches.(k).Prep.li_spec.Command.stream in
+  (match deadlines with
+  | Some d when Array.length d <> nk -> invalid_arg "Refsched.run: deadlines length <> launches"
+  | Some _ | None -> ());
+  (* Deadline key of kernel [k] under the EDF policy, re-derived naively on
+     every use: the base key is the stream-prefix total TB time (or the
+     caller's per-kernel override), and priority inheritance takes the
+     minimum base key over [k] and its whole stream-successor chain. *)
+  let edf_base k =
+    match deadlines with
+    | Some d -> d.(k)
+    | None ->
+      let rec chain k =
+        if k < 0 then 0.0
+        else
+          chain (prev_of k)
+          +. Array.fold_left ( +. ) 0.0 launches.(k).Prep.li_cost.Bm_gpu.Costmodel.tb_us
+      in
+      chain k
+  in
+  let edf_key k =
+    let rec min_suffix k acc = if k < 0 then acc else min_suffix next_of.(k) (Float.min acc (edf_base k)) in
+    min_suffix k infinity
+  in
 
   (* Pending occurrences: a flat list ordered by nothing; popping scans for
      the minimum (time, insertion seq) — the heap contract, naively. *)
@@ -270,10 +294,18 @@ let run ?(host_blocking_copies = false) ?window_override (cfg : Config.t) mode (
         match Mode.policy mode with
         | Mode.Oldest_first -> !active
         | Mode.Newest_first -> List.rev !active
+        | Mode.Edf ->
+          (* Keys are static during a run, so sorting the active set anew
+             each pick and taking the first ready kernel is exact EDF. *)
+          List.sort
+            (fun a b ->
+              let c = Float.compare (edf_key a) (edf_key b) in
+              if c <> 0 then c else Int.compare a b)
+            !active
       in
       let eligible k =
         match Mode.policy mode with
-        | Mode.Newest_first -> true
+        | Mode.Newest_first | Mode.Edf -> true
         | Mode.Oldest_first ->
           List.for_all
             (fun k' ->

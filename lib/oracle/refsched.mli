@@ -25,12 +25,19 @@
     the fuzzer's self-test to inject a known scheduler bug and prove the
     differential harness catches and shrinks it.
 
+    [deadlines] overrides the per-kernel deadline keys of the
+    {!Bm_maestro.Mode.Deadline_edf} dispatch policy, mirroring [Sim.run] —
+    the keys (and priority inheritance over the stream-successor chain)
+    are re-derived naively on every scheduling decision rather than
+    precomputed.  Ignored by every other mode.
+
     @raise Failure like [Sim.run] on a stalled host or a kernel that never
     completes. *)
 
 val run :
   ?host_blocking_copies:bool ->
   ?window_override:int ->
+  ?deadlines:float array ->
   Bm_gpu.Config.t ->
   Bm_maestro.Mode.t ->
   Bm_maestro.Prep.t ->

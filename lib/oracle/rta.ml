@@ -1,0 +1,86 @@
+module Config = Bm_gpu.Config
+module Stats = Bm_gpu.Stats
+module Json = Bm_metrics.Json
+module Mode = Bm_maestro.Mode
+module Prep = Bm_maestro.Prep
+module Sim = Bm_maestro.Sim
+module Graph = Bm_maestro.Graph
+module Replay = Bm_maestro.Replay
+module Deadline = Bm_maestro.Deadline
+
+type entry = {
+  e_app : string;
+  e_mode : Mode.t;
+  e_backend : Diff.backend;
+  e_bound_us : float;
+  e_observed_us : float;
+}
+
+let ok e = e.e_observed_us <= e.e_bound_us
+
+let check_app ?(cfg = Config.titan_x_pascal) ?(modes = List.map snd Mode.known)
+    ?(backends = ([ `Sim; `Replay ] : Diff.backend list)) ?(optimistic_bound = false) ~name app =
+  (* Shared preparations/capture across the sweep, like Diff.check.  Each
+     backend's bound is computed from the artifact that backend executes
+     (the prep, or the captured schedule's matching reorder class), so a
+     capture that corrupted the cost arrays cannot satisfy its own bound
+     by accident. *)
+  let prep_plain = lazy (Prep.prepare ~reorder:false cfg app) in
+  let prep_reordered = lazy (Prep.prepare ~reorder:true cfg app) in
+  let graph = lazy (Graph.capture cfg app) in
+  List.concat_map
+    (fun mode ->
+      let prep =
+        if Mode.reorders mode then Lazy.force prep_reordered else Lazy.force prep_plain
+      in
+      List.map
+        (fun backend ->
+          let observed, bound =
+            match backend with
+            | `Sim -> ((Sim.run cfg mode prep).Stats.total_us, Deadline.bound_of_prep cfg mode prep)
+            | `Replay ->
+              let g = Lazy.force graph in
+              let sched = if Mode.reorders mode then g.Graph.g_reordered else g.Graph.g_plain in
+              ((Replay.run cfg mode g).Stats.total_us, Deadline.bound_of_schedule cfg mode sched)
+          in
+          let bound = if optimistic_bound then Deadline.min_makespan_us cfg prep else bound in
+          {
+            e_app = name;
+            e_mode = mode;
+            e_backend = backend;
+            e_bound_us = bound;
+            e_observed_us = observed;
+          })
+        backends)
+    modes
+
+let violations entries = List.filter (fun e -> not (ok e)) entries
+
+let to_json entries =
+  Json.Obj
+    [
+      ("schema", Json.Str "bm.rta/1");
+      ( "entries",
+        Json.Arr
+          (List.map
+             (fun e ->
+               Json.Obj
+                 [
+                   ("app", Json.Str e.e_app);
+                   ("mode", Json.Str (Mode.name e.e_mode));
+                   ("backend", Json.Str (Diff.backend_name e.e_backend));
+                   ("bound_us", Json.Num e.e_bound_us);
+                   ("observed_us", Json.Num e.e_observed_us);
+                   ("sound", Json.Bool (ok e));
+                 ])
+             entries) );
+      ("violations", Json.Num (float_of_int (List.length (violations entries))));
+    ]
+
+let pp_entry ppf e =
+  Format.fprintf ppf "%s %s (%s): observed %.3f us %s bound %.3f us" e.e_app
+    (Mode.name e.e_mode)
+    (Diff.backend_name e.e_backend)
+    e.e_observed_us
+    (if ok e then "<=" else ">")
+    e.e_bound_us

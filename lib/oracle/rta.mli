@@ -1,0 +1,51 @@
+(** Response-time-analysis soundness oracle.
+
+    {!Bm_maestro.Deadline} computes a worst-case completion bound per app:
+    the sum of every activity's duration (launch overheads, mallocs,
+    copies, TB work).  The analytical claim is that {e every} simulated
+    makespan — any mode, either backend — is at most this bound, because
+    the simulated clock only ever advances to the completion of some
+    executing activity and each activity runs exactly once.
+
+    This module is the empirical half of that argument, in the
+    {!Soundness} spirit: {!check_app} sweeps one app across modes ×
+    backends, recording the observed makespan against the bound computed
+    from the very artifact the backend executed (the preparation under
+    [`Sim], the captured schedule under [`Replay]).  Any entry with
+    [observed > bound] is an analysis bug with a concrete reproducer.
+
+    [optimistic_bound] substitutes the analytical {e lower} bound
+    ({!Bm_maestro.Deadline.min_makespan_us}) for the worst-case bound — a
+    deliberately broken analysis the CI self-test uses to prove a genuine
+    violation is detected (mirroring the fuzzer's [--inject-slots-bug]). *)
+
+type entry = {
+  e_app : string;
+  e_mode : Bm_maestro.Mode.t;
+  e_backend : Diff.backend;
+  e_bound_us : float;
+  e_observed_us : float;
+}
+
+val ok : entry -> bool
+(** [observed <= bound]. *)
+
+val check_app :
+  ?cfg:Bm_gpu.Config.t ->
+  ?modes:Bm_maestro.Mode.t list ->
+  ?backends:Diff.backend list ->
+  ?optimistic_bound:bool ->
+  name:string ->
+  Bm_gpu.Command.app ->
+  entry list
+(** Sweep one app.  Defaults: every {!Bm_maestro.Mode.known} mode, both
+    backends.  Preparations and the capture are shared across the sweep
+    exactly like {!Diff.check}. *)
+
+val violations : entry list -> entry list
+
+val to_json : entry list -> Bm_metrics.Json.t
+(** Schema ["bm.rta/1"]: one record per (app, mode, backend) with the
+    bound, the observation and the verdict, plus a violation count. *)
+
+val pp_entry : Format.formatter -> entry -> unit

@@ -1,16 +1,22 @@
+(* geomean and mean share one empty-input contract: raise.  A silent
+   default (the old 1.0 / 0.0 split) turns a filtered-to-nothing sweep
+   into a plausible-looking summary figure. *)
 let geomean xs =
+  if xs = [] then invalid_arg "Report.geomean: empty";
   let xs = List.filter (fun x -> x > 0.0) xs in
   match xs with
-  | [] -> 1.0
+  | [] -> invalid_arg "Report.geomean: no positive entries"
   | _ ->
     let sum = List.fold_left (fun acc x -> acc +. log x) 0.0 xs in
     exp (sum /. float_of_int (List.length xs))
 
 let mean = function
-  | [] -> 0.0
+  | [] -> invalid_arg "Report.mean: empty"
   | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
 
 let percentile xs p =
+  if Float.is_nan p || p < 0.0 || p > 100.0 then
+    invalid_arg "Report.percentile: p out of [0,100]";
   (* NaNs are skipped rather than sorted: [compare] orders nan below every
      float, which would silently shift every rank. *)
   let sorted =
@@ -45,6 +51,16 @@ let row t cells =
     invalid_arg "Report.row: cell count mismatch";
   t.rows <- cells :: t.rows
 
+(* Column alignment must count displayed characters, not bytes: a UTF-8
+   cell (kernel names are user-supplied) is wider in bytes than on screen.
+   Counting non-continuation bytes (those not matching 10xxxxxx) gives the
+   scalar count without decoding; invalid bytes count as one column each,
+   matching how terminals render replacement characters. *)
+let utf8_length s =
+  let n = ref 0 in
+  String.iter (fun c -> if Char.code c land 0xC0 <> 0x80 then incr n) s;
+  !n
+
 let to_string t =
   let buf = Buffer.create 1024 in
   let rows = List.rev t.rows in
@@ -52,7 +68,7 @@ let to_string t =
   let ncols = List.length t.columns in
   let widths = Array.make ncols 0 in
   List.iter
-    (List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)))
+    (List.iteri (fun i cell -> widths.(i) <- max widths.(i) (utf8_length cell)))
     all;
   let line c =
     Buffer.add_char buf '+';
@@ -62,7 +78,10 @@ let to_string t =
   let add_row cells =
     Buffer.add_char buf '|';
     List.iteri
-      (fun i cell -> Buffer.add_string buf (Printf.sprintf " %-*s |" widths.(i) cell))
+      (fun i cell ->
+        (* Manual padding: Printf's %-*s pads by bytes. *)
+        let pad = String.make (widths.(i) - utf8_length cell) ' ' in
+        Buffer.add_string buf (" " ^ cell ^ pad ^ " |"))
       cells;
     Buffer.add_char buf '\n'
   in

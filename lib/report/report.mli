@@ -1,9 +1,16 @@
 (** Formatting and summary statistics for the experiment harness. *)
 
 val geomean : float list -> float
-(** Geometric mean.  Empty list -> 1.0; non-positive entries are skipped. *)
+(** Geometric mean over the positive entries; non-positive entries are
+    skipped (a zero or negative factor has no geometric-mean
+    interpretation).
+    @raise Invalid_argument on an empty list, or when no positive entries
+    remain — the same empty contract as {!mean}. *)
 
 val mean : float list -> float
+(** Arithmetic mean.
+    @raise Invalid_argument on an empty list — the same empty contract as
+    {!geomean}. *)
 
 val quartiles : float array -> float * float * float
 (** (q1, median, q3) by linear interpolation; the array is sorted
@@ -14,7 +21,14 @@ val percentile : float array -> float -> float
 (** [percentile xs p] for p in [0, 100] by linear interpolation over the
     sorted non-NaN entries ([compare] would order NaN below every float and
     silently shift ranks, so NaNs are dropped instead).
-    @raise Invalid_argument when no non-NaN entries remain. *)
+    @raise Invalid_argument when [p] is outside [0, 100] (or NaN), and when
+    no non-NaN entries remain. *)
+
+val utf8_length : string -> int
+(** Unicode scalar count of a UTF-8 string (non-continuation bytes);
+    invalid bytes count one column each.  {!to_string} aligns columns by
+    this measure, not [String.length], so multi-byte cells don't skew
+    tables. *)
 
 type table
 

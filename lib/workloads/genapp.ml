@@ -126,6 +126,48 @@ let generate_corun ?(num_sms = 28) ?max_streams ?max_len ?(max_grid = 48) ?block
   in
   { c_a = a; c_b = b; c_submission; c_partition }
 
+(* ------------------------------------------------------------------ *)
+(* Mixed-criticality deadline specs                                    *)
+(* ------------------------------------------------------------------ *)
+
+type criticality = Hard | Soft
+
+type deadline_spec = {
+  d_criticality : criticality;
+  d_factor : float;
+}
+
+(* Deadlines are generated as {e factors} of the app's analytical
+   minimum-makespan lower bound, not absolute ticks — this module never
+   sees the cost model, so callers scale by
+   [Bm_maestro.Deadline.min_makespan_us].  Hard specs are tight and may
+   land below 1.0 (provably unmeetable, exercising admission rejection);
+   soft specs are lax and should always be met. *)
+let generate_deadline rng =
+  if Rng.int_below rng 2 = 0 then
+    { d_criticality = Hard; d_factor = 0.5 +. Rng.float_01 rng }
+  else { d_criticality = Soft; d_factor = 2.0 +. (8.0 *. Rng.float_01 rng) }
+
+type corun_deadlines = {
+  cd_corun : corun;
+  cd_a : deadline_spec;
+  cd_b : deadline_spec;
+}
+
+(* The deadline draws come strictly after every [generate_corun] draw, so
+   the co-run half of the seed contract is unchanged: for any seed,
+   [cd_corun] is exactly what [generate_corun] alone would produce. *)
+let generate_corun_deadlines ?num_sms ?max_streams ?max_len ?max_grid ?block rng idx =
+  let c = generate_corun ?num_sms ?max_streams ?max_len ?max_grid ?block rng idx in
+  let cd_a = generate_deadline rng in
+  let cd_b = generate_deadline rng in
+  { cd_corun = c; cd_a; cd_b }
+
+let criticality_tag = function Hard -> "hard" | Soft -> "soft"
+
+let deadline_to_string d =
+  Printf.sprintf "%s@%.3fx" (criticality_tag d.d_criticality) d.d_factor
+
 let submission_tag = function `Fifo -> "fifo" | `Round_robin -> "rr" | `Packed -> "packed"
 
 let kspec_to_string ks =

@@ -86,3 +86,41 @@ val generate_corun :
 
 val corun_to_string : corun -> string
 (** One-liner: spatial, policy, then both app specs. *)
+
+(** {1 Mixed-criticality deadline specs}
+
+    Deadlines are expressed as {e factors} of an app's analytical
+    minimum-makespan lower bound, keeping this library free of the cost
+    model: callers scale the factor by
+    [Bm_maestro.Deadline.min_makespan_us] to obtain absolute ticks.  A
+    factor below 1.0 is provably unmeetable — exactly what admission
+    control must reject. *)
+
+type criticality = Hard | Soft
+
+type deadline_spec = {
+  d_criticality : criticality;
+  d_factor : float;  (** deadline = factor x analytical lower bound *)
+}
+
+val generate_deadline : Bm_engine.Rng.t -> deadline_spec
+(** Coin-flip criticality, then the factor: [Hard] draws uniformly in
+    [0.5, 1.5) (half are provably unmeetable), [Soft] in [2, 10). *)
+
+type corun_deadlines = {
+  cd_corun : corun;
+  cd_a : deadline_spec;
+  cd_b : deadline_spec;
+}
+
+val generate_corun_deadlines :
+  ?num_sms:int -> ?max_streams:int -> ?max_len:int -> ?max_grid:int -> ?block:int ->
+  Bm_engine.Rng.t -> int -> corun_deadlines
+(** {!generate_corun}, then one deadline spec per app.  The deadline draws
+    come strictly after every co-run draw, so for any seed [cd_corun] is
+    bit-identical to what {!generate_corun} alone produces. *)
+
+val criticality_tag : criticality -> string
+
+val deadline_to_string : deadline_spec -> string
+(** e.g. ["hard@0.812x"]. *)

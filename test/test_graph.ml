@@ -290,7 +290,7 @@ let test_bmctl_help_consistency () =
     (fun sub ->
       Alcotest.(check bool) (Printf.sprintf "main help lists %s" sub) true (contains ~needle:sub main_help))
     [ "list"; "run"; "speedup"; "analyze"; "stats"; "timeline"; "trace"; "capture"; "replay";
-      "corun"; "explain"; "fuzz"; "ptx" ];
+      "corun"; "explain"; "rta"; "fuzz"; "ptx" ];
   let check_flags sub flags =
     let help = help_of [ sub; "--help"; "plain" ] in
     List.iter
@@ -300,14 +300,29 @@ let test_bmctl_help_consistency () =
       flags
   in
   check_flags "stats" [ "--repeat"; "--merged"; "--jobs" ];
-  check_flags "run" [ "--backend" ];
+  check_flags "run" [ "--backend"; "--deadline"; "--inject-rta-bug" ];
   check_flags "capture" [ "--output" ];
   check_flags "replay" [ "--graph"; "--compare"; "--fresh"; "--counters" ];
   check_flags "fuzz" [ "--replay"; "--seed"; "--count" ];
-  check_flags "corun" [ "--policy"; "--partition"; "--folded"; "--metrics" ];
+  check_flags "corun" [ "--policy"; "--partition"; "--folded"; "--metrics"; "--deadlines" ];
   check_flags "explain"
     [ "--json"; "--top"; "--backend"; "--check"; "--no-whatif"; "--trace"; "--metrics";
-      "--policy"; "--partition" ]
+      "--policy"; "--partition" ];
+  check_flags "rta" [ "--mode"; "--json"; "--inject-rta-bug" ];
+  (* The documented exit-code table: every distinct failure status must
+     appear in each subcommand's EXIT STATUS section (Cmd.Exit.info feeds
+     them all through one shared [exits] list). *)
+  List.iter
+    (fun sub ->
+      let help = help_of [ sub; "--help"; "plain" ] in
+      List.iter
+        (fun code ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s --help documents exit %d" sub code)
+            true
+            (contains ~needle:(string_of_int code) help))
+        [ 0; 2; 3; 4; 5; 6; 7; 124 ])
+    [ "run"; "rta"; "corun" ]
 
 let suite =
   [

@@ -19,4 +19,5 @@ let () =
       ("multi", Test_multi.suite);
       ("parallel", Test_parallel.suite);
       ("integration", Test_integration.suite);
+      ("deadline", Test_deadline.suite);
     ]

@@ -11,12 +11,19 @@ module Wavefront = Bm_workloads.Wavefront
 let test_geomean () =
   Alcotest.(check (float 1e-9)) "geomean of equal" 2.0 (Report.geomean [ 2.0; 2.0; 2.0 ]);
   Alcotest.(check (float 1e-9)) "geomean 1x4" 2.0 (Report.geomean [ 1.0; 4.0 ]);
-  Alcotest.(check (float 1e-9)) "empty" 1.0 (Report.geomean []);
-  Alcotest.(check (float 1e-9)) "skips non-positive" 3.0 (Report.geomean [ 3.0; 0.0; -1.0 ])
+  Alcotest.(check (float 1e-9)) "skips non-positive" 3.0 (Report.geomean [ 3.0; 0.0; -1.0 ]);
+  (* The empty contract is unified with [mean]: raise, never a silent
+     default summary figure. *)
+  Alcotest.check_raises "empty raises" (Invalid_argument "Report.geomean: empty") (fun () ->
+      ignore (Report.geomean []));
+  Alcotest.check_raises "all non-positive raises"
+    (Invalid_argument "Report.geomean: no positive entries") (fun () ->
+      ignore (Report.geomean [ 0.0; -2.0 ]))
 
 let test_mean () =
   Alcotest.(check (float 1e-9)) "mean" 2.0 (Report.mean [ 1.0; 2.0; 3.0 ]);
-  Alcotest.(check (float 1e-9)) "empty mean" 0.0 (Report.mean [])
+  Alcotest.check_raises "empty raises" (Invalid_argument "Report.mean: empty") (fun () ->
+      ignore (Report.mean []))
 
 let test_quartiles () =
   let q1, med, q3 = Report.quartiles [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
@@ -32,6 +39,16 @@ let test_percentile_edges () =
   Alcotest.(check (float 1e-9)) "singleton" 7.0 (Report.percentile [| 7.0 |] 75.0);
   Alcotest.check_raises "empty" (Invalid_argument "Report.percentile: empty") (fun () ->
       ignore (Report.percentile [||] 50.0))
+
+let test_percentile_range_validation () =
+  let bad = Invalid_argument "Report.percentile: p out of [0,100]" in
+  let xs = [| 1.0; 2.0; 3.0 |] in
+  Alcotest.check_raises "negative p" bad (fun () -> ignore (Report.percentile xs (-1.0)));
+  Alcotest.check_raises "p above 100" bad (fun () -> ignore (Report.percentile xs 100.5));
+  Alcotest.check_raises "NaN p" bad (fun () -> ignore (Report.percentile xs Float.nan));
+  (* p > 100 used to clamp silently to the max via [min (n-1)]. *)
+  Alcotest.check_raises "large p no longer clamps" bad (fun () ->
+      ignore (Report.percentile xs 1000.0))
 
 let test_percentile_unsorted_input () =
   Alcotest.(check (float 1e-9)) "sorts internally" 3.0
@@ -74,6 +91,69 @@ let test_table_mismatch () =
   let t = Report.table ~title:"t" ~columns:[ "a"; "b" ] in
   Alcotest.check_raises "cell count" (Invalid_argument "Report.row: cell count mismatch") (fun () ->
       Report.row t [ "only one" ])
+
+let test_utf8_length () =
+  Alcotest.(check int) "ascii" 5 (Report.utf8_length "hello");
+  Alcotest.(check int) "empty" 0 (Report.utf8_length "");
+  Alcotest.(check int) "2-byte scalars" 6 (Report.utf8_length "kern\xc3\xa9l");
+  Alcotest.(check int) "3-byte scalars" 2 (Report.utf8_length "\xe6\xa0\xb8\xe5\xbf\x83");
+  Alcotest.(check int) "4-byte scalar" 1 (Report.utf8_length "\xf0\x9f\x9a\x80")
+
+let test_table_utf8_alignment () =
+  (* A multi-byte kernel name must not widen its column: every rendered
+     border and separator lines up by displayed width, not bytes. *)
+  let t = Report.table ~title:"utf8" ~columns:[ "kernel"; "us" ] in
+  Report.row t [ "ascii"; "1.0" ];
+  Report.row t [ "kern\xc3\xa9l\xe2\x82\x82"; "2.0" ];
+  (* 7 display columns, 10 bytes *)
+  let out = Report.to_string t in
+  let lines = String.split_on_char '\n' out |> List.filter (fun l -> l <> "") in
+  let widths = List.map Report.utf8_length lines in
+  match widths with
+  | _title :: w :: rest ->
+    List.iter (fun w' -> Alcotest.(check int) "all table lines equally wide" w w') rest;
+    (* Separator positions must agree between a pure-ASCII row and the
+       UTF-8 row: find each '|' column index measured in scalars. *)
+    let bar_cols line =
+      let cols = ref [] in
+      let col = ref 0 in
+      String.iter
+        (fun c ->
+          if Char.code c land 0xC0 <> 0x80 then begin
+            if c = '|' then cols := !col :: !cols;
+            incr col
+          end)
+        line;
+      List.rev !cols
+    in
+    let rows = List.filter (fun l -> String.length l > 0 && l.[0] = '|') lines in
+    (match rows with
+    | first :: others ->
+      List.iter
+        (fun r -> Alcotest.(check (list int)) "separators aligned" (bar_cols first) (bar_cols r))
+        others
+    | [] -> Alcotest.fail "no rows rendered")
+  | _ -> Alcotest.fail "no table output"
+
+let prop_percentile_bounds =
+  QCheck2.Test.make ~name:"percentile in [0,100] lies between min and max" ~count:300
+    QCheck2.Gen.(
+      pair (list_size (int_range 1 50) (float_range 0.0 1000.0)) (float_range 0.0 100.0))
+    (fun (xs, p) ->
+      let arr = Array.of_list xs in
+      let v = Report.percentile arr p in
+      let lo = List.fold_left min infinity xs and hi = List.fold_left max neg_infinity xs in
+      v >= lo -. 1e-9 && v <= hi +. 1e-9)
+
+let prop_percentile_out_of_range_raises =
+  QCheck2.Test.make ~name:"percentile outside [0,100] raises" ~count:100
+    QCheck2.Gen.(pair (list_size (int_range 1 10) (float_range 0.0 10.0)) (float_range 0.001 500.0))
+    (fun (xs, off) ->
+      let arr = Array.of_list xs in
+      let p = if off <= 250.0 then -.off else 100.0 +. (off -. 250.0) in
+      match Report.percentile arr p with
+      | _ -> false
+      | exception Invalid_argument _ -> true)
 
 let prop_quartiles_ordered =
   QCheck2.Test.make ~name:"quartiles are ordered and within range" ~count:200
@@ -123,6 +203,9 @@ let suite =
     Alcotest.test_case "mean" `Quick test_mean;
     Alcotest.test_case "quartiles" `Quick test_quartiles;
     Alcotest.test_case "percentile edges" `Quick test_percentile_edges;
+    Alcotest.test_case "percentile p validation" `Quick test_percentile_range_validation;
+    Alcotest.test_case "utf8_length" `Quick test_utf8_length;
+    Alcotest.test_case "table UTF-8 alignment" `Quick test_table_utf8_alignment;
     Alcotest.test_case "percentile sorts" `Quick test_percentile_unsorted_input;
     Alcotest.test_case "percentile NaN handling" `Quick test_percentile_nan;
     Alcotest.test_case "quartiles edges" `Quick test_quartiles_edges;
@@ -134,6 +217,8 @@ let suite =
     Alcotest.test_case "baselines: wireframe buffers" `Quick test_wireframe_buffer_limit;
     QCheck_alcotest.to_alcotest prop_quartiles_ordered;
     QCheck_alcotest.to_alcotest prop_geomean_bounds;
+    QCheck_alcotest.to_alcotest prop_percentile_bounds;
+    QCheck_alcotest.to_alcotest prop_percentile_out_of_range_raises;
   ]
 
 (* --- timeline --------------------------------------------------------- *)
