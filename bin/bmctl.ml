@@ -16,7 +16,16 @@
      rta APP                 response-time-analysis soundness sweep
      fuzz [--seed N]         differential fuzz of scheduler + Algorithm 1
                              (--corun fuzzes two-app concurrency instead)
+     prewarm --cache-dir DIR populate the persistent analysis cache for the
+                             whole suite (both reorder classes)
      ptx APP                 dump the PTX of the application's kernels
+
+   run, stats, capture, corun, explain, rta, fuzz and prewarm accept
+   --cache-dir DIR (default: BM_CACHE_DIR) to attach the persistent
+   analysis store: preparation artifacts are keyed by structural kernel
+   fingerprint and written through, so later runs — including other
+   processes — start disk-warm.  Results are always cycle-identical to a
+   cold run; stale or corrupt entries silently read as misses.
 
    stats, trace and fuzz accept --jobs N (default: BM_JOBS, else available
    cores capped at 8) to fan independent work — one task per requested
@@ -41,7 +50,7 @@
 open Blockmaestro
 open Cmdliner
 
-let version = "1.7.0"
+let version = "1.8.0"
 
 let exit_io_error = 2
 let exit_counterexample = 3
@@ -57,7 +66,8 @@ let exits =
     ~doc:"on an I/O error (cannot read or write a requested file, corrupt graph)."
   :: Cmd.Exit.info exit_counterexample
        ~doc:
-         "on a differential counterexample (fuzz, replay $(b,--compare), corun $(b,--check))."
+         "on a differential counterexample (fuzz, replay $(b,--compare), corun $(b,--check), \
+          a prewarm $(b,--check-hit-rate) shortfall)."
   :: Cmd.Exit.info exit_trace_violation
        ~doc:"when an event trace violates the scheduling invariants."
   :: Cmd.Exit.info exit_stale_graph
@@ -140,6 +150,45 @@ let jobs_arg =
 
 let set_jobs = function Some j -> Parallel.set_default_jobs j | None -> ()
 
+(* --cache-dir DIR / BM_CACHE_DIR: the persistent analysis store.  The
+   directory is validated once up front (an unusable path is an I/O error,
+   exit 2); parallel tasks then open their own per-domain handles
+   best-effort — a directory that turns read-only mid-run degrades to
+   write-error counters, never a crash. *)
+let cache_dir_env =
+  Cmd.Env.info "BM_CACHE_DIR" ~doc:"Default directory for the persistent analysis cache."
+
+let cache_dir_arg =
+  let env = cache_dir_env in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-dir" ] ~docv:"DIR" ~env
+        ~doc:
+          "Persist the launch-time analysis artifacts (footprints, cost profiles, rw-sets, \
+           pair relations) under $(docv), keyed by structural kernel fingerprint, so later \
+           runs — including other processes — start disk-warm.  Stale or corrupt entries \
+           read as misses and are rewritten; results are always cycle-identical to a cold \
+           run.  An unusable directory exits 2.")
+
+let check_cache_dir = function
+  | None -> ()
+  | Some dir -> (
+    match Store.open_dir dir with
+    | Ok _ -> ()
+    | Error msg ->
+      Printf.eprintf "bmctl: cannot open cache directory: %s\n" msg;
+      exit exit_io_error)
+
+(* Per-task store handle on the (already validated) shared directory. *)
+let task_store = function
+  | None -> None
+  | Some dir -> ( match Store.open_dir dir with Ok s -> Some s | Error _ -> None)
+
+let cache_of_dir cache_dir =
+  check_cache_dir cache_dir;
+  Cache.create ?store:(task_store cache_dir) ()
+
 let list_cmd =
   let doc = "List the available benchmark applications." in
   let run () =
@@ -204,13 +253,14 @@ let run_cmd =
             "Absolute deadline in microseconds; reports miss/tardiness/slack and verifies \
              the RTA bound against the observed makespan.")
   in
-  let run (name, gen) mode backend deadline rta_bug =
+  let run (name, gen) mode backend deadline rta_bug cache_dir =
     let app = gen () in
+    let cache = cache_of_dir cache_dir in
     match deadline with
-    | None -> print_stats name mode (Runner.simulate ~backend mode app)
+    | None -> print_stats name mode (Runner.simulate ~backend ~cache mode app)
     | Some deadline_us ->
       let report, stats =
-        Runner.deadline ~backend ~optimistic_bound:rta_bug ~deadline_us mode app
+        Runner.deadline ~backend ~cache ~optimistic_bound:rta_bug ~deadline_us mode app
       in
       print_stats name mode stats;
       Format.printf "  %a@." Deadline.pp_report report;
@@ -221,7 +271,7 @@ let run_cmd =
       end
   in
   Cmd.v (cmd_info "run" ~doc)
-    Term.(const run $ app_arg $ mode $ backend_arg $ deadline $ rta_bug_arg)
+    Term.(const run $ app_arg $ mode $ backend_arg $ deadline $ rta_bug_arg $ cache_dir_arg)
 
 let speedup_cmd =
   let doc = "Report speedups over the baseline for every Fig. 9 mode." in
@@ -294,7 +344,9 @@ let stats_cmd =
      task owns a launch-time analysis cache whose hit/miss/eviction counters land in the \
      registry as $(b,prep.cache.*); $(b,--repeat) re-prepares against that cache and prints \
      per-pass hit rates, and the pseudo-app $(b,suite) prepares every Table II benchmark \
-     (skipping simulation) so the counters cover the whole suite."
+     (skipping simulation) so the counters cover the whole suite.  With $(b,--cache-dir) the \
+     persistent disk tier is attached and its $(b,prep.cache.disk.*) counters (and per-pass \
+     disk hit rates) are reported alongside the in-memory tables."
   in
   let modes =
     Arg.(
@@ -337,8 +389,9 @@ let stats_cmd =
         Printf.eprintf "bmctl: cannot write: %s\n" msg;
         exit exit_io_error)
   in
-  let run target modes json csv out folded no_series merged repeat jobs =
+  let run target modes json csv out folded no_series merged repeat jobs cache_dir =
     set_jobs jobs;
+    check_cache_dir cache_dir;
     let modes = if modes = [] then [ Mode.Producer_priority ] else modes in
     let name, apps =
       match target with
@@ -347,13 +400,14 @@ let stats_cmd =
     in
     let cfg = Config.titan_x_pascal in
     (* One task per mode; the app structure is immutable and shared, every
-       mutable sink (registry, profiler, analysis cache) is task-local. *)
+       mutable sink (registry, profiler, analysis cache, store handle) is
+       task-local. *)
     let runs =
       Parallel.map_list
         (fun mode ->
           let metrics = Metrics.create () in
           let prof = Prof.create () in
-          let cache = Cache.create () in
+          let cache = Cache.create ?store:(task_store cache_dir) () in
           (* --repeat re-prepares against the same cache; pass 2+ of an
              unchanged app should hit on every lookup.  Per-pass rates fall
              out of the counter deltas between passes. *)
@@ -365,7 +419,9 @@ let stats_cmd =
                 (fun app ->
                   Prof.span prof "prepare" (fun () -> Runner.prepare ~cfg ~prof ~cache mode app))
                 apps;
-            passes := (pass, Cache.counters cache) :: !passes
+            passes :=
+              (pass, Cache.counters cache, Option.map Store.counters (Cache.store cache))
+              :: !passes
           done;
           Cache.export cache metrics;
           let stats =
@@ -440,30 +496,48 @@ let stats_cmd =
         in
         List.iter
           (fun (mode, _, _, _, passes) ->
+            let disk = List.exists (fun (_, _, s) -> s <> None) passes in
             let t =
               Report.table
                 ~title:
                   (Printf.sprintf "%s cache hit rates per pass (%s)" name (Mode.name mode))
-                ~columns:[ "pass"; "kernel"; "footprint"; "profile"; "pair" ]
+                ~columns:
+                  ([ "pass"; "kernel"; "footprint"; "profile"; "rw"; "pair" ]
+                  @ if disk then [ "disk"; "disk B written" ] else [])
             in
             let prev = ref None in
+            let prev_s = ref None in
             List.iter
-              (fun (pass, (c : Cache.counters)) ->
+              (fun (pass, (c : Cache.counters), s) ->
                 let d f = match !prev with None -> f c | Some p -> f c - f p in
                 Report.row t
-                  [
-                    string_of_int pass;
-                    rate
-                      (d (fun c -> c.Cache.kernel_hits))
-                      (d (fun c -> c.Cache.kernel_misses));
-                    rate
-                      (d (fun c -> c.Cache.footprint_hits))
-                      (d (fun c -> c.Cache.footprint_misses));
-                    rate
-                      (d (fun c -> c.Cache.profile_hits))
-                      (d (fun c -> c.Cache.profile_misses));
-                    rate (d (fun c -> c.Cache.pair_hits)) (d (fun c -> c.Cache.pair_misses));
-                  ];
+                  ([
+                     string_of_int pass;
+                     rate
+                       (d (fun c -> c.Cache.kernel_hits))
+                       (d (fun c -> c.Cache.kernel_misses));
+                     rate
+                       (d (fun c -> c.Cache.footprint_hits))
+                       (d (fun c -> c.Cache.footprint_misses));
+                     rate
+                       (d (fun c -> c.Cache.profile_hits))
+                       (d (fun c -> c.Cache.profile_misses));
+                     rate (d (fun c -> c.Cache.rw_hits)) (d (fun c -> c.Cache.rw_misses));
+                     rate (d (fun c -> c.Cache.pair_hits)) (d (fun c -> c.Cache.pair_misses));
+                   ]
+                  @
+                  match s with
+                  | Some (sc : Store.counters) when disk ->
+                    let p = !prev_s in
+                    let ds f = match p with None -> f sc | Some q -> f sc - f q in
+                    prev_s := Some sc;
+                    [
+                      rate
+                        (ds (fun s -> s.Store.disk_hits))
+                        (ds (fun s -> s.Store.disk_misses));
+                      string_of_int (ds (fun s -> s.Store.disk_bytes_written));
+                    ]
+                  | Some _ | None -> if disk then [ "n/a"; "n/a" ] else []);
                 prev := Some c)
               passes;
             Report.print t)
@@ -500,7 +574,7 @@ let stats_cmd =
   Cmd.v (cmd_info "stats" ~doc)
     Term.(
       const run $ target $ modes $ json $ csv $ out $ folded $ no_series $ merged $ repeat
-      $ jobs_arg)
+      $ jobs_arg $ cache_dir_arg)
 
 let trace_cmd =
   let doc =
@@ -635,9 +709,10 @@ let capture_cmd =
       & info [ "o"; "output" ] ~docv:"FILE"
           ~doc:"Output file (default: $(b,APP.graph.json)).")
   in
-  let run (name, gen) out =
+  let run (name, gen) out cache_dir =
     let app = gen () in
-    let graph = Runner.capture app in
+    let cache = cache_of_dir cache_dir in
+    let graph = Runner.capture ~cache app in
     let file = match out with Some f -> f | None -> default_graph_file name in
     match Graph.save file graph with
     | Ok () -> print_graph_summary name (Some file) graph
@@ -645,7 +720,7 @@ let capture_cmd =
       Printf.eprintf "bmctl: cannot write graph: %s\n" msg;
       exit exit_io_error
   in
-  Cmd.v (cmd_info "capture" ~doc) Term.(const run $ app_arg $ out)
+  Cmd.v (cmd_info "capture" ~doc) Term.(const run $ app_arg $ out $ cache_dir_arg)
 
 let replay_cmd =
   let doc =
@@ -862,12 +937,13 @@ let corun_cmd =
              still runs) and a deadline report against its contention-aware RTA bound; a \
              makespan above the bound exits 7.")
   in
-  let run named_apps mode policy partition check with_metrics folded deadlines =
+  let run named_apps mode policy partition check with_metrics folded deadlines cache_dir =
     let names = List.map fst named_apps in
     let apps = Array.of_list (List.map (fun (_, gen) -> gen ()) named_apps) in
     let napps = Array.length apps in
     let cfg = Config.titan_x_pascal in
     let spatial = spatial_of_partition ~napps partition in
+    let cache = cache_of_dir cache_dir in
     let metrics = if with_metrics then Some (Metrics.create ()) else None in
     (match deadlines with
     | None -> ()
@@ -877,8 +953,8 @@ let corun_cmd =
         exit 124
       end;
       let admissions, reports, res =
-        Runner.corun_deadlines ~cfg ~submission:policy ~spatial ?metrics ~deadlines:ds mode
-          apps
+        Runner.corun_deadlines ~cfg ~submission:policy ~spatial ?metrics ~cache ~deadlines:ds
+          mode apps
       in
       Printf.printf "co-run of %s under %s (%s, %s): makespan %.2f us\n"
         (String.concat " + " names) (Mode.name mode)
@@ -907,7 +983,8 @@ let corun_cmd =
       match folded with None -> None | Some _ -> Some (Array.init napps (fun _ -> Prof.create ()))
     in
     let res, ratios =
-      Runner.corun_interference ~cfg ~submission:policy ~spatial ?metrics ?profs mode apps
+      Runner.corun_interference ~cfg ~submission:policy ~spatial ?metrics ?profs ~cache mode
+        apps
     in
     (match (folded, profs) with
     | Some file, Some ps ->
@@ -941,7 +1018,8 @@ let corun_cmd =
     | None -> ());
     if check then begin
       match
-        Diff.check_corun ~cfg ~modes:[ mode ] ~submissions:[ policy ] ~spatials:[ spatial ] apps
+        Diff.check_corun ~cfg ~modes:[ mode ] ~submissions:[ policy ] ~spatials:[ spatial ]
+          ~cache apps
       with
       | Ok () -> Printf.printf "check: cycle-exact vs naive co-run reference\n"
       | Error mms ->
@@ -953,7 +1031,7 @@ let corun_cmd =
   Cmd.v (cmd_info "corun" ~doc)
     Term.(
       const run $ apps_arg $ mode $ policy_arg $ partition_arg $ check $ with_metrics $ folded
-      $ deadlines_arg)
+      $ deadlines_arg $ cache_dir_arg)
 
 let explain_cmd =
   let doc =
@@ -1035,8 +1113,9 @@ let explain_cmd =
              $(b,critpath.*), $(b,whatif.*)) and print the snapshot table.")
   in
   let run named_apps mode backend json top check no_whatif trace_out with_metrics policy
-      partition =
+      partition cache_dir =
     let cfg = Config.titan_x_pascal in
+    let cache = cache_of_dir cache_dir in
     let fail_divergence what e =
       Printf.eprintf "bmctl: ATTRIBUTION DIVERGENCE (%s): %s\n" what e;
       exit exit_attrib_divergence
@@ -1047,7 +1126,7 @@ let explain_cmd =
       let solo, stats, trace =
         Explain.run_traced ~cfg ~backend ~whatif:(not no_whatif)
           ~series:(trace_out <> None || with_metrics)
-          mode ~name (gen ())
+          ~cache mode ~name (gen ())
       in
       (match Explain.check solo with Ok () -> () | Error e -> fail_divergence name e);
       (match Explain.check_records solo stats with
@@ -1094,7 +1173,7 @@ let explain_cmd =
       let apps =
         Array.of_list (List.map (fun (name, gen) -> (name, gen ())) named_apps)
       in
-      let solos, res = Explain.corun ~cfg ~submission:policy ~spatial mode apps in
+      let solos, res = Explain.corun ~cfg ~submission:policy ~spatial ~cache mode apps in
       (match Explain.check_corun solos res with
       | Ok () -> ()
       | Error e -> fail_divergence "corun" e);
@@ -1123,7 +1202,7 @@ let explain_cmd =
   Cmd.v (cmd_info "explain" ~doc)
     Term.(
       const run $ apps_arg $ mode $ backend $ json $ top $ check $ no_whatif $ trace_out
-      $ with_metrics $ policy_arg $ partition_arg)
+      $ with_metrics $ policy_arg $ partition_arg $ cache_dir_arg)
 
 let rta_cmd =
   let doc =
@@ -1147,9 +1226,10 @@ let rta_cmd =
       & info [ "json" ] ~docv:"FILE"
           ~doc:"Also write the sweep as a $(b,bm.rta/1) JSON artifact to $(docv).")
   in
-  let run (name, gen) modes json rta_bug =
+  let run (name, gen) modes json rta_bug cache_dir =
     let modes = if modes = [] then List.map snd Mode.known else modes in
-    let entries = Rta.check_app ~modes ~optimistic_bound:rta_bug ~name (gen ()) in
+    let cache = cache_of_dir cache_dir in
+    let entries = Rta.check_app ~modes ~optimistic_bound:rta_bug ~cache ~name (gen ()) in
     let t =
       Report.table ~title:(name ^ " response-time analysis")
         ~columns:[ "mode"; "backend"; "bound us"; "observed us"; "verdict" ]
@@ -1185,7 +1265,8 @@ let rta_cmd =
       List.iter (Format.eprintf "  %a@." Rta.pp_entry) vs;
       exit exit_rta_violation
   in
-  Cmd.v (cmd_info "rta" ~doc) Term.(const run $ app_arg $ modes $ json $ rta_bug_arg)
+  Cmd.v (cmd_info "rta" ~doc)
+    Term.(const run $ app_arg $ modes $ json $ rta_bug_arg $ cache_dir_arg)
 
 let fuzz_cmd =
   let doc =
@@ -1248,20 +1329,22 @@ let fuzz_cmd =
              a nonzero value must be caught as a scheduler mismatch (self-test of the co-run \
              oracle).")
   in
-  let run seed count shrink no_soundness window_bug modes quiet replay corun slots_bug jobs =
+  let run seed count shrink no_soundness window_bug modes quiet replay corun slots_bug jobs
+      cache_dir =
     set_jobs jobs;
+    check_cache_dir cache_dir;
     let modes = if modes = [] then List.map snd Mode.known else modes in
     let log = if quiet then fun _ -> () else fun s -> Printf.eprintf "%s\n%!" s in
     if corun then begin
-      let report = Fuzz.run_corun ~modes ~shrink ?slots_bug ~log ~seed ~count () in
+      let report = Fuzz.run_corun ~modes ~shrink ?slots_bug ~log ?cache_dir ~seed ~count () in
       Format.printf "%a@." Fuzz.pp_corun_report report;
       if not (Fuzz.corun_ok report) then exit exit_counterexample
     end
     else begin
       let backends = if replay then [ `Sim; `Replay ] else [ `Sim ] in
       let report =
-        Fuzz.run ~modes ~backends ~shrink ~soundness:(not no_soundness) ?window_bug ~log ~seed
-          ~count ()
+        Fuzz.run ~modes ~backends ~shrink ~soundness:(not no_soundness) ?window_bug ~log
+          ?cache_dir ~seed ~count ()
       in
       Format.printf "%a@." Fuzz.pp_report report;
       if not (Fuzz.ok report) then exit exit_counterexample
@@ -1270,7 +1353,125 @@ let fuzz_cmd =
   Cmd.v (cmd_info "fuzz" ~doc)
     Term.(
       const run $ seed $ count $ shrink $ no_soundness $ window_bug $ modes $ quiet $ replay
-      $ corun $ slots_bug $ jobs_arg)
+      $ corun $ slots_bug $ jobs_arg $ cache_dir_arg)
+
+let prewarm_cmd =
+  let doc =
+    "Populate the persistent analysis cache for the whole benchmark suite: every Table II \
+     application is prepared in both reorder classes against $(b,--cache-dir), writing every \
+     cacheable artifact (footprints, cost profiles, rw-sets, pair relations) through to disk \
+     so any later $(b,bmctl)/$(b,bench) invocation pointed at the same directory starts \
+     disk-warm.  Prints the per-app disk-tier counters.  With $(b,--check-hit-rate) a second, \
+     cold-in-memory pass re-prepares the suite and the aggregate disk hit rate must reach the \
+     given percentage — the CI gate that the store actually serves what it stored; a shortfall \
+     exits 3."
+  in
+  let cache_dir_req =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR" ~env:cache_dir_env
+          ~doc:"Cache directory to populate (created if absent; unusable exits 2).")
+  in
+  let check_rate =
+    let pct_conv =
+      let parse s =
+        match float_of_string_opt s with
+        | Some p when p >= 0.0 && p <= 100.0 -> Ok p
+        | Some _ | None ->
+          Error (`Msg (Printf.sprintf "--check-hit-rate expects a percentage in [0,100], got %S" s))
+      in
+      Arg.conv (parse, Format.pp_print_float)
+    in
+    Arg.(
+      value
+      & opt (some pct_conv) None
+      & info [ "check-hit-rate" ] ~docv:"PCT"
+          ~doc:
+            "After populating, re-prepare the suite with cold in-memory caches and require \
+             the aggregate disk hit rate to reach $(docv) percent (exit 3 below it).")
+  in
+  let run cache_dir check_rate jobs =
+    set_jobs jobs;
+    (match Store.open_dir cache_dir with
+    | Ok _ -> ()
+    | Error msg ->
+      Printf.eprintf "bmctl: cannot open cache directory: %s\n" msg;
+      exit exit_io_error);
+    let cfg = Config.titan_x_pascal in
+    (* One task per app, each with its own store handle and in-memory cache
+       (single-domain sinks); both reorder classes so every artifact any
+       later mode needs is on disk. *)
+    let pass () =
+      Parallel.map_list
+        (fun (name, gen) ->
+          let cache = Cache.create ?store:(task_store (Some cache_dir)) () in
+          let app = gen () in
+          ignore (Prep.prepare ~reorder:false ~cache cfg app);
+          ignore (Prep.prepare ~reorder:true ~cache cfg app);
+          (name, Option.map Store.counters (Cache.store cache)))
+        Suite.all
+    in
+    let print_pass title rows =
+      let t =
+        Report.table ~title
+          ~columns:[ "app"; "disk hits"; "misses"; "stale"; "corrupt"; "write err"; "B written" ]
+      in
+      let tot = ref (0, 0, 0, 0, 0, 0) in
+      List.iter
+        (fun (name, c) ->
+          match c with
+          | None -> Report.row t [ name; "n/a"; "n/a"; "n/a"; "n/a"; "n/a"; "n/a" ]
+          | Some (c : Store.counters) ->
+            let th, tm, ts, tc, tw, tb = !tot in
+            tot :=
+              ( th + c.Store.disk_hits,
+                tm + c.Store.disk_misses,
+                ts + c.Store.disk_stale,
+                tc + c.Store.disk_corrupt,
+                tw + c.Store.disk_write_errors,
+                tb + c.Store.disk_bytes_written );
+            Report.row t
+              [
+                name;
+                string_of_int c.Store.disk_hits;
+                string_of_int c.Store.disk_misses;
+                string_of_int c.Store.disk_stale;
+                string_of_int c.Store.disk_corrupt;
+                string_of_int c.Store.disk_write_errors;
+                string_of_int c.Store.disk_bytes_written;
+              ])
+        rows;
+      let th, tm, ts, tc, tw, tb = !tot in
+      Report.row t
+        [
+          "total";
+          string_of_int th;
+          string_of_int tm;
+          string_of_int ts;
+          string_of_int tc;
+          string_of_int tw;
+          string_of_int tb;
+        ];
+      Report.print t;
+      (th, tm)
+    in
+    let _ = print_pass (Printf.sprintf "prewarm of %s" cache_dir) (pass ()) in
+    match check_rate with
+    | None -> ()
+    | Some pct ->
+      let hits, misses = print_pass "disk-warm verification pass" (pass ()) in
+      let rate =
+        if hits + misses = 0 then 0.0
+        else 100.0 *. float_of_int hits /. float_of_int (hits + misses)
+      in
+      Printf.printf "disk hit rate on second pass: %.1f%% (required: %.1f%%)\n" rate pct;
+      if rate < pct then begin
+        Printf.eprintf "bmctl: disk hit rate %.1f%% below the required %.1f%%\n" rate pct;
+        exit exit_counterexample
+      end
+  in
+  Cmd.v (cmd_info "prewarm" ~doc) Term.(const run $ cache_dir_req $ check_rate $ jobs_arg)
 
 let ptx_cmd =
   let doc = "Print the PTX of the application's distinct kernels." in
@@ -1293,6 +1494,7 @@ let main =
   let doc = "BlockMaestro: programmer-transparent task-based GPU execution (simulator)" in
   Cmd.group (Cmd.info "bmctl" ~doc ~version)
     [ list_cmd; run_cmd; speedup_cmd; analyze_cmd; stats_cmd; timeline_cmd; trace_cmd;
-      capture_cmd; replay_cmd; corun_cmd; explain_cmd; rta_cmd; fuzz_cmd; ptx_cmd ]
+      capture_cmd; replay_cmd; corun_cmd; explain_cmd; rta_cmd; fuzz_cmd; prewarm_cmd;
+      ptx_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -8,7 +8,11 @@ let make ~lo ~hi ~stride =
   if lo = hi || stride = 0 then { lo; hi = lo; stride = 0 }
   else
     let span = hi - lo in
-    { lo; hi = lo + (span / stride * stride); stride }
+    let hi = lo + (span / stride * stride) in
+    (* A stride longer than the span leaves a single point; canonicalize it
+       so every value set has exactly one representation ([make] is then a
+       fixed point, which the disk store's decode round-trip relies on). *)
+    if hi = lo then { lo; hi; stride = 0 } else { lo; hi; stride }
 
 let singleton n = { lo = n; hi = n; stride = 0 }
 

@@ -15,9 +15,10 @@
       {!Fingerprint}: kernel-launch-time static analysis (Algorithm 1)
     - {!Bipartite}, {!Pattern}, {!Encode}: TB-level dependency graphs
     - {!Config}, {!Command}, {!Alloc}, {!Costmodel}, {!Stats}: GPU model
-    - {!Mode}, {!Reorder}, {!Cache}, {!Prep}, {!Hardware}, {!Sim},
-      {!Graph}, {!Replay}, {!Multi}, {!Runner}: BlockMaestro proper
-      (simulator, ahead-of-time capture/replay, cross-app co-running)
+    - {!Mode}, {!Reorder}, {!Jsonc}, {!Store}, {!Cache}, {!Prep},
+      {!Hardware}, {!Sim}, {!Graph}, {!Replay}, {!Multi}, {!Runner}:
+      BlockMaestro proper (simulator, persistent analysis store,
+      ahead-of-time capture/replay, cross-app co-running)
     - {!Templates}, {!Dsl}, {!Suite}, {!Microbench}, {!Wavefront},
       {!Genapp}: workloads
     - {!Cdp}, {!Wireframe}: comparison models
@@ -63,6 +64,8 @@ module Stats = Bm_gpu.Stats
 
 module Mode = Bm_maestro.Mode
 module Reorder = Bm_maestro.Reorder
+module Jsonc = Bm_maestro.Jsonc
+module Store = Bm_maestro.Store
 module Cache = Bm_maestro.Cache
 module Prep = Bm_maestro.Prep
 module Hardware = Bm_maestro.Hardware

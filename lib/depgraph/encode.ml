@@ -109,38 +109,120 @@ let encode ~n_parents ~n_children rel =
         { n_parents = g.Bipartite.n_parents;
           parents_of = Array.map Array.copy g.Bipartite.parents_of })
 
-let graph_of_parent_lists ~n_parents parents_of =
+(* Decoding builds the [Bipartite.t] record directly rather than expanding
+   to an edge list for [Bipartite.of_edges]: the encoded forms are already
+   structured, and the edge-list detour (a tuple per edge, a [List.mem]
+   dedup scan per edge — quadratic on an N-to-one row — and a polymorphic
+   sort per row) costs far more than the result itself.  Every branch
+   produces the same sorted, deduplicated rows [of_edges] would, validating
+   indices the same way ([Invalid_argument] on out-of-range); [children_of]
+   is derived from [parents_of] by a counting pass, and walking children in
+   ascending order keeps its rows sorted for free. *)
+let graph_of_parents_of ~n_parents (parents_of : int array array) =
   let n_children = Array.length parents_of in
-  let edges = ref [] in
-  Array.iteri (fun c ps -> Array.iter (fun p -> edges := (p, c) :: !edges) ps) parents_of;
-  Bipartite.Graph (Bipartite.of_edges ~n_parents ~n_children !edges)
+  let deg = Array.make n_parents 0 in
+  Array.iter
+    (fun ps ->
+      Array.iter
+        (fun p ->
+          if p < 0 || p >= n_parents then invalid_arg "Encode.decode: node out of range";
+          deg.(p) <- deg.(p) + 1)
+        ps)
+    parents_of;
+  let children_of = Array.init n_parents (fun p -> Array.make deg.(p) 0) in
+  let fill = Array.make n_parents 0 in
+  Array.iteri
+    (fun c ps ->
+      Array.iter
+        (fun p ->
+          children_of.(p).(fill.(p)) <- c;
+          fill.(p) <- fill.(p) + 1)
+        ps)
+    parents_of;
+  Bipartite.Graph { Bipartite.n_parents; n_children; parents_of; children_of }
 
 let decode = function
   | Enc_independent _ -> Bipartite.Independent
   | Enc_full _ -> Bipartite.Fully_connected
   | Enc_one_to_one { n } ->
-    graph_of_parent_lists ~n_parents:n (Array.init n (fun c -> [| c |]))
+    if n < 0 then invalid_arg "Encode.decode: negative size";
+    Bipartite.Graph
+      {
+        Bipartite.n_parents = n;
+        n_children = n;
+        parents_of = Array.init n (fun c -> [| c |]);
+        children_of = Array.init n (fun p -> [| p |]);
+      }
   | Enc_one_to_n { n_parents; parent_of } ->
-    graph_of_parent_lists ~n_parents (Array.map (fun p -> [| p |]) parent_of)
+    graph_of_parents_of ~n_parents (Array.map (fun p -> [| p |]) parent_of)
   | Enc_n_to_one { n_children; child_of } ->
-    let parents_of = Array.make n_children [] in
-    Array.iteri
-      (fun p c -> if c >= 0 then parents_of.(c) <- p :: parents_of.(c))
+    if n_children < 0 then invalid_arg "Encode.decode: negative size";
+    let n_parents = Array.length child_of in
+    let cnt = Array.make n_children 0 in
+    Array.iter
+      (fun c ->
+        if c >= n_children then invalid_arg "Encode.decode: node out of range";
+        if c >= 0 then cnt.(c) <- cnt.(c) + 1)
       child_of;
-    graph_of_parent_lists ~n_parents:(Array.length child_of)
-      (Array.map (fun l -> Array.of_list (List.sort compare l)) parents_of)
+    let parents_of = Array.init n_children (fun c -> Array.make cnt.(c) 0) in
+    let fill = Array.make n_children 0 in
+    Array.iteri
+      (fun p c ->
+        if c >= 0 then begin
+          parents_of.(c).(fill.(c)) <- p;
+          fill.(c) <- fill.(c) + 1
+        end)
+      child_of;
+    Bipartite.Graph
+      {
+        Bipartite.n_parents;
+        n_children;
+        parents_of;
+        children_of = Array.map (fun c -> if c >= 0 then [| c |] else [||]) child_of;
+      }
   | Enc_n_group { group_of_parent; group_of_child } ->
-    let parents_in gid =
-      let acc = ref [] in
-      Array.iteri (fun p g -> if g = gid then acc := p :: !acc) group_of_parent;
-      Array.of_list (List.sort compare !acc)
-    in
-    graph_of_parent_lists ~n_parents:(Array.length group_of_parent)
-      (Array.map (fun gid -> if gid < 0 then [||] else parents_in gid) group_of_child)
+    (* Parents of each group collected once (ascending, so sorted), not
+       re-scanned per child. *)
+    let members : (int, int list ref) Hashtbl.t = Hashtbl.create 8 in
+    Array.iteri
+      (fun p gid ->
+        if gid >= 0 then
+          match Hashtbl.find_opt members gid with
+          | Some l -> l := p :: !l
+          | None -> Hashtbl.add members gid (ref [ p ]))
+      group_of_parent;
+    let arrays = Hashtbl.create 8 in
+    Hashtbl.iter (fun gid l -> Hashtbl.add arrays gid (Array.of_list (List.rev !l))) members;
+    graph_of_parents_of ~n_parents:(Array.length group_of_parent)
+      (Array.map
+         (fun gid ->
+           if gid < 0 then [||]
+           else
+             match Hashtbl.find_opt arrays gid with
+             | Some a -> Array.copy a
+             | None -> [||])
+         group_of_child)
   | Enc_overlapped { n_parents; windows } ->
-    graph_of_parent_lists ~n_parents
+    graph_of_parents_of ~n_parents
       (Array.map (fun (first, len) -> Array.init len (fun i -> first + i)) windows)
-  | Enc_irregular { n_parents; parents_of } -> graph_of_parent_lists ~n_parents parents_of
+  | Enc_irregular { n_parents; parents_of } ->
+    (* Arbitrary rows: normalize to the sorted, deduplicated form
+       [of_edges] guarantees. *)
+    graph_of_parents_of ~n_parents
+      (Array.map
+         (fun row ->
+           let r = Array.copy row in
+           Array.sort (fun (a : int) b -> compare a b) r;
+           let n = Array.length r in
+           let w = ref 0 in
+           for i = 0 to n - 1 do
+             if !w = 0 || r.(!w - 1) <> r.(i) then begin
+               r.(!w) <- r.(i);
+               incr w
+             end
+           done;
+           if !w = n then r else Array.sub r 0 !w)
+         parents_of)
 
 let pattern_of_encoded = function
   | Enc_independent _ -> Pattern.Independent

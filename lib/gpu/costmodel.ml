@@ -34,6 +34,32 @@ let profile result (launch : Footprint.launch) =
   done;
   { pr_insts = insts; pr_mem = mem; pr_warps = warps; pr_warp_waves = warp_waves }
 
+(* Transparent view for the persistent analysis store: the mli keeps
+   [profile] abstract so only the cache layers rebuild one, but the store
+   must serialize it bit-exactly. *)
+type profile_repr = {
+  prr_insts : float array;
+  prr_mem : float array;
+  prr_warps : int;
+  prr_warp_waves : float;
+}
+
+let repr_of_profile p =
+  {
+    prr_insts = Array.copy p.pr_insts;
+    prr_mem = Array.copy p.pr_mem;
+    prr_warps = p.pr_warps;
+    prr_warp_waves = p.pr_warp_waves;
+  }
+
+let profile_of_repr r =
+  {
+    pr_insts = Array.copy r.prr_insts;
+    pr_mem = Array.copy r.prr_mem;
+    pr_warps = r.prr_warps;
+    pr_warp_waves = r.prr_warp_waves;
+  }
+
 let of_profile (cfg : Config.t) ~kernel_seq p =
   let n = Array.length p.pr_insts in
   let tb_us = Array.make n 0.0 in

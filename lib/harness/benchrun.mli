@@ -12,6 +12,7 @@
 val collect :
   ?apps:(string * (unit -> Bm_gpu.Command.app)) list ->
   ?jobs:int ->
+  ?cache_dir:string ->
   unit ->
   Bm_metrics.Benchfile.t
 (** Run [apps] (default {!Bm_workloads.Suite.all}) under baseline + the
@@ -19,12 +20,14 @@ val collect :
     (default {!Bm_parallel.default_jobs}) sizes the domain pool; every
     simulated quantity — cycles, speedups, high-water marks, memory
     overhead — is identical for every [jobs], only the wall-clock pipeline
-    spans vary. *)
+    spans vary.  [cache_dir] attaches the persistent analysis store: each
+    app task opens its own {!Bm_maestro.Store} handle on the shared
+    directory, which only changes preparation wall-clock, never cycles. *)
 
-val write : ?jobs:int -> string -> unit
+val write : ?jobs:int -> ?cache_dir:string -> string -> unit
 (** [collect] and save, printing a one-line summary to stdout. *)
 
-val compare_against : ?jobs:int -> threshold_pct:float -> string -> int
+val compare_against : ?jobs:int -> ?cache_dir:string -> threshold_pct:float -> string -> int
 (** Re-measure and diff simulated cycles against a saved file.  Returns the
     process exit code: 0 in-threshold, 1 regression beyond
     [threshold_pct], 2 I/O or parse failure on the old file. *)

@@ -19,15 +19,27 @@ type pair_key = {
   pk_degree : int;
 }
 
+type rw_key = {
+  rk_kid : int;
+  rk_fl : Footprint.launch;
+  rk_buffers : (int * int * int) list;
+}
+
 type t = {
   (* Hash-consing: canonical fingerprint -> interned id.  LRU-bounded like
      everything else; ids are monotonic, so entries of an evicted id simply
      age out of the downstream tables. *)
   intern : (Fingerprint.t, int) Lru.t;
   mutable next_id : int;
+  (* id -> canonical fingerprint string, the disk tier's key material.
+     Only populated when a store is attached; if an entry ages out, disk
+     lookups for that id are silently skipped (a plain miss). *)
+  fpstrs : (int, string) Lru.t;
+  store : Store.t option;
   analysis : (int, Symeval.result) Lru.t;
   footprints : (int * Footprint.launch, Footprint.kernel_footprints) Lru.t;
   profiles : (int * Footprint.launch, Costmodel.profile) Lru.t;
+  rws : (rw_key, Reorder.rw) Lru.t;
   pairs : (pair_key, pair_result) Lru.t;
   mutable kernel_hits : int;
   mutable kernel_misses : int;
@@ -35,17 +47,22 @@ type t = {
   mutable footprint_misses : int;
   mutable profile_hits : int;
   mutable profile_misses : int;
+  mutable rw_hits : int;
+  mutable rw_misses : int;
   mutable pair_hits : int;
   mutable pair_misses : int;
 }
 
-let create ?(kernel_capacity = 256) ?(pair_capacity = 8192) () =
+let create ?(kernel_capacity = 256) ?(pair_capacity = 8192) ?store () =
   {
     intern = Lru.create ~capacity:kernel_capacity;
     next_id = 0;
+    fpstrs = Lru.create ~capacity:kernel_capacity;
+    store;
     analysis = Lru.create ~capacity:kernel_capacity;
     footprints = Lru.create ~capacity:pair_capacity;
     profiles = Lru.create ~capacity:pair_capacity;
+    rws = Lru.create ~capacity:pair_capacity;
     pairs = Lru.create ~capacity:pair_capacity;
     kernel_hits = 0;
     kernel_misses = 0;
@@ -53,9 +70,13 @@ let create ?(kernel_capacity = 256) ?(pair_capacity = 8192) () =
     footprint_misses = 0;
     profile_hits = 0;
     profile_misses = 0;
+    rw_hits = 0;
+    rw_misses = 0;
     pair_hits = 0;
     pair_misses = 0;
   }
+
+let store t = t.store
 
 let kernel_id t kernel =
   let fp = Fingerprint.of_kernel kernel in
@@ -65,7 +86,27 @@ let kernel_id t kernel =
     let id = t.next_id in
     t.next_id <- id + 1;
     Lru.add t.intern fp id;
+    if t.store <> None then Lru.add t.fpstrs id (Fingerprint.to_string fp);
     id
+
+(* The disk tier sits below the in-process LRU: an LRU miss consults the
+   store before computing, and a computed value is written through.  Disk
+   hits still count as in-memory misses — the two counter families describe
+   different tiers. *)
+let disk_tier t ~kid ~dkey ~disk_find ~disk_put compute =
+  match t.store with
+  | None -> compute ()
+  | Some s -> (
+    match Lru.find t.fpstrs kid with
+    | None -> compute ()
+    | Some fps -> (
+      let key = dkey fps in
+      match disk_find s ~key with
+      | Some v -> v
+      | None ->
+        let v = compute () in
+        disk_put s ~key v;
+        v))
 
 let analysis t ~kid compute =
   match Lru.find t.analysis kid with
@@ -86,7 +127,11 @@ let footprint t ~kid ~fl compute =
     fp
   | None ->
     t.footprint_misses <- t.footprint_misses + 1;
-    let fp = compute () in
+    let fp =
+      disk_tier t ~kid
+        ~dkey:(fun fps -> Store.footprint_key ~fp:fps ~fl)
+        ~disk_find:Store.find_footprints ~disk_put:Store.put_footprints compute
+    in
     Lru.add t.footprints key fp;
     fp
 
@@ -98,9 +143,29 @@ let profile t ~kid ~fl compute =
     p
   | None ->
     t.profile_misses <- t.profile_misses + 1;
-    let p = compute () in
+    let p =
+      disk_tier t ~kid
+        ~dkey:(fun fps -> Store.profile_key ~fp:fps ~fl)
+        ~disk_find:Store.find_profile ~disk_put:Store.put_profile compute
+    in
     Lru.add t.profiles key p;
     p
+
+let rw t ~kid ~fl ~buffers compute =
+  let key = { rk_kid = kid; rk_fl = fl; rk_buffers = buffers } in
+  match Lru.find t.rws key with
+  | Some rw ->
+    t.rw_hits <- t.rw_hits + 1;
+    rw
+  | None ->
+    t.rw_misses <- t.rw_misses + 1;
+    let rw =
+      disk_tier t ~kid
+        ~dkey:(fun fps -> Store.rw_key ~fp:fps ~fl ~buffers)
+        ~disk_find:Store.find_rw ~disk_put:Store.put_rw compute
+    in
+    Lru.add t.rws key rw;
+    rw
 
 let pair t ~pkid ~pfl ~ckid ~cfl ~max_degree compute =
   let key =
@@ -112,7 +177,38 @@ let pair t ~pkid ~pfl ~ckid ~cfl ~max_degree compute =
     pr
   | None ->
     t.pair_misses <- t.pair_misses + 1;
-    let pr = compute () in
+    let pr =
+      match t.store with
+      | None -> compute ()
+      | Some s -> (
+        match (Lru.find t.fpstrs pkid, Lru.find t.fpstrs ckid) with
+        | Some pfps, Some cfps -> (
+          let dkey = Store.pair_key ~pfp:pfps ~pfl ~cfp:cfps ~cfl ~max_degree in
+          (* Only the relation persists; the pattern classification and
+             encoded-storage sizes are recomputed on load, exactly as the
+             cold path derives them from the fresh relation. *)
+          let n_parents = Bm_ptx.Types.dim3_count pfl.Footprint.grid in
+          let n_children = Bm_ptx.Types.dim3_count cfl.Footprint.grid in
+          match Store.find_relation s ~key:dkey with
+          | Some relation ->
+            let sizes =
+              match relation with
+              | Bm_depgraph.Bipartite.Fully_connected ->
+                Bm_depgraph.Encode.measure_full ~n_parents ~n_children
+              | Bm_depgraph.Bipartite.Independent | Bm_depgraph.Bipartite.Graph _ ->
+                Bm_depgraph.Encode.measure relation
+            in
+            {
+              pr_relation = relation;
+              pr_pattern = Bm_depgraph.Pattern.classify relation;
+              pr_sizes = sizes;
+            }
+          | None ->
+            let pr = compute () in
+            Store.put_relation s ~key:dkey ~n_parents ~n_children pr.pr_relation;
+            pr)
+        | _ -> compute ())
+    in
     Lru.add t.pairs key pr;
     pr
 
@@ -126,6 +222,9 @@ type counters = {
   profile_hits : int;
   profile_misses : int;
   profile_evictions : int;
+  rw_hits : int;
+  rw_misses : int;
+  rw_evictions : int;
   pair_hits : int;
   pair_misses : int;
   pair_evictions : int;
@@ -143,6 +242,9 @@ let counters (c : t) =
     profile_hits = c.profile_hits;
     profile_misses = c.profile_misses;
     profile_evictions = Lru.evictions c.profiles;
+    rw_hits = c.rw_hits;
+    rw_misses = c.rw_misses;
+    rw_evictions = Lru.evictions c.rws;
     pair_hits = c.pair_hits;
     pair_misses = c.pair_misses;
     pair_evictions = Lru.evictions c.pairs;
@@ -161,7 +263,11 @@ let export t registry =
   put "prep.cache.profile.hits" c.profile_hits;
   put "prep.cache.profile.misses" c.profile_misses;
   put "prep.cache.profile.evictions" c.profile_evictions;
+  put "prep.cache.rw.hits" c.rw_hits;
+  put "prep.cache.rw.misses" c.rw_misses;
+  put "prep.cache.rw.evictions" c.rw_evictions;
   put "prep.cache.pair.hits" c.pair_hits;
   put "prep.cache.pair.misses" c.pair_misses;
   put "prep.cache.pair.evictions" c.pair_evictions;
-  put "prep.cache.interned" c.interned
+  put "prep.cache.interned" c.interned;
+  match t.store with None -> () | Some s -> Store.export s registry

@@ -18,15 +18,27 @@
     The TB cost model is deliberately {e not} cached: its splitmix64 jitter
     is keyed on the launch sequence number.
 
+    With [?store], a third, persistent tier sits below the LRUs: an
+    in-memory miss consults the disk-backed {!Store} (keyed by the full
+    canonical fingerprint string, so entries are valid across processes),
+    and computed values are written through.  Disk hits still count as
+    in-memory misses; the [prep.cache.disk.*] counters describe the disk
+    tier separately.
+
     A cache is single-domain state (DESIGN §8/§9): create one per worker
-    domain and never share across domains.  All operations are O(1). *)
+    domain and never share across domains.  A {e store} directory may be
+    shared across domains and processes — each domain opens its own
+    {!Store} handle; writes are atomic and values are pure functions of
+    their keys.  All operations are O(1) plus at most one disk probe. *)
 
 type t
 
-val create : ?kernel_capacity:int -> ?pair_capacity:int -> unit -> t
+val create : ?kernel_capacity:int -> ?pair_capacity:int -> ?store:Store.t -> unit -> t
 (** [kernel_capacity] (default 256) bounds the interned-kernel and analysis
     tables; [pair_capacity] (default 8192) bounds the footprint and pair
-    tables. *)
+    tables.  [store] attaches the persistent disk tier. *)
+
+val store : t -> Store.t option
 
 val kernel_id : t -> Bm_ptx.Types.kernel -> int
 (** Interned id of the kernel's structural fingerprint.  Alpha-equivalent
@@ -55,6 +67,18 @@ val profile :
 (** Memoized launch-sequence-independent cost profile
     ({!Bm_gpu.Costmodel.profile}).  The seq-keyed jitter half is applied
     per launch and never cached. *)
+
+val rw :
+  t ->
+  kid:int ->
+  fl:Bm_analysis.Footprint.launch ->
+  buffers:(int * int * int) list ->
+  (unit -> Reorder.rw) ->
+  Reorder.rw
+(** Memoized read/write buffer sets.  Buffer ids are app-local, so the
+    app's buffer layout ([(id, base, bytes)] triples) is part of the key;
+    two apps sharing a kernel but laying buffers out differently never
+    alias. *)
 
 type pair_result = {
   pr_relation : Bm_depgraph.Bipartite.relation;
@@ -88,6 +112,9 @@ type counters = {
   profile_hits : int;
   profile_misses : int;
   profile_evictions : int;
+  rw_hits : int;
+  rw_misses : int;
+  rw_evictions : int;
   pair_hits : int;
   pair_misses : int;
   pair_evictions : int;
@@ -98,5 +125,6 @@ val counters : t -> counters
 
 val export : t -> Bm_metrics.Metrics.t -> unit
 (** Publish the counters as [prep.cache.kernel.hits], …, into a metrics
-    registry ([bmctl stats] surfaces them).  Adds the current values; call
-    once per run, after preparation. *)
+    registry ([bmctl stats] surfaces them), plus the [prep.cache.disk.*]
+    family when a store is attached.  Adds the current values; call once
+    per run, after preparation. *)

@@ -203,134 +203,9 @@ let equal a b =
 
 (* --- JSON codec --------------------------------------------------------- *)
 
-(* Floats persist as IEEE-754 bit patterns: the JSON emitter prints numbers
-   with %.12g, which is lossy for the jittered per-TB costs, and replay
-   must be bit-identical to capture. *)
-let json_of_float f = Json.Str (Printf.sprintf "%016Lx" (Int64.bits_of_float f))
-
-exception Bad of string
-
-let bad fmt = Printf.ksprintf (fun msg -> raise (Bad msg)) fmt
-
-let float_of_json ~what = function
-  | Json.Str s when String.length s = 16 -> (
-    match Int64.of_string_opt ("0x" ^ s) with
-    | Some bits -> Int64.float_of_bits bits
-    | None -> bad "%s: invalid float bits %S" what s)
-  | _ -> bad "%s: expected a 16-hex-digit float" what
-
-let int_of_json ~what j =
-  match Json.to_int j with Some i -> i | None -> bad "%s: expected an integer" what
-
-let str_of_json ~what j =
-  match Json.to_str j with Some s -> s | None -> bad "%s: expected a string" what
-
-let list_of_json ~what j =
-  match Json.to_list j with Some l -> l | None -> bad "%s: expected an array" what
-
-let field ~what name j =
-  match Json.member name j with Some v -> v | None -> bad "%s: missing field %S" what name
-
-let int_field ~what name j = int_of_json ~what:(what ^ "." ^ name) (field ~what name j)
-let str_field ~what name j = str_of_json ~what:(what ^ "." ^ name) (field ~what name j)
-
-let int_array_of_json ~what j =
-  Array.of_list (List.map (int_of_json ~what) (list_of_json ~what j))
-
-let json_of_int_array a = Json.Arr (Array.to_list (Array.map (fun i -> Json.Num (float_of_int i)) a))
-
-(* Relations persist in their pattern-aware Table I encoded form; decode
-   reconstructs the bipartite graph exactly (the Encode round-trip property
-   in test/test_depgraph.ml is what makes this safe). *)
-let json_of_relation ~n_parents ~n_children rel =
-  let ja i = Json.Num (float_of_int i) in
-  match Encode.encode ~n_parents ~n_children rel with
-  | Encode.Enc_independent { n_parents; n_children } ->
-    Json.Obj [ ("k", Json.Str "ind"); ("np", ja n_parents); ("nc", ja n_children) ]
-  | Encode.Enc_full { n_parents; n_children } ->
-    Json.Obj [ ("k", Json.Str "full"); ("np", ja n_parents); ("nc", ja n_children) ]
-  | Encode.Enc_one_to_one { n } -> Json.Obj [ ("k", Json.Str "o2o"); ("n", ja n) ]
-  | Encode.Enc_one_to_n { n_parents; parent_of } ->
-    Json.Obj [ ("k", Json.Str "o2n"); ("np", ja n_parents); ("po", json_of_int_array parent_of) ]
-  | Encode.Enc_n_to_one { n_children; child_of } ->
-    Json.Obj [ ("k", Json.Str "n2o"); ("nc", ja n_children); ("co", json_of_int_array child_of) ]
-  | Encode.Enc_n_group { group_of_parent; group_of_child } ->
-    Json.Obj
-      [
-        ("k", Json.Str "grp");
-        ("gp", json_of_int_array group_of_parent);
-        ("gc", json_of_int_array group_of_child);
-      ]
-  | Encode.Enc_overlapped { n_parents; windows } ->
-    Json.Obj
-      [
-        ("k", Json.Str "ovl");
-        ("np", ja n_parents);
-        ( "w",
-          Json.Arr
-            (Array.to_list
-               (Array.map (fun (f, l) -> Json.Arr [ ja f; ja l ]) windows)) );
-      ]
-  | Encode.Enc_irregular { n_parents; parents_of } ->
-    Json.Obj
-      [
-        ("k", Json.Str "irr");
-        ("np", ja n_parents);
-        ("po", Json.Arr (Array.to_list (Array.map json_of_int_array parents_of)));
-      ]
-
-let relation_of_json j =
-  let what = "relation" in
-  let enc =
-    match str_field ~what "k" j with
-    | "ind" ->
-      Encode.Enc_independent
-        { n_parents = int_field ~what "np" j; n_children = int_field ~what "nc" j }
-    | "full" ->
-      Encode.Enc_full { n_parents = int_field ~what "np" j; n_children = int_field ~what "nc" j }
-    | "o2o" -> Encode.Enc_one_to_one { n = int_field ~what "n" j }
-    | "o2n" ->
-      Encode.Enc_one_to_n
-        {
-          n_parents = int_field ~what "np" j;
-          parent_of = int_array_of_json ~what (field ~what "po" j);
-        }
-    | "n2o" ->
-      Encode.Enc_n_to_one
-        {
-          n_children = int_field ~what "nc" j;
-          child_of = int_array_of_json ~what (field ~what "co" j);
-        }
-    | "grp" ->
-      Encode.Enc_n_group
-        {
-          group_of_parent = int_array_of_json ~what (field ~what "gp" j);
-          group_of_child = int_array_of_json ~what (field ~what "gc" j);
-        }
-    | "ovl" ->
-      Encode.Enc_overlapped
-        {
-          n_parents = int_field ~what "np" j;
-          windows =
-            Array.of_list
-              (List.map
-                 (fun w ->
-                   match list_of_json ~what w with
-                   | [ f; l ] -> (int_of_json ~what f, int_of_json ~what l)
-                   | _ -> bad "%s: window needs [first, len]" what)
-                 (list_of_json ~what (field ~what "w" j)));
-        }
-    | "irr" ->
-      Encode.Enc_irregular
-        {
-          n_parents = int_field ~what "np" j;
-          parents_of =
-            Array.of_list
-              (List.map (int_array_of_json ~what) (list_of_json ~what (field ~what "po" j)));
-        }
-    | k -> bad "%s: unknown kind %S" what k
-  in
-  Encode.decode enc
+(* The float/array/relation encodings are shared with the disk-backed
+   analysis store: see Jsonc. *)
+open Jsonc
 
 let json_of_node (nodes : node array) n =
   let n_parents = if n.n_prev >= 0 then nodes.(n.n_prev).n_tbs else 0 in

@@ -147,15 +147,29 @@ let prepare ?(reorder = true) ?prof ?cache (cfg : Config.t) (app : Command.app) 
   (* Read/write buffer sets per (kernel, launch configuration): computing
      one walks the whole per-TB footprint union, so the L1 memo matters for
      iterative apps (it is called twice per launch).  Buffer ids are only
-     meaningful within this app, so this layer is per-call only — never the
-     cross-call cache. *)
+     meaningful relative to this app's buffer layout, so the cross-call
+     tiers key the layout too (Cache.rw). *)
   let rw_memo = Hashtbl.create 64 in
   let rw_of (spec : Command.launch_spec) fp =
     let key = (spec.Command.kernel.Bm_ptx.Types.kname, Command.footprint_launch spec) in
     match Hashtbl.find_opt rw_memo key with
     | Some rw -> rw
     | None ->
-      let rw = kernel_rw spec fp in
+      let compute () = kernel_rw spec fp in
+      let rw =
+        match cache with
+        | None -> compute ()
+        | Some c ->
+          let buffers =
+            List.map
+              (fun (b : Command.buffer) -> (b.Command.buf_id, b.Command.base, b.Command.bytes))
+              (Command.buffers_of_args spec)
+          in
+          Cache.rw c
+            ~kid:(kid_of spec.Command.kernel)
+            ~fl:(Command.footprint_launch spec)
+            ~buffers compute
+      in
       Hashtbl.add rw_memo key rw;
       rw
   in

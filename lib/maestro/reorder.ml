@@ -10,15 +10,44 @@ let inter a b = List.exists (fun x -> List.mem x b) a
 let conflicts a b =
   inter a.writes b.reads || inter a.reads b.writes || inter a.writes b.writes
 
+(* One left-to-right scan with per-buffer last-writer / readers-since-write
+   indices instead of the quadratic all-pairs [conflicts] sweep (GAUSSIAN
+   alone is ~1.5k commands, >1M pair checks).  The edge set is smaller than
+   the all-pairs one — a WAW chain w1→w2→w3 omits w1→w3 — but has the same
+   transitive closure, and scheduling readiness ("every predecessor
+   emitted") only depends on the closure, so [reorder] output is
+   unchanged. *)
 let dependencies rws =
   let n = Array.length rws in
-  let edges = ref [] in
-  for j = 1 to n - 1 do
-    for i = 0 to j - 1 do
-      if conflicts rws.(i) rws.(j) then edges := (i, j) :: !edges
-    done
+  let last_writer : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let readers : (int, int list ref) Hashtbl.t = Hashtbl.create 64 in
+  let preds = Array.make n [] in
+  for j = 0 to n - 1 do
+    let add i = preds.(j) <- i :: preds.(j) in
+    let writer b = match Hashtbl.find_opt last_writer b with Some i -> add i | None -> () in
+    List.iter writer rws.(j).reads;
+    List.iter
+      (fun b ->
+        writer b;
+        match Hashtbl.find_opt readers b with Some l -> List.iter add !l | None -> ())
+      rws.(j).writes;
+    List.iter
+      (fun b ->
+        Hashtbl.replace last_writer b j;
+        Hashtbl.replace readers b (ref []))
+      rws.(j).writes;
+    List.iter
+      (fun b ->
+        match Hashtbl.find_opt readers b with
+        | Some l -> l := j :: !l
+        | None -> Hashtbl.replace readers b (ref [ j ]))
+      rws.(j).reads
   done;
-  List.rev !edges
+  let edges = ref [] in
+  for j = n - 1 downto 0 do
+    List.iter (fun i -> edges := (i, j) :: !edges) (List.sort_uniq compare preds.(j))
+  done;
+  !edges
 
 let reorder commands =
   let keep =

@@ -16,7 +16,10 @@ val conflicts : rw -> rw -> bool
 (** Any RAW, WAR or WAW hazard between two commands. *)
 
 val dependencies : rw array -> (int * int) list
-(** Edges (i, j) with i < j meaning command j must stay after command i. *)
+(** Edges (i, j) with i < j meaning command j must stay after command i.
+    Built by a linear per-buffer scan: the set is hazard-minimal (a WAW
+    chain omits its transitive shortcut edges) but its transitive closure
+    covers every {!conflicts} pair, which is all a valid schedule needs. *)
 
 val reorder : (Bm_gpu.Command.t * rw) array -> Bm_gpu.Command.t list
 (** Hazard-preserving greedy schedule: emit every ready non-kernel command

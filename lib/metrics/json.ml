@@ -123,8 +123,34 @@ let of_string s =
   in
   let parse_string () =
     expect '"';
-    let buf = Buffer.create 16 in
-    let rec loop () =
+    (* Bulk-scan the clean run up to the next quote or escape: a string
+       with no escapes at all — the common case, and megabytes at a time
+       for the disk store's packed payloads — is a single substring copy
+       instead of a char-by-char Buffer fill. *)
+    let scan_clean from =
+      let i = ref from in
+      while
+        !i < n
+        &&
+        let c = s.[!i] in
+        c <> '"' && c <> '\\'
+      do
+        incr i
+      done;
+      !i
+    in
+    let start = !pos in
+    let first = scan_clean start in
+    if first >= n then parse_error first "unterminated string"
+    else if s.[first] = '"' then begin
+      pos := first + 1;
+      String.sub s start (first - start)
+    end
+    else begin
+      let buf = Buffer.create (first - start + 16) in
+      Buffer.add_substring buf s start (first - start);
+      pos := first;
+      let rec loop () =
       if !pos >= n then parse_error !pos "unterminated string";
       let c = s.[!pos] in
       advance ();
@@ -165,9 +191,15 @@ let of_string s =
            end
          | c -> parse_error !pos "invalid escape \\%c" c);
         loop ()
-      | c -> Buffer.add_char buf c; loop ()
+      | c ->
+        Buffer.add_char buf c;
+        let next = scan_clean !pos in
+        Buffer.add_substring buf s !pos (next - !pos);
+        pos := next;
+        loop ()
     in
-    loop ()
+      loop ()
+    end
   in
   (* Strict RFC 8259 number grammar:
        number = [ "-" ] int [ frac ] [ exp ]

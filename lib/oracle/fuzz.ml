@@ -49,13 +49,45 @@ type outcome =
    reuse kernel structures heavily, and cached preparation is
    cycle-identical — this very harness is the gate for that — so verdicts
    do not depend on which domain (and therefore which cache) examines an
-   app. *)
-let domain_cache : Bm_maestro.Cache.t Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> Bm_maestro.Cache.create ())
+   app.
+
+   With [?cache_dir], each domain additionally opens its own Store handle
+   on the shared directory (per-domain stores on one dir: writes are
+   atomic, values are pure functions of their keys, so the report stays
+   identical under any --jobs — disk state only changes wall-clock).  The
+   wanted directory is published through an atomic so worker domains —
+   whose DLS initializes lazily — pick it up on first use and rebuild
+   their cache if a later run changes it. *)
+let wanted_cache_dir : string option Atomic.t = Atomic.make None
+
+let domain_state : (string option * Bm_maestro.Cache.t) ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref (None, Bm_maestro.Cache.create ()))
+
+let domain_cache () =
+  let st = Domain.DLS.get domain_state in
+  let want = Atomic.get wanted_cache_dir in
+  let have, cache = !st in
+  if have = want then cache
+  else begin
+    let store =
+      match want with
+      | None -> None
+      | Some dir -> (
+        match Bm_maestro.Store.open_dir dir with Ok s -> Some s | Error _ -> None)
+    in
+    let cache = Bm_maestro.Cache.create ?store () in
+    st := (want, cache);
+    cache
+  end
+
+let with_cache_dir cache_dir f =
+  let prev = Atomic.get wanted_cache_dir in
+  Atomic.set wanted_cache_dir cache_dir;
+  Fun.protect ~finally:(fun () -> Atomic.set wanted_cache_dir prev) f
 
 let examine_outcome ~cfg ~modes ~backends ~soundness ~window_bug spec =
   let app = Genapp.build spec in
-  let cache = Domain.DLS.get domain_cache in
+  let cache = domain_cache () in
   match Diff.check ~cfg ~modes ~backends ~cache ?window_bug app with
   | Error (mm :: _) -> Bad (Scheduler_mismatch, Format.asprintf "%a" Diff.pp_mismatch mm)
   | Error [] -> Clean [] (* unreachable: Error implies at least one mismatch *)
@@ -94,8 +126,9 @@ let same_kind a b =
 
 let run ?(cfg = Config.titan_x_pascal) ?(modes = List.map snd Mode.known)
     ?(backends = ([ `Sim ] : Diff.backend list)) ?(shrink = true) ?(soundness = true) ?window_bug
-    ?(log = fun _ -> ()) ?jobs ?(chunk = 256) ~seed ~count () =
+    ?(log = fun _ -> ()) ?jobs ?(chunk = 256) ?cache_dir ~seed ~count () =
   if chunk < 1 then invalid_arg "Fuzz.run: chunk must be >= 1";
+  with_cache_dir cache_dir @@ fun () ->
   (* Spec generation consumes the seeded RNG strictly in index order — the
      one sequential phase — so the generated stream is identical to a fully
      sequential run regardless of how many domains examine it, and identical
@@ -228,7 +261,7 @@ let submission_of_tag = function
    co-running at all. *)
 let examine_corun ~cfg ~modes ~slots_bug (c : Genapp.corun) =
   let apps = [| Genapp.build c.c_a; Genapp.build c.c_b |] in
-  let cache = Domain.DLS.get domain_cache in
+  let cache = domain_cache () in
   let submission = submission_of_tag c.c_submission in
   let spatial =
     match c.c_partition with
@@ -302,8 +335,9 @@ let shrink_corun still_fails (c : Genapp.corun) =
   (!cur, !steps)
 
 let run_corun ?(cfg = Config.titan_x_pascal) ?(modes = List.map snd Mode.known) ?(shrink = true)
-    ?slots_bug ?(log = fun _ -> ()) ?jobs ?(chunk = 64) ~seed ~count () =
+    ?slots_bug ?(log = fun _ -> ()) ?jobs ?(chunk = 64) ?cache_dir ~seed ~count () =
   if chunk < 1 then invalid_arg "Fuzz.run_corun: chunk must be >= 1";
+  with_cache_dir cache_dir @@ fun () ->
   (* Same sequential-generation / parallel-examination contract as [run]:
      the report is identical for every [jobs] and [chunk]. *)
   let rng = Rng.create seed in

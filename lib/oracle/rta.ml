@@ -19,15 +19,16 @@ type entry = {
 let ok e = e.e_observed_us <= e.e_bound_us
 
 let check_app ?(cfg = Config.titan_x_pascal) ?(modes = List.map snd Mode.known)
-    ?(backends = ([ `Sim; `Replay ] : Diff.backend list)) ?(optimistic_bound = false) ~name app =
+    ?(backends = ([ `Sim; `Replay ] : Diff.backend list)) ?(optimistic_bound = false) ?cache ~name
+    app =
   (* Shared preparations/capture across the sweep, like Diff.check.  Each
      backend's bound is computed from the artifact that backend executes
      (the prep, or the captured schedule's matching reorder class), so a
      capture that corrupted the cost arrays cannot satisfy its own bound
      by accident. *)
-  let prep_plain = lazy (Prep.prepare ~reorder:false cfg app) in
-  let prep_reordered = lazy (Prep.prepare ~reorder:true cfg app) in
-  let graph = lazy (Graph.capture cfg app) in
+  let prep_plain = lazy (Prep.prepare ~reorder:false ?cache cfg app) in
+  let prep_reordered = lazy (Prep.prepare ~reorder:true ?cache cfg app) in
+  let graph = lazy (Graph.capture ?cache cfg app) in
   List.concat_map
     (fun mode ->
       let prep =

@@ -35,12 +35,14 @@ val check_app :
   ?modes:Bm_maestro.Mode.t list ->
   ?backends:Diff.backend list ->
   ?optimistic_bound:bool ->
+  ?cache:Bm_maestro.Cache.t ->
   name:string ->
   Bm_gpu.Command.app ->
   entry list
 (** Sweep one app.  Defaults: every {!Bm_maestro.Mode.known} mode, both
     backends.  Preparations and the capture are shared across the sweep
-    exactly like {!Diff.check}. *)
+    exactly like {!Diff.check}, and [cache] (possibly store-backed) feeds
+    both. *)
 
 val violations : entry list -> entry list
 

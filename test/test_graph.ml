@@ -290,7 +290,7 @@ let test_bmctl_help_consistency () =
     (fun sub ->
       Alcotest.(check bool) (Printf.sprintf "main help lists %s" sub) true (contains ~needle:sub main_help))
     [ "list"; "run"; "speedup"; "analyze"; "stats"; "timeline"; "trace"; "capture"; "replay";
-      "corun"; "explain"; "rta"; "fuzz"; "ptx" ];
+      "corun"; "explain"; "rta"; "fuzz"; "prewarm"; "ptx" ];
   let check_flags sub flags =
     let help = help_of [ sub; "--help"; "plain" ] in
     List.iter
@@ -299,8 +299,9 @@ let test_bmctl_help_consistency () =
           (contains ~needle:flag help))
       flags
   in
-  check_flags "stats" [ "--repeat"; "--merged"; "--jobs" ];
-  check_flags "run" [ "--backend"; "--deadline"; "--inject-rta-bug" ];
+  check_flags "stats" [ "--repeat"; "--merged"; "--jobs"; "--cache-dir" ];
+  check_flags "run" [ "--backend"; "--deadline"; "--inject-rta-bug"; "--cache-dir" ];
+  check_flags "prewarm" [ "--cache-dir"; "--check-hit-rate"; "--jobs" ];
   check_flags "capture" [ "--output" ];
   check_flags "replay" [ "--graph"; "--compare"; "--fresh"; "--counters" ];
   check_flags "fuzz" [ "--replay"; "--seed"; "--count" ];

@@ -20,4 +20,5 @@ let () =
       ("parallel", Test_parallel.suite);
       ("integration", Test_integration.suite);
       ("deadline", Test_deadline.suite);
+      ("store", Test_store.suite);
     ]
